@@ -1,0 +1,68 @@
+//! A1/A2 — the derivation pipeline under ablation: discount on/off and
+//! truncated fixed points, plus the full derive as the reference cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wot_bench::{Scale, DEFAULT_SEED};
+use wot_core::{pipeline, DeriveConfig};
+
+fn bench(c: &mut Criterion) {
+    let wb = Scale::Laptop.workbench(DEFAULT_SEED);
+    let store = &wb.out.store;
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    group.bench_function("derive/default", |b| {
+        b.iter(|| pipeline::derive(black_box(store), &DeriveConfig::default()).unwrap())
+    });
+
+    group.bench_function("derive/no_discount", |b| {
+        let cfg = DeriveConfig {
+            experience_discount: false,
+            ..DeriveConfig::default()
+        };
+        b.iter(|| pipeline::derive(black_box(store), &cfg).unwrap())
+    });
+
+    for iters in [1usize, 5, 25] {
+        group.bench_function(format!("derive/fixpoint_{iters}_iters"), |b| {
+            let cfg = DeriveConfig {
+                fixpoint_max_iters: iters,
+                fixpoint_tolerance: 0.0,
+                ..DeriveConfig::default()
+            };
+            b.iter(|| pipeline::derive(black_box(store), &cfg).unwrap())
+        });
+    }
+
+    // Online maintenance: cost of one rating event + warm-start refresh,
+    // versus the full batch recomputation above.
+    group.bench_function("incremental/one_event_refresh", |b| {
+        let base = wot_core::IncrementalDerived::from_store(store, &DeriveConfig::default())
+            .expect("bootstrap succeeds");
+        // A rating the store doesn't contain: highest user id rating the
+        // first review (checked to not be their own).
+        let review = store.reviews()[0];
+        let rater = (0..store.num_users())
+            .rev()
+            .map(wot_community::UserId::from_index)
+            .find(|&u| u != review.writer)
+            .expect("at least two users");
+        b.iter_batched(
+            || base.clone(),
+            |mut inc| {
+                // The rating may collide with an existing one; error paths
+                // cost the same hash probes, so either way this measures
+                // the event-ingest + refresh path.
+                let _ = inc.add_rating(rater, review.id, 0.8);
+                inc.refresh(review.category)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

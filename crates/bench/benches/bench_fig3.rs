@@ -1,0 +1,29 @@
+//! E3 — Fig. 3: density of `T̂`, `R`, `T` and their overlap regions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wot_bench::{Scale, DEFAULT_SEED};
+use wot_eval::density;
+
+fn bench(c: &mut Criterion) {
+    let wb = Scale::Laptop.workbench(DEFAULT_SEED);
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(30);
+
+    group.bench_function("density_report/laptop", |b| {
+        b.iter(|| density::density_report(black_box(&wb)).unwrap())
+    });
+
+    // Components: the bitmask support count and the pattern algebra.
+    group.bench_function("support_count/laptop", |b| {
+        b.iter(|| wb.derived.trust_support_count().unwrap())
+    });
+    group.bench_function("pattern_overlap_T_R/laptop", |b| {
+        b.iter(|| wb.t.pattern_overlap(black_box(&wb.r)).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

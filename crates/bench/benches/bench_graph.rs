@@ -1,0 +1,37 @@
+//! S1b — graph substrate micro-benchmarks on the explicit trust network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wot_bench::{Scale, DEFAULT_SEED};
+use wot_graph::{metrics, paths, scc, traversal, DiGraph};
+
+fn bench(c: &mut Criterion) {
+    let wb = Scale::Laptop.workbench(DEFAULT_SEED);
+    let g = DiGraph::from_adjacency(wb.t.clone()).unwrap();
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(20);
+
+    group.bench_function("build_from_adjacency", |b| {
+        b.iter(|| DiGraph::from_adjacency(black_box(wb.t.clone())).unwrap())
+    });
+    group.bench_function("bfs_depths/full", |b| {
+        b.iter(|| traversal::bfs_depths(black_box(&g), 0, None))
+    });
+    group.bench_function("shortest_path_dag/depth4", |b| {
+        b.iter(|| paths::shortest_path_dag(black_box(&g), 0, Some(4)))
+    });
+    group.bench_function("tarjan_scc/full", |b| {
+        b.iter(|| scc::tarjan_scc(black_box(&g)))
+    });
+    group.bench_function("weak_components/full", |b| {
+        b.iter(|| traversal::weak_components(black_box(&g)))
+    });
+    group.bench_function("summarize/full", |b| {
+        b.iter(|| metrics::summarize(black_box(&g)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

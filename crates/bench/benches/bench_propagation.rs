@@ -1,0 +1,78 @@
+//! E6 — §V propagation comparison, plus each propagation algorithm on the
+//! explicit web of trust.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wot_bench::{Scale, DEFAULT_SEED};
+use wot_eval::propagation_cmp;
+use wot_graph::DiGraph;
+use wot_propagation::{
+    appleseed::{appleseed, AppleseedConfig},
+    eigentrust::{eigentrust, EigenTrustConfig},
+    guha::{propagate, GuhaConfig},
+    tidaltrust::{tidaltrust, TidalTrustConfig},
+};
+
+fn bench(c: &mut Criterion) {
+    let wb = Scale::Laptop.workbench(DEFAULT_SEED);
+    let explicit = DiGraph::from_adjacency(wb.t.clone()).unwrap();
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(10);
+
+    group.bench_function("compare_propagation/100_pairs", |b| {
+        b.iter(|| propagation_cmp::compare_propagation(black_box(&wb), 100, 1).unwrap())
+    });
+
+    group.bench_function("eigentrust/explicit_web", |b| {
+        b.iter(|| eigentrust(black_box(&wb.t), &EigenTrustConfig::default()).unwrap())
+    });
+
+    group.bench_function("appleseed/explicit_web", |b| {
+        b.iter(|| appleseed(black_box(&explicit), 0, &AppleseedConfig::default()).unwrap())
+    });
+
+    group.bench_function("tidaltrust/100_queries", |b| {
+        b.iter(|| {
+            let n = explicit.node_count();
+            let cfg = TidalTrustConfig::default();
+            let mut covered = 0usize;
+            for k in 0..100usize {
+                let source = (k * 37) % n;
+                let sink = (k * 101 + 13) % n;
+                if tidaltrust(&explicit, source, sink, &cfg)
+                    .unwrap()
+                    .trust
+                    .is_some()
+                {
+                    covered += 1;
+                }
+            }
+            covered
+        })
+    });
+
+    // Guha's co-citation term (BᵀB) is quadratic in hub in-degree, so at
+    // laptop scale (celebrity writers with thousands of in-edges) one
+    // propagation takes ~1 min — too slow for a micro-bench loop. Bench on
+    // the tiny-scale trust web instead; the E7 experiment
+    // (`repro -- rounding`) exercises the laptop-scale cost once.
+    let tiny = Scale::Tiny.workbench(DEFAULT_SEED);
+    group.bench_function("guha/3_steps_tiny", |b| {
+        b.iter(|| {
+            propagate(
+                black_box(&tiny.t),
+                None,
+                &GuhaConfig {
+                    max_nnz: 500_000,
+                    ..GuhaConfig::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

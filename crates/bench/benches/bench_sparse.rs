@@ -1,0 +1,56 @@
+//! S1a — sparse substrate micro-benchmarks at trust-network scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use wot_sparse::{Coo, Csr};
+
+/// A random square sparse matrix with ~`nnz` entries.
+fn random_csr(n: usize, nnz: usize, seed: u64) -> Csr {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    for _ in 0..nnz {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        coo.push(i, j, rng.gen_range(0.01..1.0)).unwrap();
+    }
+    Csr::from_coo(&coo)
+}
+
+fn bench(c: &mut Criterion) {
+    // Laptop trust-network scale: 4k users, ~100k interactions.
+    let n = 4_000;
+    let m = random_csr(n, 100_000, 1);
+    let mask = random_csr(n, 100_000, 2);
+    let x: Vec<f64> = (0..n).map(|i| (i % 17) as f64 / 17.0).collect();
+    let coo = m.to_coo();
+
+    let mut group = c.benchmark_group("sparse");
+
+    group.bench_function("csr_from_coo/100k", |b| {
+        b.iter(|| Csr::from_coo(black_box(&coo)))
+    });
+    group.bench_function("spmv/100k", |b| b.iter(|| m.spmv(black_box(&x)).unwrap()));
+    group.bench_function("spmv_t/100k", |b| {
+        b.iter(|| m.spmv_t(black_box(&x)).unwrap())
+    });
+    group.bench_function("transpose/100k", |b| b.iter(|| m.transpose()));
+    group.bench_function("intersect_pattern/100k", |b| {
+        b.iter(|| m.intersect_pattern(black_box(&mask)).unwrap())
+    });
+    group.bench_function("subtract_pattern/100k", |b| {
+        b.iter(|| m.subtract_pattern(black_box(&mask)).unwrap())
+    });
+    group.bench_function("row_normalize_l1/100k", |b| b.iter(|| m.row_normalize_l1()));
+
+    // spmm on a smaller operand (fill-in makes 4k x 4k products heavy).
+    let small = random_csr(500, 5_000, 3);
+    group.bench_function("spmm/500x500_5k", |b| {
+        b.iter(|| small.spmm(black_box(&small)).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E1 — Table 2: rater-reputation quartile analysis vs Advisors.
+//!
+//! Benches the full experiment (quartile analysis over all categories) and
+//! its dominant component, the Riggs quality ⇄ reputation fixed point on
+//! the largest category.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wot_bench::{Scale, DEFAULT_SEED};
+use wot_community::CategoryId;
+use wot_core::{riggs, DeriveConfig};
+use wot_eval::quartiles;
+
+fn bench(c: &mut Criterion) {
+    let wb = Scale::Laptop.workbench(DEFAULT_SEED);
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+
+    group.bench_function("rater_quartiles/laptop", |b| {
+        b.iter(|| quartiles::rater_quartiles(black_box(&wb)).unwrap())
+    });
+
+    // The fixed point on the busiest category.
+    let busiest = (0..wb.out.store.num_categories())
+        .max_by_key(|&c| {
+            wb.out
+                .store
+                .reviews_in_category(CategoryId::from_index(c))
+                .len()
+        })
+        .unwrap();
+    let slice = wb
+        .out
+        .store
+        .category_slice(CategoryId::from_index(busiest))
+        .unwrap();
+    let cfg = DeriveConfig::default();
+    group.bench_function("riggs_fixpoint/busiest_category", |b| {
+        b.iter(|| riggs::solve(black_box(&slice), black_box(&cfg)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

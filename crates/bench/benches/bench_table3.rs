@@ -1,0 +1,50 @@
+//! E2 — Table 3: writer-reputation quartile analysis vs Top Reviewers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wot_bench::{Scale, DEFAULT_SEED};
+use wot_community::CategoryId;
+use wot_core::{reputation, riggs, DeriveConfig};
+use wot_eval::quartiles;
+
+fn bench(c: &mut Criterion) {
+    let wb = Scale::Laptop.workbench(DEFAULT_SEED);
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(20);
+
+    group.bench_function("writer_quartiles/laptop", |b| {
+        b.iter(|| quartiles::writer_quartiles(black_box(&wb)).unwrap())
+    });
+
+    // Writer-reputation aggregation on the busiest category, given a
+    // solved fixed point.
+    let busiest = (0..wb.out.store.num_categories())
+        .max_by_key(|&c| {
+            wb.out
+                .store
+                .reviews_in_category(CategoryId::from_index(c))
+                .len()
+        })
+        .unwrap();
+    let slice = wb
+        .out
+        .store
+        .category_slice(CategoryId::from_index(busiest))
+        .unwrap();
+    let cfg = DeriveConfig::default();
+    let fixed = riggs::solve(&slice, &cfg);
+    group.bench_function("writer_reputation/busiest_category", |b| {
+        b.iter(|| {
+            reputation::writer_reputation(
+                black_box(&slice),
+                black_box(&fixed.review_quality),
+                black_box(&cfg),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E4/E5 — Table 4 and the §IV.C value analysis: score, binarize,
+//! validate, for both our model and the baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wot_bench::{Scale, DEFAULT_SEED};
+use wot_eval::{validation, values};
+
+fn bench(c: &mut Criterion) {
+    let wb = Scale::Laptop.workbench(DEFAULT_SEED);
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+
+    group.bench_function("table4_full/laptop", |b| {
+        b.iter(|| validation::table4(black_box(&wb)).unwrap())
+    });
+    group.bench_function("values_4c/laptop", |b| {
+        b.iter(|| values::value_report(black_box(&wb)).unwrap())
+    });
+
+    // Components.
+    group.bench_function("scores_ours_masked/laptop", |b| {
+        b.iter(|| wb.scores_ours().unwrap())
+    });
+    group.bench_function("prediction_ours_full_support/laptop", |b| {
+        b.iter(|| wb.prediction_ours().unwrap())
+    });
+    group.bench_function("prediction_baseline/laptop", |b| {
+        b.iter(|| wb.prediction_baseline().unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

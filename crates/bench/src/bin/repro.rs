@@ -1,0 +1,175 @@
+//! Regenerates every table and figure of Kim et al. (ICDEW 2008).
+//!
+//! ```text
+//! repro [--scale tiny|laptop|paper] [--seed N] <experiment>...
+//!
+//! experiments:
+//!   stats              dataset summary (the paper's §IV.A numbers)
+//!   table2             rater-reputation quartiles vs Advisors
+//!   table3             writer-reputation quartiles vs Top Reviewers
+//!   fig3               density of T̂, R, T and their overlaps
+//!   table4             trust validation: ours vs baseline B
+//!   values             §IV.C value analysis
+//!   propagation        §V future work: derived vs explicit WoT
+//!   rounding           Guha link prediction with global/local/majority rounding
+//!   ablation-discount  A1: experience discount on/off
+//!   ablation-fixpoint  A2: fixed-point iteration budget
+//!   sweep-noise        A3: rating-noise sweep
+//!   sweep-trust-noise  A3b: trust-mechanism noise sweep (crossover)
+//!   all                everything above
+//! ```
+
+use std::process::ExitCode;
+
+use wot_bench::{Scale, DEFAULT_SEED};
+use wot_community::stats::CommunityStats;
+use wot_core::DeriveConfig;
+use wot_eval::{
+    density, propagation_cmp, quartiles, rounding_cmp, sweep, validation, values, Workbench,
+};
+
+const USAGE: &str = "usage: repro [--scale tiny|laptop|paper] [--seed N] <experiment>...
+experiments: stats table2 table3 fig3 table4 values propagation rounding \
+ablation-discount ablation-fixpoint sweep-noise sweep-trust-noise all";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Laptop;
+    let mut seed = DEFAULT_SEED;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = it.next().and_then(|s| Scale::parse(s)) else {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                scale = v;
+            }
+            "--seed" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                seed = v;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            exp => experiments.push(exp.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "stats",
+            "table2",
+            "table3",
+            "fig3",
+            "table4",
+            "values",
+            "propagation",
+            "rounding",
+            "ablation-discount",
+            "ablation-fixpoint",
+            "sweep-noise",
+            "sweep-trust-noise",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    println!("# Kim et al. (ICDEW 2008) reproduction — scale={scale:?} seed={seed}\n");
+    let t0 = std::time::Instant::now();
+    let wb = scale.workbench(seed);
+    println!(
+        "[setup] generated {} users / {} reviews / {} ratings / {} trust edges, derived E and A in {:.1?}\n",
+        wb.out.store.num_users(),
+        wb.out.store.num_reviews(),
+        wb.out.store.num_ratings(),
+        wb.out.store.num_trust(),
+        t0.elapsed()
+    );
+
+    for exp in &experiments {
+        let t = std::time::Instant::now();
+        let result = run_experiment(exp, &wb, scale, seed);
+        match result {
+            Ok(output) => {
+                println!("{output}");
+                println!("[{exp}: {:.1?}]\n", t.elapsed());
+            }
+            Err(e) => {
+                eprintln!("experiment {exp} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_experiment(
+    exp: &str,
+    wb: &Workbench,
+    scale: Scale,
+    seed: u64,
+) -> Result<String, Box<dyn std::error::Error>> {
+    Ok(match exp {
+        "stats" => CommunityStats::of(&wb.out.store).to_string(),
+        "table2" => quartiles::rater_quartiles(wb)?
+            .to_table("Table 2 — review raters' reputation model vs Advisors")
+            .to_string(),
+        "table3" => quartiles::writer_quartiles(wb)?
+            .to_table("Table 3 — review writers' reputation model vs Top Reviewers")
+            .to_string(),
+        "fig3" => density::density_report(wb)?.to_table().to_string(),
+        "table4" => validation::table4(wb)?.to_table().to_string(),
+        "values" => values::value_report(wb)?.to_table().to_string(),
+        "propagation" => {
+            let pairs = match scale {
+                Scale::Tiny => 200,
+                Scale::Laptop => 500,
+                Scale::Paper => 1000,
+            };
+            propagation_cmp::compare_propagation(wb, pairs, seed)?
+                .to_table()
+                .to_string()
+        }
+        "rounding" => rounding_cmp::guha_rounding_comparison(wb, 0.2, seed)?
+            .to_table()
+            .to_string(),
+        "ablation-discount" => {
+            let rows = sweep::ablate_discount(&scale.synth_config(seed))?;
+            sweep::discount_table(&rows).to_string()
+        }
+        "ablation-fixpoint" => {
+            let rows = sweep::ablate_fixpoint(&scale.synth_config(seed), &[1, 2, 3, 5, 10, 25])?;
+            sweep::fixpoint_table(&rows).to_string()
+        }
+        "sweep-noise" => {
+            let points = sweep::sweep_rating_noise(
+                &scale.synth_config(seed),
+                &[0.05, 0.15, 0.35, 0.6, 0.9],
+                &DeriveConfig::default(),
+            )?;
+            sweep::noise_table(&points).to_string()
+        }
+        "sweep-trust-noise" => {
+            let points = sweep::sweep_trust_noise(
+                &scale.synth_config(seed),
+                &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+                &DeriveConfig::default(),
+            )?;
+            let mut table = sweep::noise_table(&points);
+            table.title = "A3b — trust-mechanism noise sweep (x = rewired fraction)".into();
+            table.to_string()
+        }
+        other => return Err(format!("unknown experiment {other:?}\n{USAGE}").into()),
+    })
+}

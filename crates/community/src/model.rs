@@ -1,0 +1,197 @@
+//! Entity records and the rating scale.
+
+use crate::{CategoryId, CommunityError, ObjectId, Result, ReviewId, UserId};
+
+/// A community member. Users may write reviews, rate reviews, both, or
+/// neither (lurkers are representable; the paper's dataset keeps only users
+/// with ≥1 review or ≥1 rating, which [`filter`-style projections] can
+/// enforce).
+///
+/// [`filter`-style projections]: crate::CommunityStore::project_categories
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct User {
+    /// Dense id.
+    pub id: UserId,
+    /// External handle (unique, human-readable).
+    pub handle: String,
+}
+
+/// A knowledge context — a sub-category such as *Comedies* or *Westerns*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Category {
+    /// Dense id.
+    pub id: CategoryId,
+    /// Category name (unique).
+    pub name: String,
+}
+
+/// Something that can be reviewed (a movie in the paper's dataset). Every
+/// object belongs to exactly one category.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Object {
+    /// Dense id.
+    pub id: ObjectId,
+    /// External key (unique).
+    pub key: String,
+    /// Owning category.
+    pub category: CategoryId,
+}
+
+/// A review: one writer's text about one object. The text itself is out of
+/// scope — only the authorship/topology matters to the framework.
+///
+/// Invariant (enforced by the builder): a writer reviews an object at most
+/// once, matching the paper's "a user is often allowed to write only one
+/// review on an object".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Review {
+    /// Dense id.
+    pub id: ReviewId,
+    /// The review's author.
+    pub writer: UserId,
+    /// The reviewed object.
+    pub object: ObjectId,
+    /// Denormalized category of `object` (kept for O(1) category slicing).
+    pub category: CategoryId,
+}
+
+/// A helpfulness rating `ρ_ij` given by a rater to a review.
+///
+/// Invariants (enforced by the builder): raters don't rate their own
+/// reviews, and each (rater, review) pair appears at most once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rating {
+    /// The user who rated.
+    pub rater: UserId,
+    /// The rated review.
+    pub review: ReviewId,
+    /// Rating value on the community's [`RatingScale`].
+    pub value: f64,
+}
+
+/// An explicit, binary trust statement "source trusts target" — the ground
+/// truth `T_ij = 1` entries of the paper's evaluation. Never an input to
+/// the derivation pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrustStatement {
+    /// The trusting user.
+    pub source: UserId,
+    /// The trusted user.
+    pub target: UserId,
+}
+
+/// A discrete rating scale.
+///
+/// Epinions rates review helpfulness in 5 stages mapped to `0.2 … 1.0`
+/// ("not helpful" = 0.2 through "most helpful" = 1.0); the paper assumes
+/// that scale and all reputation formulas produce values in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatingScale {
+    levels: Vec<f64>,
+}
+
+impl RatingScale {
+    /// The Epinions 5-step scale: `{0.2, 0.4, 0.6, 0.8, 1.0}`.
+    pub fn five_step() -> Self {
+        Self {
+            levels: vec![0.2, 0.4, 0.6, 0.8, 1.0],
+        }
+    }
+
+    /// A custom scale from explicit levels. Levels are sorted and deduped;
+    /// all must be finite and within `[0, 1]`.
+    pub fn from_levels(levels: impl IntoIterator<Item = f64>) -> Result<Self> {
+        let mut levels: Vec<f64> = levels.into_iter().collect();
+        if levels.is_empty() {
+            return Err(CommunityError::InvalidScale(
+                "a rating scale needs at least one level".into(),
+            ));
+        }
+        if levels
+            .iter()
+            .any(|v| !v.is_finite() || !(0.0..=1.0).contains(v))
+        {
+            return Err(CommunityError::InvalidScale(
+                "rating levels must be finite and within [0, 1]".into(),
+            ));
+        }
+        levels.sort_by(|a, b| a.partial_cmp(b).expect("finite levels"));
+        levels.dedup();
+        Ok(Self { levels })
+    }
+
+    /// The sorted levels.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Whether `value` is (approximately) one of the scale's levels.
+    pub fn is_valid(&self, value: f64) -> bool {
+        self.levels.iter().any(|&l| (l - value).abs() < 1e-9)
+    }
+
+    /// Snaps an arbitrary score in `[0, 1]` to the nearest level — how the
+    /// synthetic generator turns continuous helpfulness into ratings.
+    pub fn quantize(&self, value: f64) -> f64 {
+        let mut best = self.levels[0];
+        let mut best_d = (value - best).abs();
+        for &l in &self.levels[1..] {
+            let d = (value - l).abs();
+            if d < best_d {
+                best = l;
+                best_d = d;
+            }
+        }
+        best
+    }
+
+    /// The lowest level.
+    pub fn min(&self) -> f64 {
+        self.levels[0]
+    }
+
+    /// The highest level.
+    pub fn max(&self) -> f64 {
+        *self.levels.last().expect("non-empty by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_step_levels() {
+        let s = RatingScale::five_step();
+        assert_eq!(s.levels(), &[0.2, 0.4, 0.6, 0.8, 1.0]);
+        assert_eq!(s.min(), 0.2);
+        assert_eq!(s.max(), 1.0);
+    }
+
+    #[test]
+    fn validity_is_approximate() {
+        let s = RatingScale::five_step();
+        assert!(s.is_valid(0.6));
+        assert!(s.is_valid(0.6 + 1e-12));
+        assert!(!s.is_valid(0.5));
+        assert!(!s.is_valid(1.2));
+    }
+
+    #[test]
+    fn quantize_picks_nearest() {
+        let s = RatingScale::five_step();
+        assert_eq!(s.quantize(0.0), 0.2);
+        assert_eq!(s.quantize(0.49), 0.4);
+        assert_eq!(s.quantize(0.51), 0.6);
+        assert_eq!(s.quantize(2.0), 1.0);
+    }
+
+    #[test]
+    fn from_levels_validates() {
+        assert!(RatingScale::from_levels([]).is_err());
+        assert!(RatingScale::from_levels([1.5]).is_err());
+        assert!(RatingScale::from_levels([f64::NAN]).is_err());
+        let s = RatingScale::from_levels([0.8, 0.2, 0.8]).unwrap();
+        assert_eq!(s.levels(), &[0.2, 0.8]);
+    }
+}

@@ -1,0 +1,184 @@
+use std::collections::HashMap;
+
+use crate::{CategoryId, CommunityStore, ReviewId, UserId};
+
+/// Compact per-category projection — the unit of work for the reputation
+/// algorithms.
+///
+/// The paper computes *everything per category*: review quality, rater
+/// reputation and writer reputation are all category-local (Section III.A:
+/// "the reputation of review rater, the quality of review and the
+/// reputation of review writer should be calculated for each category").
+/// A `CategorySlice` renumbers the category's reviews `0..num_reviews` and
+/// pre-groups its ratings both by review and by rater so the fixed-point
+/// iteration runs over dense local indexes.
+#[derive(Debug, Clone)]
+pub struct CategorySlice {
+    /// The source category.
+    pub category: CategoryId,
+    /// Global review ids, indexed by local review index.
+    pub reviews: Vec<ReviewId>,
+    /// Writer of each review (parallel to `reviews`).
+    pub review_writer: Vec<UserId>,
+    /// Ratings received, per local review index: `(rater, value)`.
+    pub ratings_by_review: Vec<Vec<(UserId, f64)>>,
+    /// Ratings given, per rater: `(local review index, value)`.
+    pub ratings_by_rater: HashMap<UserId, Vec<(u32, f64)>>,
+    /// Local review indexes written, per writer.
+    pub reviews_by_writer: HashMap<UserId, Vec<u32>>,
+}
+
+impl CategorySlice {
+    pub(crate) fn build(store: &CommunityStore, category: CategoryId) -> Self {
+        let review_ids = store.reviews_in_category(category);
+        let mut local_of: HashMap<ReviewId, u32> = HashMap::with_capacity(review_ids.len());
+        let mut reviews = Vec::with_capacity(review_ids.len());
+        let mut review_writer = Vec::with_capacity(review_ids.len());
+        let mut reviews_by_writer: HashMap<UserId, Vec<u32>> = HashMap::new();
+        for (local, &rid) in review_ids.iter().enumerate() {
+            let review = &store.reviews()[rid.index()];
+            local_of.insert(rid, local as u32);
+            reviews.push(rid);
+            review_writer.push(review.writer);
+            reviews_by_writer
+                .entry(review.writer)
+                .or_default()
+                .push(local as u32);
+        }
+        let mut ratings_by_review = vec![Vec::new(); reviews.len()];
+        let mut ratings_by_rater: HashMap<UserId, Vec<(u32, f64)>> = HashMap::new();
+        for (local, &rid) in reviews.iter().enumerate() {
+            for &(rater, value) in store.ratings_of_review(rid) {
+                ratings_by_review[local].push((rater, value));
+                ratings_by_rater
+                    .entry(rater)
+                    .or_default()
+                    .push((local as u32, value));
+            }
+        }
+        Self {
+            category,
+            reviews,
+            review_writer,
+            ratings_by_review,
+            ratings_by_rater,
+            reviews_by_writer,
+        }
+    }
+
+    /// Number of reviews in the category.
+    pub fn num_reviews(&self) -> usize {
+        self.reviews.len()
+    }
+
+    /// Number of distinct raters active in the category.
+    pub fn num_raters(&self) -> usize {
+        self.ratings_by_rater.len()
+    }
+
+    /// Number of distinct writers active in the category.
+    pub fn num_writers(&self) -> usize {
+        self.reviews_by_writer.len()
+    }
+
+    /// Total ratings in the category.
+    pub fn num_ratings(&self) -> usize {
+        self.ratings_by_review.iter().map(Vec::len).sum()
+    }
+
+    /// Raters active in the category, in ascending id order (deterministic
+    /// iteration for the fixed point).
+    pub fn raters(&self) -> Vec<UserId> {
+        let mut r: Vec<UserId> = self.ratings_by_rater.keys().copied().collect();
+        r.sort();
+        r
+    }
+
+    /// Writers active in the category, in ascending id order.
+    pub fn writers(&self) -> Vec<UserId> {
+        let mut w: Vec<UserId> = self.reviews_by_writer.keys().copied().collect();
+        w.sort();
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CommunityBuilder, RatingScale};
+
+    use super::*;
+
+    fn sample() -> CommunityStore {
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        let u0 = b.add_user("u0");
+        let u1 = b.add_user("u1");
+        let u2 = b.add_user("u2");
+        let c0 = b.add_category("c0");
+        let c1 = b.add_category("c1");
+        let o0 = b.add_object("o0", c0).unwrap();
+        let o1 = b.add_object("o1", c0).unwrap();
+        let o2 = b.add_object("o2", c1).unwrap();
+        let r0 = b.add_review(u1, o0).unwrap();
+        let r1 = b.add_review(u1, o1).unwrap();
+        let r2 = b.add_review(u2, o2).unwrap();
+        b.add_rating(u0, r0, 0.8).unwrap();
+        b.add_rating(u0, r1, 0.6).unwrap();
+        b.add_rating(u2, r0, 0.4).unwrap();
+        b.add_rating(u0, r2, 1.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn slice_is_category_local() {
+        let s = sample();
+        let slice = s.category_slice(CategoryId(0)).unwrap();
+        assert_eq!(slice.num_reviews(), 2);
+        assert_eq!(slice.num_ratings(), 3);
+        assert_eq!(slice.num_raters(), 2);
+        assert_eq!(slice.num_writers(), 1);
+        // Local review 0 is global review 0, written by u1.
+        assert_eq!(slice.reviews, vec![ReviewId(0), ReviewId(1)]);
+        assert_eq!(slice.review_writer, vec![UserId(1), UserId(1)]);
+        assert_eq!(
+            slice.ratings_by_review[0],
+            vec![(UserId(0), 0.8), (UserId(2), 0.4)]
+        );
+        assert_eq!(slice.ratings_by_rater[&UserId(0)], vec![(0, 0.8), (1, 0.6)]);
+        assert_eq!(slice.reviews_by_writer[&UserId(1)], vec![0, 1]);
+    }
+
+    #[test]
+    fn other_category_slice() {
+        let s = sample();
+        let slice = s.category_slice(CategoryId(1)).unwrap();
+        assert_eq!(slice.num_reviews(), 1);
+        assert_eq!(slice.review_writer, vec![UserId(2)]);
+        assert_eq!(slice.num_raters(), 1);
+    }
+
+    #[test]
+    fn unknown_category_errors() {
+        let s = sample();
+        assert!(s.category_slice(CategoryId(9)).is_err());
+    }
+
+    #[test]
+    fn deterministic_orderings() {
+        let s = sample();
+        let slice = s.category_slice(CategoryId(0)).unwrap();
+        assert_eq!(slice.raters(), vec![UserId(0), UserId(2)]);
+        assert_eq!(slice.writers(), vec![UserId(1)]);
+    }
+
+    #[test]
+    fn empty_category_slice() {
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        b.add_user("u");
+        let c = b.add_category("empty");
+        let s = b.build();
+        let slice = s.category_slice(c).unwrap();
+        assert_eq!(slice.num_reviews(), 0);
+        assert_eq!(slice.num_ratings(), 0);
+        assert!(slice.raters().is_empty());
+    }
+}

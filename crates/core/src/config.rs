@@ -1,0 +1,126 @@
+use crate::{CoreError, Result};
+
+/// Tunables of the derivation pipeline.
+///
+/// Defaults reproduce the paper's formulas exactly; the switches exist for
+/// the ablation experiments (DESIGN.md A1/A2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeriveConfig {
+    /// Maximum iterations of the quality ⇄ rater-reputation fixed point
+    /// (Eq. 1 ⇄ Eq. 2). The paper does not state its iteration count; the
+    /// fixed point typically converges in well under 50 iterations.
+    pub fixpoint_max_iters: usize,
+    /// Convergence tolerance: stop when no rater reputation moves by more
+    /// than this between sweeps.
+    pub fixpoint_tolerance: f64,
+    /// Apply the `1 − 1/(n+1)` experience discount of Eqs. 2–3
+    /// (`false` = ablation A1).
+    pub experience_discount: bool,
+    /// Quality assigned to reviews that received no ratings (they still
+    /// count toward the writer's review total `n^w`). The paper leaves this
+    /// case unspecified; `0.0` is the conservative reading of Eq. 3.
+    pub unrated_review_quality: f64,
+    /// Rater reputation before the first sweep. `1.0` makes the first
+    /// quality estimate the plain mean of received ratings.
+    pub initial_rater_reputation: f64,
+}
+
+impl Default for DeriveConfig {
+    fn default() -> Self {
+        Self {
+            fixpoint_max_iters: 50,
+            fixpoint_tolerance: 1e-9,
+            experience_discount: true,
+            unrated_review_quality: 0.0,
+            initial_rater_reputation: 1.0,
+        }
+    }
+}
+
+impl DeriveConfig {
+    /// Validates all fields; called by the pipeline entry points.
+    pub fn validate(&self) -> Result<()> {
+        if self.fixpoint_max_iters == 0 {
+            return Err(CoreError::InvalidConfig(
+                "fixpoint_max_iters must be at least 1".into(),
+            ));
+        }
+        if self.fixpoint_tolerance.is_nan() || self.fixpoint_tolerance < 0.0 {
+            return Err(CoreError::InvalidConfig(
+                "fixpoint_tolerance must be non-negative".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.unrated_review_quality) {
+            return Err(CoreError::InvalidConfig(
+                "unrated_review_quality must be in [0, 1]".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.initial_rater_reputation)
+            || self.initial_rater_reputation == 0.0
+        {
+            return Err(CoreError::InvalidConfig(
+                "initial_rater_reputation must be in (0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The experience discount factor `1 − 1/(n+1)` for `n` contributions,
+    /// or `1.0` when the discount is ablated.
+    pub fn discount(&self, n: usize) -> f64 {
+        if self.experience_discount {
+            1.0 - 1.0 / (n as f64 + 1.0)
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        DeriveConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_fields() {
+        let c = DeriveConfig {
+            fixpoint_max_iters: 0,
+            ..DeriveConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = DeriveConfig {
+            fixpoint_tolerance: f64::NAN,
+            ..DeriveConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = DeriveConfig {
+            unrated_review_quality: 1.5,
+            ..DeriveConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = DeriveConfig {
+            initial_rater_reputation: 0.0,
+            ..DeriveConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn discount_formula() {
+        let c = DeriveConfig::default();
+        assert!((c.discount(1) - 0.5).abs() < 1e-12);
+        assert!((c.discount(2) - 2.0 / 3.0).abs() < 1e-12);
+        let c = DeriveConfig {
+            experience_discount: false,
+            ..DeriveConfig::default()
+        };
+        assert_eq!(c.discount(1), 1.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! # wot-core — deriving a web of trust without explicit trust ratings
+//!
+//! Implementation of Kim, Le, Lauw, Lim, Liu & Srivastava, *"Building a Web
+//! of Trust without Explicit Trust Ratings"*, ICDE Workshops 2008. The
+//! framework turns a review community's **rating data** into a dense,
+//! continuous **derived trust matrix** `T̂`, with no explicit trust input:
+//!
+//! 1. **Step 1 — expertise** ([`riggs`], [`reputation`], [`expertise`]):
+//!    per category, compute review quality as the rater-reputation-weighted
+//!    mean of received ratings (Eq. 1), rater reputation as consensus
+//!    consistency with an experience discount (Eq. 2, Riggs' model), and
+//!    writer reputation as discounted mean review quality (Eq. 3). Quality
+//!    and rater reputation form a fixed point solved by iteration. Writer
+//!    reputations per category assemble the **Users×Category expertise
+//!    matrix `E`**.
+//! 2. **Step 2 — affiliation** ([`affiliation`]): per user, the
+//!    max-normalized average of rating and writing activity per category
+//!    (Eq. 4) assembles the **Users×Category affiliation matrix `A`**.
+//! 3. **Step 3 — derived trust** ([`trust`]):
+//!    `T̂_ij = Σ_c A_ic·E_jc / Σ_c A_ic` (Eq. 5), evaluated pairwise, on a
+//!    sparse candidate pattern, or densely for small communities.
+//!
+//! For evaluation, [`binarize`] implements the paper's per-user
+//! top-`k_i%` conversion of continuous scores to binary trust decisions
+//! (with `k_i` = the user's observed trust generosity), and [`metrics`]
+//! computes the Table-4 validation triple (recall, precision in `R`, the
+//! rate of predicting non-trust as trust in `R−T`) and the §IV.C value
+//! analysis. The paper's baseline `B` (mean rating given) comes from
+//! [`wot_community::CommunityStore::baseline_matrix`].
+//!
+//! [`pipeline`] glues the steps together:
+//!
+//! ```
+//! use wot_community::{CommunityBuilder, RatingScale};
+//! use wot_core::{pipeline, DeriveConfig};
+//!
+//! let mut b = CommunityBuilder::new(RatingScale::five_step());
+//! let alice = b.add_user("alice");
+//! let bob = b.add_user("bob");
+//! let movies = b.add_category("movies");
+//! let film = b.add_object("film", movies).unwrap();
+//! let review = b.add_review(bob, film).unwrap();
+//! b.add_rating(alice, review, 0.8).unwrap();
+//! let store = b.build();
+//!
+//! let derived = pipeline::derive(&store, &DeriveConfig::default()).unwrap();
+//! // Alice's affinity is all in `movies`; Bob has expertise there, so the
+//! // derived trust alice→bob is Bob's expertise.
+//! let t_ab = derived.pairwise_trust(alice, bob);
+//! assert!(t_ab > 0.0 && t_ab <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affiliation;
+pub mod binarize;
+mod config;
+mod error;
+pub mod expertise;
+pub mod incremental;
+pub mod metrics;
+pub mod pipeline;
+pub mod reputation;
+pub mod riggs;
+pub mod trust;
+
+pub use config::DeriveConfig;
+pub use error::CoreError;
+pub use incremental::IncrementalDerived;
+pub use pipeline::{CategoryReputation, Derived};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

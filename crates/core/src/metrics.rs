@@ -1,0 +1,332 @@
+//! Validation metrics (Table 4 and §IV.C of the paper).
+//!
+//! The explicit trust matrix `T` only tells us about *stated* trust; a
+//! direct connection without a trust statement is "non-trust (not
+//! distrust)". The paper therefore validates inside the direct-connection
+//! region `R` and reports three quantities for a binary prediction `P`:
+//!
+//! * **recall** — `|P ∧ R ∧ T| / |R ∧ T|`,
+//! * **precision in R** — `|P ∧ R ∧ T| / |P ∧ R|`,
+//! * **non-trust→trust rate in (R−T)** — `|P ∧ R ∧ ¬T| / |R ∧ ¬T|`,
+//!
+//! plus the §IV.C *value analysis*: among predicted-trust pairs, the mean
+//! and minimum continuous score in `R−T` versus `T∩R` (the paper uses the
+//! observation that scores in `R−T` run *higher* to argue those pairs are
+//! future trust, not errors).
+
+use wot_sparse::Csr;
+
+use crate::{CoreError, Result};
+
+/// The Table-4 triple with its underlying confusion counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrustValidation {
+    /// `|P ∧ R ∧ T|` — predicted trust confirmed by a trust statement.
+    pub predicted_in_rt: usize,
+    /// `|P ∧ R ∧ ¬T|` — predicted trust with no trust statement.
+    pub predicted_in_r_minus_t: usize,
+    /// `|R ∧ T|` — validation positives.
+    pub rt_total: usize,
+    /// `|R ∧ ¬T|` — validation "non-trust" pairs.
+    pub r_minus_t_total: usize,
+    /// Recall of trust.
+    pub recall: f64,
+    /// Precision of trust within `R`.
+    pub precision_in_r: f64,
+    /// Rate of predicting non-trust as trust in `R−T`.
+    pub nontrust_as_trust_rate: f64,
+}
+
+/// §IV.C value-analysis summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueAnalysis {
+    /// Mean score over predicted-trust pairs inside `T∩R`.
+    pub mean_in_rt: f64,
+    /// Minimum score over predicted-trust pairs inside `T∩R`.
+    pub min_in_rt: f64,
+    /// Mean score over predicted-trust pairs inside `R−T`.
+    pub mean_in_r_minus_t: f64,
+    /// Minimum score over predicted-trust pairs inside `R−T`.
+    pub min_in_r_minus_t: f64,
+    /// Number of predicted-trust pairs inside `T∩R`.
+    pub count_in_rt: usize,
+    /// Number of predicted-trust pairs inside `R−T`.
+    pub count_in_r_minus_t: usize,
+}
+
+fn check_shapes(a: &Csr, b: &Csr, what: &str) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(CoreError::Shape(format!(
+            "{what}: {:?} vs {:?}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    Ok(())
+}
+
+/// Computes the Table-4 triple for a binary prediction `pred` against the
+/// direct-connection matrix `r` and explicit trust `t`.
+pub fn validate(pred: &Csr, r: &Csr, t: &Csr) -> Result<TrustValidation> {
+    check_shapes(pred, r, "pred vs R")?;
+    check_shapes(pred, t, "pred vs T")?;
+    let rt = r.intersect_pattern(t)?; // R ∧ T
+    let r_minus_t = r.subtract_pattern(t)?; // R ∧ ¬T
+    let pred_in_r = pred.intersect_pattern(r)?;
+    let pred_in_rt = pred_in_r.intersect_pattern(t)?;
+    let predicted_in_rt = pred_in_rt.nnz();
+    let predicted_in_r = pred_in_r.nnz();
+    let predicted_in_r_minus_t = predicted_in_r - predicted_in_rt;
+    let rt_total = rt.nnz();
+    let r_minus_t_total = r_minus_t.nnz();
+    let ratio = |num: usize, den: usize| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    Ok(TrustValidation {
+        predicted_in_rt,
+        predicted_in_r_minus_t,
+        rt_total,
+        r_minus_t_total,
+        recall: ratio(predicted_in_rt, rt_total),
+        precision_in_r: ratio(predicted_in_rt, predicted_in_r),
+        nontrust_as_trust_rate: ratio(predicted_in_r_minus_t, r_minus_t_total),
+    })
+}
+
+/// Computes the §IV.C value analysis: continuous `scores` of the pairs that
+/// `pred` marked as trust, split by whether the pair carries an explicit
+/// trust statement.
+pub fn value_analysis(pred: &Csr, scores: &Csr, r: &Csr, t: &Csr) -> Result<ValueAnalysis> {
+    check_shapes(pred, scores, "pred vs scores")?;
+    check_shapes(pred, r, "pred vs R")?;
+    check_shapes(pred, t, "pred vs T")?;
+    let pred_scores = scores.intersect_pattern(pred)?.intersect_pattern(r)?;
+    let in_rt = pred_scores.intersect_pattern(t)?;
+    let in_r_minus_t = pred_scores.subtract_pattern(t)?;
+    let collect = |m: &Csr| -> (f64, f64, usize) {
+        let vals: Vec<f64> = m.iter().map(|(_, _, v)| v).collect();
+        if vals.is_empty() {
+            (0.0, 0.0, 0)
+        } else {
+            (
+                wot_sparse::mean(&vals),
+                wot_sparse::min(&vals).expect("non-empty"),
+                vals.len(),
+            )
+        }
+    };
+    let (mean_in_rt, min_in_rt, count_in_rt) = collect(&in_rt);
+    let (mean_in_r_minus_t, min_in_r_minus_t, count_in_r_minus_t) = collect(&in_r_minus_t);
+    Ok(ValueAnalysis {
+        mean_in_rt,
+        min_in_rt,
+        mean_in_r_minus_t,
+        min_in_r_minus_t,
+        count_in_rt,
+        count_in_r_minus_t,
+    })
+}
+
+/// Mean per-user AUC of continuous `scores` at separating trusted from
+/// non-trusted direct connections.
+///
+/// For each user with at least one `R∩T` pair (positive) and one `R−T`
+/// pair (negative), computes the Mann–Whitney AUC of their scores and
+/// averages across users. Unlike the Table-4 triple, this is invariant to
+/// prediction volume and to the per-user generosity `k_i`, so it isolates
+/// pure *ranking* quality — 0.5 is chance, 1.0 is perfect separation.
+/// Returns `None` when no user qualifies.
+pub fn mean_user_auc(scores: &Csr, r: &Csr, t: &Csr) -> Result<Option<f64>> {
+    check_shapes(scores, r, "scores vs R")?;
+    check_shapes(scores, t, "scores vs T")?;
+    let mut total = 0.0f64;
+    let mut users = 0usize;
+    for i in 0..r.nrows() {
+        let (cols, _) = r.row(i);
+        let mut pos: Vec<f64> = Vec::new();
+        let mut neg: Vec<f64> = Vec::new();
+        for &c in cols {
+            let j = c as usize;
+            let s = scores.get(i, j).unwrap_or(0.0);
+            if t.contains(i, j) {
+                pos.push(s);
+            } else {
+                neg.push(s);
+            }
+        }
+        if pos.is_empty() || neg.is_empty() {
+            continue;
+        }
+        let mut u = 0.0f64;
+        for &p in &pos {
+            for &q in &neg {
+                if p > q {
+                    u += 1.0;
+                } else if p == q {
+                    u += 0.5;
+                }
+            }
+        }
+        total += u / (pos.len() * neg.len()) as f64;
+        users += 1;
+    }
+    Ok(if users == 0 {
+        None
+    } else {
+        Some(total / users as f64)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1×6 toy region: R covers cols 0..5, T covers {0,1,2}.
+    /// Prediction marks {0,1,3}.
+    ///   recall            = |{0,1}| / |{0,1,2}| = 2/3
+    ///   precision in R    = 2 / 3
+    ///   non-trust rate    = |{3}| / |{3,4}| = 1/2
+    fn fixture() -> (Csr, Csr, Csr, Csr) {
+        let r = Csr::from_triplets(
+            1,
+            6,
+            [
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+                (0, 4, 1.0),
+            ],
+        )
+        .unwrap();
+        let t = Csr::from_triplets(1, 6, [(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0)]).unwrap();
+        let pred = Csr::from_triplets(1, 6, [(0, 0, 1.0), (0, 1, 1.0), (0, 3, 1.0)]).unwrap();
+        let scores = Csr::from_triplets(
+            1,
+            6,
+            [
+                (0, 0, 0.5),
+                (0, 1, 0.6),
+                (0, 2, 0.2),
+                (0, 3, 0.9),
+                (0, 4, 0.1),
+            ],
+        )
+        .unwrap();
+        (pred, scores, r, t)
+    }
+
+    #[test]
+    fn validation_triple() {
+        let (pred, _, r, t) = fixture();
+        let v = validate(&pred, &r, &t).unwrap();
+        assert_eq!(v.predicted_in_rt, 2);
+        assert_eq!(v.predicted_in_r_minus_t, 1);
+        assert_eq!(v.rt_total, 3);
+        assert_eq!(v.r_minus_t_total, 2);
+        assert!((v.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((v.precision_in_r - 2.0 / 3.0).abs() < 1e-12);
+        assert!((v.nontrust_as_trust_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_outside_r_is_ignored() {
+        let (_, _, r, t) = fixture();
+        // Col 5 is outside R entirely.
+        let pred = Csr::from_triplets(1, 6, [(0, 0, 1.0), (0, 5, 1.0)]).unwrap();
+        let v = validate(&pred, &r, &t).unwrap();
+        assert_eq!(v.predicted_in_rt, 1);
+        assert_eq!(v.predicted_in_r_minus_t, 0);
+        assert!((v.precision_in_r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_denominators_give_zero() {
+        let empty = Csr::empty(1, 6);
+        let v = validate(&empty, &empty, &empty).unwrap();
+        assert_eq!(v.recall, 0.0);
+        assert_eq!(v.precision_in_r, 0.0);
+        assert_eq!(v.nontrust_as_trust_rate, 0.0);
+    }
+
+    #[test]
+    fn value_analysis_splits_regions() {
+        let (pred, scores, r, t) = fixture();
+        let va = value_analysis(&pred, &scores, &r, &t).unwrap();
+        // Predicted in T∩R: cols 0 (0.5), 1 (0.6); in R−T: col 3 (0.9).
+        assert_eq!(va.count_in_rt, 2);
+        assert_eq!(va.count_in_r_minus_t, 1);
+        assert!((va.mean_in_rt - 0.55).abs() < 1e-12);
+        assert!((va.min_in_rt - 0.5).abs() < 1e-12);
+        assert!((va.mean_in_r_minus_t - 0.9).abs() < 1e-12);
+        assert!((va.min_in_r_minus_t - 0.9).abs() < 1e-12);
+        // The paper's §IV.C observation on this toy: R−T scores run higher.
+        assert!(va.mean_in_r_minus_t > va.mean_in_rt);
+    }
+
+    #[test]
+    fn value_analysis_empty_prediction() {
+        let (_, scores, r, t) = fixture();
+        let empty = Csr::empty(1, 6);
+        let va = value_analysis(&empty, &scores, &r, &t).unwrap();
+        assert_eq!(va.count_in_rt, 0);
+        assert_eq!(va.count_in_r_minus_t, 0);
+        assert_eq!(va.mean_in_rt, 0.0);
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let a = Csr::empty(1, 2);
+        let b = Csr::empty(2, 2);
+        assert!(validate(&a, &b, &b).is_err());
+        assert!(value_analysis(&a, &a, &a, &b).is_err());
+        assert!(mean_user_auc(&a, &b, &b).is_err());
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let (_, scores, r, t) = fixture();
+        // fixture scores: T pairs {0.5, 0.6, 0.2}, non-T {0.9, 0.1}.
+        // U = pairs where pos > neg: vs 0.9: none (0); vs 0.1: all 3 → 3.
+        // AUC = 3 / (3·2) = 0.5.
+        let auc = mean_user_auc(&scores, &r, &t).unwrap().unwrap();
+        assert!((auc - 0.5).abs() < 1e-12);
+        // Perfect separation.
+        let perfect = Csr::from_triplets(
+            1,
+            6,
+            [
+                (0, 0, 0.9),
+                (0, 1, 0.8),
+                (0, 2, 0.7),
+                (0, 3, 0.1),
+                (0, 4, 0.2),
+            ],
+        )
+        .unwrap();
+        let auc = mean_user_auc(&perfect, &r, &t).unwrap().unwrap();
+        assert_eq!(auc, 1.0);
+    }
+
+    #[test]
+    fn auc_none_when_no_user_qualifies() {
+        // Only positives (T covers all of R) → no qualifying user.
+        let r = Csr::from_triplets(1, 3, [(0, 0, 1.0), (0, 1, 1.0)]).unwrap();
+        let t = r.clone();
+        let scores = r.clone();
+        assert_eq!(mean_user_auc(&scores, &r, &t).unwrap(), None);
+    }
+
+    #[test]
+    fn auc_ties_count_half() {
+        let r = Csr::from_triplets(1, 3, [(0, 0, 1.0), (0, 1, 1.0)]).unwrap();
+        let t = Csr::from_triplets(1, 3, [(0, 0, 1.0)]).unwrap();
+        let scores = Csr::from_triplets(1, 3, [(0, 0, 0.4), (0, 1, 0.4)]).unwrap();
+        let auc = mean_user_auc(&scores, &r, &t).unwrap().unwrap();
+        assert_eq!(auc, 0.5);
+    }
+}

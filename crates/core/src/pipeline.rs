@@ -1,0 +1,223 @@
+//! End-to-end driver: community in, expertise/affiliation/trust out.
+
+use wot_community::{CategoryId, CommunityStore, ReviewId, UserId};
+use wot_sparse::{Csr, Dense};
+
+use crate::{affiliation, expertise, reputation, riggs, trust, DeriveConfig, Result};
+
+/// Step-1 outputs for one category, in deterministic (ascending user id)
+/// order — the raw material of the paper's Tables 2 and 3.
+#[derive(Debug, Clone)]
+pub struct CategoryReputation {
+    /// The category.
+    pub category: CategoryId,
+    /// Rater reputations `ū^r` of every rater active in the category.
+    pub rater_reputation: Vec<(UserId, f64)>,
+    /// Writer reputations `ū^w` of every writer active in the category.
+    pub writer_reputation: Vec<(UserId, f64)>,
+    /// Converged review qualities `r̄`.
+    pub review_quality: Vec<(ReviewId, f64)>,
+    /// Fixed-point sweeps executed.
+    pub iterations: usize,
+    /// Whether the fixed point met tolerance before the iteration cap.
+    pub converged: bool,
+}
+
+/// The derived model: everything Steps 1–2 produce, with Step 3 exposed as
+/// methods (pairwise, masked, dense, and support-count forms).
+#[derive(Debug, Clone)]
+pub struct Derived {
+    /// Users×Category expertise matrix `E` (Eq. 3 per category).
+    pub expertise: Dense,
+    /// Users×Category affiliation matrix `A` (Eq. 4).
+    pub affiliation: Dense,
+    /// Per-category reputations and qualities.
+    pub per_category: Vec<CategoryReputation>,
+}
+
+/// Runs Steps 1 and 2 on the whole community.
+pub fn derive(store: &CommunityStore, cfg: &DeriveConfig) -> Result<Derived> {
+    cfg.validate()?;
+    let num_users = store.num_users();
+    let mut per_category = Vec::with_capacity(store.num_categories());
+    let mut writer_maps = Vec::with_capacity(store.num_categories());
+    for c in store.categories() {
+        let slice = store.category_slice(c.id)?;
+        let fixed = riggs::solve(&slice, cfg);
+        let writers = reputation::writer_reputation(&slice, &fixed.review_quality, cfg);
+        let mut rater_reputation: Vec<(UserId, f64)> = fixed
+            .rater_reputation
+            .iter()
+            .map(|(&u, &v)| (u, v))
+            .collect();
+        rater_reputation.sort_by_key(|&(u, _)| u);
+        let mut writer_reputation: Vec<(UserId, f64)> =
+            writers.iter().map(|(&u, &v)| (u, v)).collect();
+        writer_reputation.sort_by_key(|&(u, _)| u);
+        let review_quality: Vec<(ReviewId, f64)> = slice
+            .reviews
+            .iter()
+            .zip(&fixed.review_quality)
+            .map(|(&rid, &q)| (rid, q))
+            .collect();
+        per_category.push(CategoryReputation {
+            category: c.id,
+            rater_reputation,
+            writer_reputation,
+            review_quality,
+            iterations: fixed.iterations,
+            converged: fixed.converged,
+        });
+        writer_maps.push(writers);
+    }
+    let e = expertise::expertise_matrix(num_users, &writer_maps);
+    let a = affiliation::affiliation_of(store);
+    Ok(Derived {
+        expertise: e,
+        affiliation: a,
+        per_category,
+    })
+}
+
+impl Derived {
+    /// Number of users (rows of `E`/`A`).
+    pub fn num_users(&self) -> usize {
+        self.expertise.nrows()
+    }
+
+    /// Number of categories (columns of `E`/`A`).
+    pub fn num_categories(&self) -> usize {
+        self.expertise.ncols()
+    }
+
+    /// Eq. 5 for one ordered pair.
+    pub fn pairwise_trust(&self, i: UserId, j: UserId) -> f64 {
+        trust::pairwise(&self.affiliation, &self.expertise, i.index(), j.index())
+    }
+
+    /// Eq. 5 on a sparse candidate pattern.
+    pub fn trust_on_mask(&self, mask: &Csr) -> Result<Csr> {
+        trust::derive_masked(&self.affiliation, &self.expertise, mask)
+    }
+
+    /// Eq. 5 as a full dense U×U matrix (small communities only).
+    pub fn trust_dense(&self) -> Result<Dense> {
+        trust::derive_dense(&self.affiliation, &self.expertise)
+    }
+
+    /// Non-zero count of the full `T̂` without materializing it (Fig. 3).
+    pub fn trust_support_count(&self) -> Result<u64> {
+        trust::support_count(&self.affiliation, &self.expertise)
+    }
+
+    /// Rater reputations of one category as a dense lookup
+    /// (user index → reputation, 0.0 = not active), for quartile analyses.
+    pub fn rater_reputation_of(&self, category: CategoryId) -> Vec<f64> {
+        let mut v = vec![0.0; self.num_users()];
+        if let Some(cr) = self.per_category.get(category.index()) {
+            for &(u, rep) in &cr.rater_reputation {
+                v[u.index()] = rep;
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use wot_community::{CommunityBuilder, RatingScale};
+
+    use super::*;
+
+    /// Cross-category fixture: u0 rates movie reviews; u1 writes them;
+    /// u2 writes book reviews that u0 also rates (less).
+    fn fixture() -> CommunityStore {
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        let u0 = b.add_user("rater");
+        let u1 = b.add_user("movie-writer");
+        let u2 = b.add_user("book-writer");
+        let movies = b.add_category("movies");
+        let books = b.add_category("books");
+        for k in 0..3 {
+            let o = b.add_object(format!("m{k}"), movies).unwrap();
+            let r = b.add_review(u1, o).unwrap();
+            b.add_rating(u0, r, 0.8).unwrap();
+        }
+        let o = b.add_object("b0", books).unwrap();
+        let r = b.add_review(u2, o).unwrap();
+        b.add_rating(u0, r, 0.4).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn derive_produces_consistent_shapes() {
+        let store = fixture();
+        let d = derive(&store, &DeriveConfig::default()).unwrap();
+        assert_eq!(d.num_users(), 3);
+        assert_eq!(d.num_categories(), 2);
+        assert_eq!(d.per_category.len(), 2);
+        assert!(d.per_category.iter().all(|c| c.converged));
+        // u1 has expertise only in movies; u2 only in books.
+        assert!(d.expertise.get(1, 0) > 0.0);
+        assert_eq!(d.expertise.get(1, 1), 0.0);
+        assert!(d.expertise.get(2, 1) > 0.0);
+    }
+
+    #[test]
+    fn affinity_weighted_trust_prefers_matching_expert() {
+        let store = fixture();
+        let d = derive(&store, &DeriveConfig::default()).unwrap();
+        // u0's affinity is 3:1 movies:books, u1's movie expertise beats
+        // u2's book expertise after weighting.
+        let t01 = d.pairwise_trust(UserId(0), UserId(1));
+        let t02 = d.pairwise_trust(UserId(0), UserId(2));
+        assert!(t01 > t02, "t01={t01} t02={t02}");
+        assert!(t01 > 0.0 && t01 <= 1.0);
+    }
+
+    #[test]
+    fn trust_matrix_forms_agree() {
+        let store = fixture();
+        let d = derive(&store, &DeriveConfig::default()).unwrap();
+        let dense = d.trust_dense().unwrap();
+        let mask = Csr::from_triplets(3, 3, [(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]).unwrap();
+        let masked = d.trust_on_mask(&mask).unwrap();
+        for (i, j, v) in masked.iter() {
+            assert!((v - dense.get(i, j)).abs() < 1e-12);
+        }
+        let brute = dense.as_slice().iter().filter(|&&v| v > 0.0).count() as u64;
+        assert_eq!(d.trust_support_count().unwrap(), brute);
+    }
+
+    #[test]
+    fn rater_reputation_lookup() {
+        let store = fixture();
+        let d = derive(&store, &DeriveConfig::default()).unwrap();
+        let movies = d.rater_reputation_of(CategoryId(0));
+        assert!(movies[0] > 0.0); // u0 rated in movies
+        assert_eq!(movies[1], 0.0);
+        assert_eq!(movies[2], 0.0);
+        // Out-of-range category yields all zeros rather than panicking.
+        let none = d.rater_reputation_of(CategoryId(9));
+        assert!(none.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let store = fixture();
+        let cfg = DeriveConfig {
+            fixpoint_max_iters: 0,
+            ..DeriveConfig::default()
+        };
+        assert!(derive(&store, &cfg).is_err());
+    }
+
+    #[test]
+    fn empty_store_derives_empty_model() {
+        let store = CommunityBuilder::new(RatingScale::five_step()).build();
+        let d = derive(&store, &DeriveConfig::default()).unwrap();
+        assert_eq!(d.num_users(), 0);
+        assert_eq!(d.per_category.len(), 0);
+        assert_eq!(d.trust_support_count().unwrap(), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Writer reputation (Eq. 3).
+//!
+//! A writer's reputation in a category is the mean quality of the reviews
+//! they wrote there, discounted for inexperience:
+//!
+//! ```text
+//! ū^w_i = (Σ_{j∈R(u^w_i)} r̄_j / n^w_i) · (1 − 1/(n^w_i+1))   (3)
+//! ```
+
+use std::collections::HashMap;
+
+use wot_community::{CategorySlice, UserId};
+
+use crate::DeriveConfig;
+
+/// Computes writer reputation for every writer active in the slice, given
+/// the slice's converged review qualities (from [`riggs::solve`]).
+///
+/// [`riggs::solve`]: crate::riggs::solve
+pub fn writer_reputation(
+    slice: &CategorySlice,
+    review_quality: &[f64],
+    cfg: &DeriveConfig,
+) -> HashMap<UserId, f64> {
+    debug_assert_eq!(review_quality.len(), slice.num_reviews());
+    let mut out = HashMap::with_capacity(slice.reviews_by_writer.len());
+    for (&writer, locals) in &slice.reviews_by_writer {
+        let n = locals.len();
+        debug_assert!(n > 0, "writer entry with no reviews");
+        let mean_q: f64 = locals
+            .iter()
+            .map(|&l| review_quality[l as usize])
+            .sum::<f64>()
+            / n as f64;
+        out.insert(writer, mean_q * cfg.discount(n));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use wot_community::{CommunityBuilder, RatingScale};
+
+    use super::*;
+
+    #[test]
+    fn matches_hand_computation() {
+        // Writer w with two reviews of quality 0.64 and 0.6:
+        // ū^w = ((0.64 + 0.6)/2) · (1 − 1/3) = 0.62 · 2/3 ≈ 0.41333
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        let a = b.add_user("a");
+        let w = b.add_user("w");
+        let cat = b.add_category("cat");
+        let o1 = b.add_object("o1", cat).unwrap();
+        let o2 = b.add_object("o2", cat).unwrap();
+        let r0 = b.add_review(w, o1).unwrap();
+        let _r1 = b.add_review(w, o2).unwrap();
+        b.add_rating(a, r0, 0.8).unwrap();
+        let slice = b.build().category_slice(cat).unwrap();
+        let rep = writer_reputation(&slice, &[0.64, 0.6], &DeriveConfig::default());
+        assert_eq!(rep.len(), 1);
+        assert!((rep[&w] - 0.62 * (2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_high_quality_reviews_beat_fewer() {
+        // One writer with three quality-0.8 reviews vs one with a single
+        // quality-0.8 review: the discount rewards the prolific writer.
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        let _a = b.add_user("a");
+        let w1 = b.add_user("w1");
+        let w2 = b.add_user("w2");
+        let cat = b.add_category("cat");
+        for (w, n) in [(w1, 3usize), (w2, 1usize)] {
+            for k in 0..n {
+                let o = b.add_object(format!("o-{w}-{k}"), cat).unwrap();
+                b.add_review(w, o).unwrap();
+            }
+        }
+        let slice = b.build().category_slice(cat).unwrap();
+        // Local review order: w1's three, then w2's one.
+        let q = vec![0.8, 0.8, 0.8, 0.8];
+        let rep = writer_reputation(&slice, &q, &DeriveConfig::default());
+        assert!(rep[&w1] > rep[&w2]);
+        assert!((rep[&w1] - 0.8 * 0.75).abs() < 1e-12);
+        assert!((rep[&w2] - 0.8 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ablated_discount_is_pure_mean() {
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        let w = b.add_user("w");
+        let cat = b.add_category("cat");
+        let o = b.add_object("o", cat).unwrap();
+        b.add_review(w, o).unwrap();
+        let slice = b.build().category_slice(cat).unwrap();
+        let cfg = DeriveConfig {
+            experience_discount: false,
+            ..DeriveConfig::default()
+        };
+        let rep = writer_reputation(&slice, &[0.9], &cfg);
+        assert!((rep[&w] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slice_yields_empty_map() {
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        b.add_user("u");
+        let cat = b.add_category("cat");
+        let slice = b.build().category_slice(cat).unwrap();
+        assert!(writer_reputation(&slice, &[], &DeriveConfig::default()).is_empty());
+    }
+}

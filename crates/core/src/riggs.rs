@@ -1,0 +1,267 @@
+//! The review-quality ⇄ rater-reputation fixed point (Eqs. 1–2).
+//!
+//! Eq. 1 defines a review's quality as the reputation-weighted mean of its
+//! ratings; Eq. 2 (Riggs' model) defines a rater's reputation from how
+//! closely their ratings track the final qualities, discounted for
+//! inexperience:
+//!
+//! ```text
+//! r̄_j   = Σ_{i∈U(r_j)} ū_i·ρ_ij / Σ_{i∈U(r_j)} ū_i                 (1)
+//! ū_i   = (1 − Σ_{j∈R(u_i)} |ρ_ij − r̄_j| / n_i) · (1 − 1/(n_i+1))   (2)
+//! ```
+//!
+//! The two equations are mutually recursive; [`solve`] iterates them from
+//! uniform reputations until no reputation moves by more than the
+//! configured tolerance (Jacobi-style sweeps, so the result is independent
+//! of user iteration order).
+
+use std::collections::HashMap;
+
+use wot_community::{CategorySlice, UserId};
+
+use crate::DeriveConfig;
+
+/// Converged (or iteration-capped) result of the fixed point for one
+/// category.
+#[derive(Debug, Clone)]
+pub struct RiggsResult {
+    /// Review quality `r̄_j ∈ [0, 1]`, indexed by the slice's local review
+    /// index. Reviews with no ratings get
+    /// [`DeriveConfig::unrated_review_quality`].
+    pub review_quality: Vec<f64>,
+    /// Rater reputation `ū_i ∈ [0, 1]` for every rater active in the
+    /// category.
+    pub rater_reputation: HashMap<UserId, f64>,
+    /// Sweeps executed.
+    pub iterations: usize,
+    /// Whether the tolerance was met before the iteration cap.
+    pub converged: bool,
+}
+
+/// Runs the fixed point on one category slice.
+pub fn solve(slice: &CategorySlice, cfg: &DeriveConfig) -> RiggsResult {
+    let raters = slice.raters();
+    let mut reputation: HashMap<UserId, f64> = raters
+        .iter()
+        .map(|&u| (u, cfg.initial_rater_reputation))
+        .collect();
+    let mut quality = vec![cfg.unrated_review_quality; slice.num_reviews()];
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < cfg.fixpoint_max_iters {
+        iterations += 1;
+        update_quality(slice, &reputation, cfg, &mut quality);
+        let delta = update_reputation(slice, &quality, cfg, &mut reputation);
+        if delta <= cfg.fixpoint_tolerance {
+            converged = true;
+            break;
+        }
+    }
+    RiggsResult {
+        review_quality: quality,
+        rater_reputation: reputation,
+        iterations,
+        converged,
+    }
+}
+
+/// One Eq. 1 sweep: recompute every review's quality from current
+/// reputations. Falls back to the unweighted mean when the reputation mass
+/// of a review's raters is zero (e.g. all its raters have fully divergent
+/// histories), so ratings are never silently discarded.
+fn update_quality(
+    slice: &CategorySlice,
+    reputation: &HashMap<UserId, f64>,
+    cfg: &DeriveConfig,
+    quality: &mut [f64],
+) {
+    for (j, ratings) in slice.ratings_by_review.iter().enumerate() {
+        if ratings.is_empty() {
+            quality[j] = cfg.unrated_review_quality;
+            continue;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(rater, value) in ratings {
+            let w = reputation.get(&rater).copied().unwrap_or(0.0);
+            num += w * value;
+            den += w;
+        }
+        quality[j] = if den > 0.0 {
+            num / den
+        } else {
+            ratings.iter().map(|&(_, v)| v).sum::<f64>() / ratings.len() as f64
+        };
+    }
+}
+
+/// One Eq. 2 sweep: recompute every rater's reputation from current
+/// qualities. Returns the largest absolute reputation change.
+fn update_reputation(
+    slice: &CategorySlice,
+    quality: &[f64],
+    cfg: &DeriveConfig,
+    reputation: &mut HashMap<UserId, f64>,
+) -> f64 {
+    let mut max_delta = 0.0f64;
+    for (&rater, ratings) in &slice.ratings_by_rater {
+        let n = ratings.len();
+        debug_assert!(n > 0, "rater entry with no ratings");
+        let mad: f64 = ratings
+            .iter()
+            .map(|&(local, value)| (value - quality[local as usize]).abs())
+            .sum::<f64>()
+            / n as f64;
+        let new = (1.0 - mad).max(0.0) * cfg.discount(n);
+        let old = reputation
+            .insert(rater, new)
+            .expect("reputation map seeded with every rater");
+        max_delta = max_delta.max((new - old).abs());
+    }
+    max_delta
+}
+
+#[cfg(test)]
+mod tests {
+    use wot_community::{CommunityBuilder, RatingScale, UserId};
+
+    use super::*;
+
+    /// One writer (w), two reviews; rater A rates both (0.8, 0.6), rater B
+    /// rates the first (0.4). Hand-computed in DESIGN.md's notation.
+    fn fixture() -> CategorySlice {
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        let a = b.add_user("a");
+        let bb = b.add_user("b");
+        let w = b.add_user("w");
+        let cat = b.add_category("cat");
+        let o1 = b.add_object("o1", cat).unwrap();
+        let o2 = b.add_object("o2", cat).unwrap();
+        let r0 = b.add_review(w, o1).unwrap();
+        let r1 = b.add_review(w, o2).unwrap();
+        b.add_rating(a, r0, 0.8).unwrap();
+        b.add_rating(a, r1, 0.6).unwrap();
+        b.add_rating(bb, r0, 0.4).unwrap();
+        b.build().category_slice(cat).unwrap()
+    }
+
+    #[test]
+    fn single_sweep_matches_hand_computation() {
+        let slice = fixture();
+        let cfg = DeriveConfig {
+            fixpoint_max_iters: 1,
+            ..DeriveConfig::default()
+        };
+        let r = solve(&slice, &cfg);
+        assert_eq!(r.iterations, 1);
+        // Initial reputations 1.0 → plain means.
+        assert!((r.review_quality[0] - 0.6).abs() < 1e-12);
+        assert!((r.review_quality[1] - 0.6).abs() < 1e-12);
+        // A: mad = (0.2 + 0.0)/2 = 0.1, n=2 → 0.9 * 2/3 = 0.6
+        assert!((r.rater_reputation[&UserId(0)] - 0.6).abs() < 1e-12);
+        // B: mad = 0.2, n=1 → 0.8 * 1/2 = 0.4
+        assert!((r.rater_reputation[&UserId(1)] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_sweep_reweights_quality() {
+        let slice = fixture();
+        let cfg = DeriveConfig {
+            fixpoint_max_iters: 2,
+            fixpoint_tolerance: 0.0,
+            ..DeriveConfig::default()
+        };
+        let r = solve(&slice, &cfg);
+        // q0 = (0.6·0.8 + 0.4·0.4) / (0.6 + 0.4) = 0.64
+        assert!((r.review_quality[0] - 0.64).abs() < 1e-12);
+        assert!((r.review_quality[1] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_within_cap() {
+        let slice = fixture();
+        let r = solve(&slice, &DeriveConfig::default());
+        assert!(r.converged, "fixed point should converge on a tiny slice");
+        assert!(r.iterations < 50);
+        // Ranges hold at the fixed point.
+        for &q in &r.review_quality {
+            assert!((0.0..=1.0).contains(&q));
+        }
+        for &rep in r.rater_reputation.values() {
+            assert!((0.0..=1.0).contains(&rep));
+        }
+        // A tracks consensus better than B throughout.
+        assert!(r.rater_reputation[&UserId(0)] > r.rater_reputation[&UserId(1)]);
+    }
+
+    #[test]
+    fn discount_ablation_raises_reputation() {
+        let slice = fixture();
+        let with = solve(&slice, &DeriveConfig::default());
+        let without = solve(
+            &slice,
+            &DeriveConfig {
+                experience_discount: false,
+                ..DeriveConfig::default()
+            },
+        );
+        for (u, &rep) in &with.rater_reputation {
+            assert!(without.rater_reputation[u] >= rep);
+        }
+    }
+
+    #[test]
+    fn unrated_review_gets_configured_quality() {
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        let w = b.add_user("w");
+        b.add_user("nobody");
+        let cat = b.add_category("cat");
+        let o = b.add_object("o", cat).unwrap();
+        b.add_review(w, o).unwrap();
+        let slice = b.build().category_slice(cat).unwrap();
+        let r = solve(&slice, &DeriveConfig::default());
+        assert_eq!(r.review_quality, vec![0.0]);
+        let r = solve(
+            &slice,
+            &DeriveConfig {
+                unrated_review_quality: 0.5,
+                ..DeriveConfig::default()
+            },
+        );
+        assert_eq!(r.review_quality, vec![0.5]);
+        assert!(r.rater_reputation.is_empty());
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        b.add_user("u");
+        let cat = b.add_category("cat");
+        let slice = b.build().category_slice(cat).unwrap();
+        let r = solve(&slice, &DeriveConfig::default());
+        assert!(r.review_quality.is_empty());
+        assert!(r.rater_reputation.is_empty());
+        assert!(r.converged);
+    }
+
+    /// Perfectly consistent raters converge to reputation = discount(n)
+    /// exactly (mad = 0).
+    #[test]
+    fn consistent_raters_reach_discount_ceiling() {
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        let a = b.add_user("a");
+        let c2 = b.add_user("c");
+        let w = b.add_user("w");
+        let cat = b.add_category("cat");
+        let o = b.add_object("o", cat).unwrap();
+        let r0 = b.add_review(w, o).unwrap();
+        b.add_rating(a, r0, 0.8).unwrap();
+        b.add_rating(c2, r0, 0.8).unwrap();
+        let slice = b.build().category_slice(cat).unwrap();
+        let r = solve(&slice, &DeriveConfig::default());
+        assert!(r.converged);
+        assert!((r.review_quality[0] - 0.8).abs() < 1e-12);
+        assert!((r.rater_reputation[&a] - 0.5).abs() < 1e-12); // (1-0)·(1-1/2)
+    }
+}

@@ -1,0 +1,228 @@
+//! Step 3 — deriving the degree of trust (Eq. 5).
+//!
+//! ```text
+//! T̂_ij = Σ_c A_ic·E_jc / Σ_c A_ic                        (5)
+//! ```
+//!
+//! User *i* trusts user *j* to the degree that *j* is an expert in the
+//! categories *i* is affiliated with. `T̂_ij = 0` means no overlap between
+//! *i*'s interests and *j*'s expertise; a user with an all-zero affiliation
+//! row trusts nobody (denominator zero ⇒ 0 by definition here).
+//!
+//! The full U×U matrix is dense in principle (Fig. 3's point is exactly
+//! that `T̂` is *much* denser than the explicit web of trust), so three
+//! evaluation shapes are provided:
+//!
+//! * [`pairwise`] — one `(i, j)` entry, O(C);
+//! * [`derive_masked`] — values on a sparse candidate pattern (the
+//!   evaluation region of Table 4), O(nnz·C);
+//! * [`derive_dense`] — the full matrix for small communities, O(U²·C);
+//! * [`support_count`] — the *number* of non-zero entries of the full `T̂`
+//!   without materializing it (Fig. 3's density), via category-overlap
+//!   bitmask counting, O(U + U·distinct-masks) for C ≤ 64.
+
+use std::collections::HashMap;
+
+use wot_sparse::{masked_row_dot, Csr, Dense};
+
+use crate::{CoreError, Result};
+
+/// Eq. 5 for one ordered pair.
+pub fn pairwise(affiliation: &Dense, expertise: &Dense, i: usize, j: usize) -> f64 {
+    let a_row = affiliation.row(i);
+    let e_row = expertise.row(j);
+    let den: f64 = a_row.iter().sum();
+    if den <= 0.0 {
+        return 0.0;
+    }
+    wot_sparse::dot(a_row, e_row) / den
+}
+
+/// Eq. 5 on every coordinate of `mask` (values of `mask` are ignored; its
+/// pattern defines the candidate set).
+pub fn derive_masked(affiliation: &Dense, expertise: &Dense, mask: &Csr) -> Result<Csr> {
+    if affiliation.shape() != expertise.shape() {
+        return Err(CoreError::Shape(format!(
+            "affiliation {:?} vs expertise {:?}",
+            affiliation.shape(),
+            expertise.shape()
+        )));
+    }
+    let numerators = masked_row_dot(affiliation, expertise, mask)?;
+    let row_mass: Vec<f64> = affiliation.row_sums();
+    let inv: Vec<f64> = row_mass
+        .iter()
+        .map(|&m| if m > 0.0 { 1.0 / m } else { 0.0 })
+        .collect();
+    Ok(numerators.scale_rows(&inv)?)
+}
+
+/// Eq. 5 as a full dense matrix — O(U²·C); intended for examples, tests
+/// and laptop-scale analyses.
+pub fn derive_dense(affiliation: &Dense, expertise: &Dense) -> Result<Dense> {
+    if affiliation.shape() != expertise.shape() {
+        return Err(CoreError::Shape(format!(
+            "affiliation {:?} vs expertise {:?}",
+            affiliation.shape(),
+            expertise.shape()
+        )));
+    }
+    let u = affiliation.nrows();
+    let mut out = Dense::zeros(u, u);
+    for i in 0..u {
+        let a_row = affiliation.row(i);
+        let den: f64 = a_row.iter().sum();
+        if den <= 0.0 {
+            continue;
+        }
+        for j in 0..u {
+            let v = wot_sparse::dot(a_row, expertise.row(j)) / den;
+            if v != 0.0 {
+                out.set(i, j, v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Number of strictly positive entries the full `T̂` would have (including
+/// the diagonal), computed without materializing it.
+///
+/// `T̂_ij > 0` iff some category holds both `A_ic > 0` and `E_jc > 0`, so
+/// the count only depends on each user's *support bitmask* over categories.
+/// Supports up to 64 categories.
+pub fn support_count(affiliation: &Dense, expertise: &Dense) -> Result<u64> {
+    let c = affiliation.ncols();
+    if c != expertise.ncols() {
+        return Err(CoreError::Shape(
+            "affiliation and expertise must share categories".into(),
+        ));
+    }
+    if c > 64 {
+        return Err(CoreError::Shape(format!(
+            "support_count handles at most 64 categories, got {c}"
+        )));
+    }
+    let mask_of = |row: &[f64]| -> u64 {
+        row.iter()
+            .enumerate()
+            .filter(|&(_, &v)| v > 0.0)
+            .fold(0u64, |m, (k, _)| m | (1u64 << k))
+    };
+    // Histogram of expertise masks.
+    let mut hist: HashMap<u64, u64> = HashMap::new();
+    for j in 0..expertise.nrows() {
+        let m = mask_of(expertise.row(j));
+        if m != 0 {
+            *hist.entry(m).or_insert(0) += 1;
+        }
+    }
+    let hist: Vec<(u64, u64)> = hist.into_iter().collect();
+    let mut total = 0u64;
+    for i in 0..affiliation.nrows() {
+        let am = mask_of(affiliation.row(i));
+        if am == 0 {
+            continue;
+        }
+        for &(em, count) in &hist {
+            if am & em != 0 {
+                total += count;
+            }
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Dense, Dense) {
+        // 3 users, 2 categories.
+        let a = Dense::from_rows(&[
+            &[0.5, 0.5], // u0 splits attention
+            &[1.0, 0.0], // u1 only cat0
+            &[0.0, 0.0], // u2 inactive
+        ])
+        .unwrap();
+        let e = Dense::from_rows(&[
+            &[0.0, 0.0], // u0 no expertise
+            &[0.8, 0.2], // u1
+            &[0.0, 0.9], // u2 expert in cat1 only
+        ])
+        .unwrap();
+        (a, e)
+    }
+
+    #[test]
+    fn pairwise_hand_values() {
+        let (a, e) = small();
+        // u0 -> u1: (0.5·0.8 + 0.5·0.2)/1.0 = 0.5
+        assert!((pairwise(&a, &e, 0, 1) - 0.5).abs() < 1e-12);
+        // u1 -> u2: (1.0·0.0)/1.0 = 0 — no category overlap.
+        assert_eq!(pairwise(&a, &e, 1, 2), 0.0);
+        // u0 -> u2: (0.5·0.9)/1.0 = 0.45
+        assert!((pairwise(&a, &e, 0, 2) - 0.45).abs() < 1e-12);
+        // Inactive truster trusts nobody.
+        assert_eq!(pairwise(&a, &e, 2, 1), 0.0);
+    }
+
+    #[test]
+    fn masked_matches_pairwise() {
+        let (a, e) = small();
+        let mask =
+            Csr::from_triplets(3, 3, [(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0), (2, 1, 1.0)]).unwrap();
+        let t = derive_masked(&a, &e, &mask).unwrap();
+        assert_eq!(t.nnz(), mask.nnz());
+        for (i, j, v) in t.iter() {
+            assert!((v - pairwise(&a, &e, i, j)).abs() < 1e-12, "({i},{j})");
+        }
+    }
+
+    #[test]
+    fn dense_matches_pairwise() {
+        let (a, e) = small();
+        let t = derive_dense(&a, &e).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((t.get(i, j) - pairwise(&a, &e, i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trust_stays_in_unit_range() {
+        let (a, e) = small();
+        let t = derive_dense(&a, &e).unwrap();
+        for &v in t.as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn support_count_matches_dense_support() {
+        let (a, e) = small();
+        let t = derive_dense(&a, &e).unwrap();
+        let brute = t.as_slice().iter().filter(|&&v| v > 0.0).count() as u64;
+        assert_eq!(support_count(&a, &e).unwrap(), brute);
+    }
+
+    #[test]
+    fn support_count_rejects_too_many_categories() {
+        let a = Dense::zeros(1, 65);
+        let e = Dense::zeros(1, 65);
+        assert!(support_count(&a, &e).is_err());
+        let a = Dense::zeros(1, 2);
+        let e = Dense::zeros(1, 3);
+        assert!(support_count(&a, &e).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Dense::zeros(2, 2);
+        let e = Dense::zeros(3, 2);
+        assert!(derive_dense(&a, &e).is_err());
+        let mask = Csr::empty(2, 3);
+        assert!(derive_masked(&a, &e, &mask).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Fig. 3 — density of the derived matrix `T̂`, the direct-connection
+//! matrix `R`, and the explicit trust matrix `T`.
+//!
+//! The figure's message is set-algebraic: `T̂` is far denser than both `R`
+//! and `T`; `T` splits into `T∩R` (validatable) and `T−R` (trust without
+//! any direct rating connection — the part the paper argues `T̂` can
+//! anticipate). This module reports all region sizes and densities.
+
+use crate::report::{f3, Table};
+use crate::{Result, Workbench};
+
+/// The numbers behind Fig. 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityReport {
+    /// Number of users `U` (matrices are U×U).
+    pub users: usize,
+    /// Entries of the explicit trust matrix `T`.
+    pub t_nnz: usize,
+    /// Entries of the direct-connection matrix `R`.
+    pub r_nnz: usize,
+    /// Strictly positive entries the *full* `T̂` would have.
+    pub that_support: u64,
+    /// `|T ∩ R|` — the validation region.
+    pub t_and_r: usize,
+    /// `|T − R|` — stated trust with no direct connection.
+    pub t_minus_r: usize,
+    /// `|R − T|` — direct connections without stated trust.
+    pub r_minus_t: usize,
+    /// Density of `T` over U².
+    pub t_density: f64,
+    /// Density of `R` over U².
+    pub r_density: f64,
+    /// Density of `T̂`'s support over U².
+    pub that_density: f64,
+}
+
+/// Computes the Fig. 3 region sizes for a workbench.
+pub fn density_report(wb: &Workbench) -> Result<DensityReport> {
+    let users = wb.out.store.num_users();
+    let t_and_r = wb.t.pattern_overlap(&wb.r)?;
+    let t_nnz = wb.t.nnz();
+    let r_nnz = wb.r.nnz();
+    let that_support = wb.derived.trust_support_count()?;
+    let cells = (users as f64) * (users as f64);
+    Ok(DensityReport {
+        users,
+        t_nnz,
+        r_nnz,
+        that_support,
+        t_and_r,
+        t_minus_r: t_nnz - t_and_r,
+        r_minus_t: r_nnz - t_and_r,
+        t_density: if cells > 0.0 {
+            t_nnz as f64 / cells
+        } else {
+            0.0
+        },
+        r_density: if cells > 0.0 {
+            r_nnz as f64 / cells
+        } else {
+            0.0
+        },
+        that_density: if cells > 0.0 {
+            that_support as f64 / cells
+        } else {
+            0.0
+        },
+    })
+}
+
+impl DensityReport {
+    /// How many times denser the derived matrix is than the explicit one.
+    pub fn densification_factor(&self) -> f64 {
+        if self.t_nnz == 0 {
+            0.0
+        } else {
+            self.that_support as f64 / self.t_nnz as f64
+        }
+    }
+
+    /// Renders the figure as a table of regions.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!("Fig. 3 — matrix densities over {0}x{0} users", self.users),
+            &["matrix / region", "entries", "density"],
+        );
+        t.push_row(vec![
+            "T-hat (derived) support".into(),
+            self.that_support.to_string(),
+            format!("{:.6}", self.that_density),
+        ]);
+        t.push_row(vec![
+            "R (direct connections)".into(),
+            self.r_nnz.to_string(),
+            format!("{:.6}", self.r_density),
+        ]);
+        t.push_row(vec![
+            "T (explicit trust)".into(),
+            self.t_nnz.to_string(),
+            format!("{:.6}", self.t_density),
+        ]);
+        t.push_row(vec![
+            "T ∩ R (validation region)".into(),
+            self.t_and_r.to_string(),
+            String::new(),
+        ]);
+        t.push_row(vec![
+            "T − R".into(),
+            self.t_minus_r.to_string(),
+            String::new(),
+        ]);
+        t.push_row(vec![
+            "R − T".into(),
+            self.r_minus_t.to_string(),
+            String::new(),
+        ]);
+        t.push_row(vec![
+            "densification T-hat / T".into(),
+            f3(self.densification_factor()),
+            String::new(),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use wot_core::DeriveConfig;
+    use wot_synth::SynthConfig;
+
+    use super::*;
+
+    #[test]
+    fn regions_partition_correctly() {
+        let wb = Workbench::new(&SynthConfig::tiny(21), &DeriveConfig::default()).unwrap();
+        let d = density_report(&wb).unwrap();
+        assert_eq!(d.t_and_r + d.t_minus_r, d.t_nnz);
+        assert_eq!(d.t_and_r + d.r_minus_t, d.r_nnz);
+        assert!(d.t_and_r > 0, "validation region must be non-empty");
+    }
+
+    #[test]
+    fn derived_is_much_denser_than_explicit() {
+        // The whole point of Fig. 3: T̂ ≫ R, T.
+        let wb = Workbench::new(&SynthConfig::tiny(22), &DeriveConfig::default()).unwrap();
+        let d = density_report(&wb).unwrap();
+        assert!(
+            d.that_support as f64 > 5.0 * d.t_nnz as f64,
+            "T̂ support {} vs T {}",
+            d.that_support,
+            d.t_nnz
+        );
+        assert!(d.densification_factor() > 5.0);
+        assert!(d.that_density <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn table_renders_all_regions() {
+        let wb = Workbench::new(&SynthConfig::tiny(23), &DeriveConfig::default()).unwrap();
+        let s = density_report(&wb).unwrap().to_table().to_string();
+        for needle in ["T-hat", "T ∩ R", "R − T", "densification"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Errors raised by the evaluation harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Experiment parameter out of range.
+    InvalidParameter(String),
+    /// Propagated from the generator.
+    Synth(wot_synth::SynthConfigError),
+    /// Propagated from the derivation pipeline.
+    Core(wot_core::CoreError),
+    /// Propagated from the community layer.
+    Community(wot_community::CommunityError),
+    /// Propagated from the sparse layer.
+    Sparse(wot_sparse::SparseError),
+    /// Propagated from propagation algorithms.
+    Propagation(wot_propagation::PropagationError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            EvalError::Synth(e) => write!(f, "{e}"),
+            EvalError::Core(e) => write!(f, "{e}"),
+            EvalError::Community(e) => write!(f, "{e}"),
+            EvalError::Sparse(e) => write!(f, "{e}"),
+            EvalError::Propagation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<wot_synth::SynthConfigError> for EvalError {
+    fn from(e: wot_synth::SynthConfigError) -> Self {
+        EvalError::Synth(e)
+    }
+}
+
+impl From<wot_core::CoreError> for EvalError {
+    fn from(e: wot_core::CoreError) -> Self {
+        EvalError::Core(e)
+    }
+}
+
+impl From<wot_community::CommunityError> for EvalError {
+    fn from(e: wot_community::CommunityError) -> Self {
+        EvalError::Community(e)
+    }
+}
+
+impl From<wot_sparse::SparseError> for EvalError {
+    fn from(e: wot_sparse::SparseError) -> Self {
+        EvalError::Sparse(e)
+    }
+}
+
+impl From<wot_propagation::PropagationError> for EvalError {
+    fn from(e: wot_propagation::PropagationError) -> Self {
+        EvalError::Propagation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EvalError = wot_synth::SynthConfigError("x".into()).into();
+        assert!(e.to_string().contains('x'));
+        let e: EvalError = wot_core::CoreError::InvalidConfig("y".into()).into();
+        assert!(e.to_string().contains('y'));
+        let e: EvalError = wot_sparse::SparseError::DimensionTooLarge(3).into();
+        assert!(!e.to_string().is_empty());
+        let e = EvalError::InvalidParameter("k".into());
+        assert!(e.to_string().contains('k'));
+    }
+}

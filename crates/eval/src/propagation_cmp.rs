@@ -1,0 +1,242 @@
+//! §V future work — propagating the derived web of trust.
+//!
+//! "For further research, we will propagate our derived web of trust and
+//! compare the propagation results between our web of trust and a web of
+//! trust constructed with users' explicit trust rating." This module does
+//! exactly that:
+//!
+//! * **EigenTrust** runs over both webs; global rankings are compared with
+//!   Spearman correlation and top-k overlap.
+//! * **TidalTrust** runs over both webs for a deterministic sample of
+//!   user pairs; we report *coverage* (pairs with any usable path — the
+//!   sparsity failure mode ref \[3\] suffers) and mean inferred trust.
+//!
+//! The derived web of trust is the paper's own binarization of `T̂`
+//! (per-user top-`k_i%` on the evaluation region), carrying the continuous
+//! `T̂` values as edge weights.
+
+use rand::Rng;
+use wot_graph::DiGraph;
+use wot_propagation::{
+    compare,
+    eigentrust::{eigentrust, EigenTrustConfig},
+    tidaltrust::{tidaltrust, TidalTrustConfig},
+};
+use wot_synth::rng::Xoshiro256pp;
+
+use crate::report::{f3, Table};
+use crate::{EvalError, Result, Workbench};
+
+/// Outcome of the propagation comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropagationComparison {
+    /// Edges in the explicit web of trust.
+    pub explicit_edges: usize,
+    /// Edges in the derived web of trust.
+    pub derived_edges: usize,
+    /// Spearman correlation between EigenTrust rankings on the two webs.
+    pub eigentrust_spearman: Option<f64>,
+    /// Jaccard overlap of the EigenTrust top-20 user sets.
+    pub eigentrust_top20_jaccard: Option<f64>,
+    /// Number of sampled source→sink pairs for TidalTrust.
+    pub tidal_pairs: usize,
+    /// Fraction of pairs with a usable path over the explicit web.
+    pub tidal_coverage_explicit: f64,
+    /// Fraction of pairs with a usable path over the derived web.
+    pub tidal_coverage_derived: f64,
+    /// Mean inferred trust over covered pairs (explicit web).
+    pub tidal_mean_explicit: f64,
+    /// Mean inferred trust over covered pairs (derived web).
+    pub tidal_mean_derived: f64,
+    /// Fraction of sampled pairs with `T̂ > 0` — the derived model needs
+    /// **no path at all** for these, which is the densification point:
+    /// path-based propagation fails wherever the web is sparse, while
+    /// Eq. 5 answers directly from expertise and affiliation.
+    pub pairwise_coverage_derived: f64,
+    /// Mean `T̂` over the directly covered pairs.
+    pub pairwise_mean_derived: f64,
+}
+
+/// Runs the comparison. `sample_pairs` source→sink pairs are drawn
+/// deterministically from `seed`.
+pub fn compare_propagation(
+    wb: &Workbench,
+    sample_pairs: usize,
+    seed: u64,
+) -> Result<PropagationComparison> {
+    if sample_pairs == 0 {
+        return Err(EvalError::InvalidParameter(
+            "sample_pairs must be at least 1".into(),
+        ));
+    }
+    let n = wb.out.store.num_users();
+    if n < 2 {
+        return Err(EvalError::InvalidParameter(
+            "need at least 2 users to compare propagation".into(),
+        ));
+    }
+
+    // Explicit web: the binary T with unit weights.
+    let explicit =
+        DiGraph::from_adjacency(wb.t.clone()).map_err(wot_propagation::PropagationError::from)?;
+    // Derived web: the paper's binarization of T̂ (full-support
+    // thresholds), weighted by the continuous T̂ values.
+    let scores = wb.scores_ours()?;
+    let pred = wb.prediction_ours()?;
+    let weighted = scores.intersect_pattern(&pred)?;
+    let derived =
+        DiGraph::from_adjacency(weighted).map_err(wot_propagation::PropagationError::from)?;
+
+    // Global model comparison.
+    let et_cfg = EigenTrustConfig::default();
+    let et_explicit = eigentrust(explicit.adjacency(), &et_cfg)?;
+    let et_derived = eigentrust(derived.adjacency(), &et_cfg)?;
+    let eigentrust_spearman = compare::spearman(&et_explicit.scores, &et_derived.scores);
+    let eigentrust_top20_jaccard =
+        compare::top_k_jaccard(&et_explicit.scores, &et_derived.scores, 20.min(n));
+
+    // Local model comparison over sampled pairs.
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let tt_cfg = TidalTrustConfig { max_depth: Some(4) };
+    let mut covered_e = 0usize;
+    let mut covered_d = 0usize;
+    let mut covered_p = 0usize;
+    let mut sum_e = 0.0f64;
+    let mut sum_d = 0.0f64;
+    let mut sum_p = 0.0f64;
+    for _ in 0..sample_pairs {
+        let source = rng.gen_range(0..n);
+        let mut sink = rng.gen_range(0..n);
+        if sink == source {
+            sink = (sink + 1) % n;
+        }
+        if let Some(t) = tidaltrust(&explicit, source, sink, &tt_cfg)?.trust {
+            covered_e += 1;
+            sum_e += t;
+        }
+        if let Some(t) = tidaltrust(&derived, source, sink, &tt_cfg)?.trust {
+            covered_d += 1;
+            sum_d += t;
+        }
+        let direct = wb.derived.pairwise_trust(
+            wot_community::UserId::from_index(source),
+            wot_community::UserId::from_index(sink),
+        );
+        if direct > 0.0 {
+            covered_p += 1;
+            sum_p += direct;
+        }
+    }
+
+    Ok(PropagationComparison {
+        explicit_edges: explicit.edge_count(),
+        derived_edges: derived.edge_count(),
+        eigentrust_spearman,
+        eigentrust_top20_jaccard,
+        tidal_pairs: sample_pairs,
+        tidal_coverage_explicit: covered_e as f64 / sample_pairs as f64,
+        tidal_coverage_derived: covered_d as f64 / sample_pairs as f64,
+        tidal_mean_explicit: if covered_e == 0 {
+            0.0
+        } else {
+            sum_e / covered_e as f64
+        },
+        tidal_mean_derived: if covered_d == 0 {
+            0.0
+        } else {
+            sum_d / covered_d as f64
+        },
+        pairwise_coverage_derived: covered_p as f64 / sample_pairs as f64,
+        pairwise_mean_derived: if covered_p == 0 {
+            0.0
+        } else {
+            sum_p / covered_p as f64
+        },
+    })
+}
+
+impl PropagationComparison {
+    /// Renders the comparison as a table.
+    pub fn to_table(&self) -> Table {
+        let opt = |v: Option<f64>| v.map_or_else(|| "n/a".into(), f3);
+        let mut t = Table::new(
+            "§V — propagation over derived vs explicit web of trust",
+            &["metric", "explicit WoT", "derived WoT"],
+        );
+        t.push_row(vec![
+            "edges".into(),
+            self.explicit_edges.to_string(),
+            self.derived_edges.to_string(),
+        ]);
+        t.push_row(vec![
+            "EigenTrust Spearman (cross)".into(),
+            opt(self.eigentrust_spearman),
+            String::new(),
+        ]);
+        t.push_row(vec![
+            "EigenTrust top-20 Jaccard (cross)".into(),
+            opt(self.eigentrust_top20_jaccard),
+            String::new(),
+        ]);
+        t.push_row(vec![
+            format!("TidalTrust coverage ({} pairs)", self.tidal_pairs),
+            f3(self.tidal_coverage_explicit),
+            f3(self.tidal_coverage_derived),
+        ]);
+        t.push_row(vec![
+            "TidalTrust mean inferred trust".into(),
+            f3(self.tidal_mean_explicit),
+            f3(self.tidal_mean_derived),
+        ]);
+        t.push_row(vec![
+            "T̂ direct coverage (no path needed)".into(),
+            String::new(),
+            f3(self.pairwise_coverage_derived),
+        ]);
+        t.push_row(vec![
+            "T̂ direct mean".into(),
+            String::new(),
+            f3(self.pairwise_mean_derived),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use wot_core::DeriveConfig;
+    use wot_synth::SynthConfig;
+
+    use super::*;
+
+    #[test]
+    fn comparison_runs_and_correlates() {
+        let wb = Workbench::new(&SynthConfig::tiny(51), &DeriveConfig::default()).unwrap();
+        let cmp = compare_propagation(&wb, 50, 7).unwrap();
+        assert!(cmp.explicit_edges > 0);
+        assert!(cmp.derived_edges > 0);
+        assert!((0.0..=1.0).contains(&cmp.tidal_coverage_explicit));
+        assert!((0.0..=1.0).contains(&cmp.tidal_coverage_derived));
+        // Rankings over the two webs should agree far better than chance:
+        // both are driven by the same latent expertise.
+        let rho = cmp.eigentrust_spearman.expect("correlation defined");
+        assert!(rho > 0.0, "expected positive rank correlation, got {rho}");
+        let s = cmp.to_table().to_string();
+        assert!(s.contains("EigenTrust"));
+        assert!(s.contains("TidalTrust"));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let wb = Workbench::new(&SynthConfig::tiny(52), &DeriveConfig::default()).unwrap();
+        let a = compare_propagation(&wb, 30, 9).unwrap();
+        let b = compare_propagation(&wb, 30, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let wb = Workbench::new(&SynthConfig::tiny(53), &DeriveConfig::default()).unwrap();
+        assert!(compare_propagation(&wb, 0, 1).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Tables 2 and 3 — validating the reputation models against editorial
+//! labels.
+//!
+//! The paper ranks all raters (writers) of each sub-category by their
+//! computed reputation, splits the ranking into quartiles, and counts how
+//! many Epinions **Advisors** (**Top Reviewers**) land in each quartile.
+//! Community-wide labels are *reselected* per sub-category by dropping
+//! labelled users with no activity there. A good reputation model pushes
+//! nearly all labelled users into Q1 (98.4% for raters, 89.4% for writers
+//! in the paper).
+
+use wot_community::{CategoryId, UserId};
+use wot_core::Derived;
+
+use crate::report::{pct, Table};
+use crate::{Result, Workbench};
+
+/// One sub-category row of Table 2/3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuartileRow {
+    /// The category.
+    pub category: CategoryId,
+    /// Category name.
+    pub name: String,
+    /// Ranked population size (raters or writers active there).
+    pub population: usize,
+    /// Labelled users active in this category (the "reselected" labels).
+    pub labeled: usize,
+    /// Labelled-user counts per quartile `[Q1, Q2, Q3, Q4]`.
+    pub quartile_counts: [usize; 4],
+}
+
+/// A full Table 2/3 report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuartileReport {
+    /// Which population was ranked (`"raters"` or `"writers"`).
+    pub population: &'static str,
+    /// Per-category rows.
+    pub rows: Vec<QuartileRow>,
+    /// Total labelled occurrences across categories.
+    pub total_labeled: usize,
+    /// Labelled occurrences landing in Q1.
+    pub total_q1: usize,
+}
+
+impl QuartileReport {
+    /// Fraction of labelled users in the top quartile (the paper's
+    /// headline 98.4% / 89.4%).
+    pub fn q1_fraction(&self) -> f64 {
+        if self.total_labeled == 0 {
+            0.0
+        } else {
+            self.total_q1 as f64 / self.total_labeled as f64
+        }
+    }
+
+    /// Renders in the layout of the paper's tables.
+    pub fn to_table(&self, title: &str) -> Table {
+        let mut t = Table::new(
+            title,
+            &[
+                "Category",
+                self.population,
+                "Labeled",
+                "Q1(Top)",
+                "Q2",
+                "Q3",
+                "Q4",
+            ],
+        );
+        for row in &self.rows {
+            let q1_pct = if row.labeled == 0 {
+                "-".to_string()
+            } else {
+                pct(row.quartile_counts[0] as f64 / row.labeled as f64)
+            };
+            t.push_row(vec![
+                row.name.clone(),
+                row.population.to_string(),
+                row.labeled.to_string(),
+                format!("{} ({})", row.quartile_counts[0], q1_pct),
+                row.quartile_counts[1].to_string(),
+                row.quartile_counts[2].to_string(),
+                row.quartile_counts[3].to_string(),
+            ]);
+        }
+        t.push_row(vec![
+            "Overall".into(),
+            String::new(),
+            self.total_labeled.to_string(),
+            format!("{} ({})", self.total_q1, pct(self.q1_fraction())),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+        t
+    }
+}
+
+/// Quartile of a 0-based `rank` within a population of `n`: the paper's
+/// "top 25%, …, bottom 25%" split, via the rank's position.
+fn quartile(rank: usize, n: usize) -> usize {
+    debug_assert!(rank < n);
+    (rank * 4 / n).min(3)
+}
+
+/// Ranks one category's `(user, reputation)` list and counts labelled
+/// users per quartile. Ties break by user id, making ranks deterministic.
+fn analyze_category(
+    category: CategoryId,
+    name: &str,
+    mut scored: Vec<(UserId, f64)>,
+    labels: &[UserId],
+) -> QuartileRow {
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    let n = scored.len();
+    let mut quartile_counts = [0usize; 4];
+    let mut labeled = 0usize;
+    for (rank, &(u, _)) in scored.iter().enumerate() {
+        if labels.contains(&u) {
+            labeled += 1;
+            quartile_counts[quartile(rank, n)] += 1;
+        }
+    }
+    QuartileRow {
+        category,
+        name: name.to_string(),
+        population: n,
+        labeled,
+        quartile_counts,
+    }
+}
+
+fn build_report(
+    wb: &Workbench,
+    population: &'static str,
+    scored_of: impl Fn(&Derived, usize) -> Vec<(UserId, f64)>,
+    labels: &[UserId],
+) -> Result<QuartileReport> {
+    let mut rows = Vec::new();
+    for (c, cat) in wb.out.store.categories().iter().enumerate() {
+        let scored = scored_of(&wb.derived, c);
+        rows.push(analyze_category(cat.id, &cat.name, scored, labels));
+    }
+    let total_labeled = rows.iter().map(|r| r.labeled).sum();
+    let total_q1 = rows.iter().map(|r| r.quartile_counts[0]).sum();
+    Ok(QuartileReport {
+        population,
+        rows,
+        total_labeled,
+        total_q1,
+    })
+}
+
+/// **Table 2**: rater-reputation quartiles against the generator's
+/// Advisors.
+pub fn rater_quartiles(wb: &Workbench) -> Result<QuartileReport> {
+    build_report(
+        wb,
+        "raters",
+        |d, c| d.per_category[c].rater_reputation.clone(),
+        &wb.out.truth.advisors,
+    )
+}
+
+/// **Table 3**: writer-reputation quartiles against the generator's Top
+/// Reviewers.
+pub fn writer_quartiles(wb: &Workbench) -> Result<QuartileReport> {
+    build_report(
+        wb,
+        "writers",
+        |d, c| d.per_category[c].writer_reputation.clone(),
+        &wb.out.truth.top_reviewers,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use wot_core::DeriveConfig;
+    use wot_synth::SynthConfig;
+
+    use super::*;
+
+    #[test]
+    fn quartile_split_matches_paper_convention() {
+        assert_eq!(quartile(0, 8), 0);
+        assert_eq!(quartile(1, 8), 0);
+        assert_eq!(quartile(2, 8), 1);
+        assert_eq!(quartile(7, 8), 3);
+        // Small populations still map into 4 buckets.
+        assert_eq!(quartile(0, 1), 0);
+        assert_eq!(quartile(2, 3), 2);
+    }
+
+    #[test]
+    fn analyze_category_counts_labels() {
+        let scored = vec![
+            (UserId(0), 0.9),
+            (UserId(1), 0.8),
+            (UserId(2), 0.5),
+            (UserId(3), 0.1),
+        ];
+        let row = analyze_category(
+            CategoryId(0),
+            "c",
+            scored,
+            &[UserId(0), UserId(3), UserId(9)],
+        );
+        assert_eq!(row.population, 4);
+        assert_eq!(row.labeled, 2); // UserId(9) inactive here
+        assert_eq!(row.quartile_counts, [1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn advisors_concentrate_in_q1_on_synthetic_data() {
+        // At tiny scale (200 users, 8 advisors) the per-category samples
+        // are small, so Q1 concentration is noisy — the paper's own thin
+        // sub-categories (Adult/Audience, Religious) dip the same way.
+        // Anything well above the 25% chance level shows the model works;
+        // the strong (>75%) claim is asserted at laptop scale in the
+        // workspace integration tests.
+        let wb = Workbench::new(&SynthConfig::tiny(11), &DeriveConfig::default()).unwrap();
+        let raters = rater_quartiles(&wb).unwrap();
+        assert!(raters.total_labeled > 0);
+        assert!(
+            raters.q1_fraction() > 0.4,
+            "rater Q1 fraction too low: {:.3}",
+            raters.q1_fraction()
+        );
+        let writers = writer_quartiles(&wb).unwrap();
+        assert!(writers.total_labeled > 0);
+        assert!(
+            writers.q1_fraction() > 0.4,
+            "writer Q1 fraction too low: {:.3}",
+            writers.q1_fraction()
+        );
+        // Rendering works and carries the overall row.
+        let table = raters.to_table("Table 2");
+        let s = table.to_string();
+        assert!(s.contains("Overall"));
+        assert!(s.contains("Q1(Top)"));
+    }
+
+    #[test]
+    fn empty_category_row_is_benign() {
+        let row = analyze_category(CategoryId(0), "empty", Vec::new(), &[UserId(0)]);
+        assert_eq!(row.population, 0);
+        assert_eq!(row.labeled, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! §IV.C value analysis — why the "false positives" look like future
+//! trust.
+//!
+//! After binarization, our model marks many `R−T` pairs as trust (the high
+//! non-trust→trust rate of Table 4). The paper inspects the *continuous*
+//! scores `T̂_ij` of the predicted pairs and finds the average and minimum
+//! in `R−T` are **higher** than in `T∩R` — i.e. the model is most
+//! confident exactly where no trust statement exists yet, consistent with
+//! those connections "becoming trust connectivity in the future".
+
+use wot_core::metrics;
+
+use crate::report::{f3, Table};
+use crate::{Result, Workbench};
+
+/// The §IV.C numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueReport {
+    /// The underlying analysis (means/minimums per region).
+    pub analysis: metrics::ValueAnalysis,
+}
+
+/// Runs the value analysis for our model's predictions (the same
+/// full-support binarization Table 4 uses).
+pub fn value_report(wb: &Workbench) -> Result<ValueReport> {
+    let scores = wb.scores_ours()?;
+    let pred = wb.prediction_ours()?;
+    let analysis = metrics::value_analysis(&pred, &scores, &wb.r, &wb.t)?;
+    Ok(ValueReport { analysis })
+}
+
+impl ValueReport {
+    /// Whether the paper's ordering (mean score in `R−T` ≥ mean in `T∩R`)
+    /// holds.
+    pub fn paper_ordering_holds(&self) -> bool {
+        self.analysis.count_in_r_minus_t == 0
+            || self.analysis.mean_in_r_minus_t >= self.analysis.mean_in_rt
+    }
+
+    /// Renders as a two-region table.
+    pub fn to_table(&self) -> Table {
+        let a = &self.analysis;
+        let mut t = Table::new(
+            "§IV.C — T̂ values of predicted-trust pairs by region",
+            &["region", "pairs", "mean T̂", "min T̂"],
+        );
+        t.push_row(vec![
+            "T ∩ R".into(),
+            a.count_in_rt.to_string(),
+            f3(a.mean_in_rt),
+            f3(a.min_in_rt),
+        ]);
+        t.push_row(vec![
+            "R − T".into(),
+            a.count_in_r_minus_t.to_string(),
+            f3(a.mean_in_r_minus_t),
+            f3(a.min_in_r_minus_t),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use wot_core::DeriveConfig;
+    use wot_synth::SynthConfig;
+
+    use super::*;
+
+    #[test]
+    fn both_regions_populated_and_in_range() {
+        let wb = Workbench::new(&SynthConfig::tiny(41), &DeriveConfig::default()).unwrap();
+        let rep = value_report(&wb).unwrap();
+        let a = &rep.analysis;
+        assert!(a.count_in_rt > 0);
+        assert!(a.count_in_r_minus_t > 0);
+        for v in [
+            a.mean_in_rt,
+            a.min_in_rt,
+            a.mean_in_r_minus_t,
+            a.min_in_r_minus_t,
+        ] {
+            assert!((0.0..=1.0).contains(&v), "value {v} out of range");
+        }
+        assert!(a.min_in_rt <= a.mean_in_rt);
+        assert!(a.min_in_r_minus_t <= a.mean_in_r_minus_t);
+    }
+
+    #[test]
+    fn table_renders_regions() {
+        let wb = Workbench::new(&SynthConfig::tiny(42), &DeriveConfig::default()).unwrap();
+        let s = value_report(&wb).unwrap().to_table().to_string();
+        assert!(s.contains("T ∩ R"));
+        assert!(s.contains("R − T"));
+    }
+}

@@ -1,0 +1,56 @@
+use std::fmt;
+
+/// Errors produced by graph construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced by an edge or query is `>= node_count`.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: usize,
+        /// The graph's node count.
+        node_count: usize,
+    },
+    /// A trust matrix used as adjacency must be square.
+    NotSquare {
+        /// Number of rows.
+        nrows: usize,
+        /// Number of columns.
+        ncols: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(
+                    f,
+                    "node {node} out of bounds for graph of {node_count} nodes"
+                )
+            }
+            GraphError::NotSquare { nrows, ncols } => {
+                write!(f, "adjacency matrix must be square, got {nrows}x{ncols}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(GraphError::NodeOutOfBounds {
+            node: 9,
+            node_count: 3
+        }
+        .to_string()
+        .contains('9'));
+        assert!(GraphError::NotSquare { nrows: 2, ncols: 3 }
+            .to_string()
+            .contains("square"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Hop-limited path queries.
+//!
+//! TidalTrust infers trust along *shortest* paths from a source and prunes
+//! by a per-query strength threshold; these helpers provide the shortest-
+//! path scaffolding.
+
+use std::collections::VecDeque;
+
+use crate::DiGraph;
+
+/// The shortest-path DAG from `source`: for every node, the set of
+/// predecessors that lie on some shortest (fewest-hops) path from `source`.
+#[derive(Debug, Clone)]
+pub struct ShortestPathDag {
+    /// Hop distance per node (`None` = unreachable within the bound).
+    pub depth: Vec<Option<usize>>,
+    /// Predecessors on shortest paths, per node.
+    pub preds: Vec<Vec<u32>>,
+}
+
+/// Builds the shortest-path DAG from `source`, bounded at `max_depth` hops
+/// if given.
+pub fn shortest_path_dag(g: &DiGraph, source: usize, max_depth: Option<usize>) -> ShortestPathDag {
+    let n = g.node_count();
+    let mut depth = vec![None; n];
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    if source >= n {
+        return ShortestPathDag { depth, preds };
+    }
+    depth[source] = Some(0);
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = depth[u].expect("queued nodes have depth");
+        if let Some(limit) = max_depth {
+            if du >= limit {
+                continue;
+            }
+        }
+        let (ns, _) = g.out_neighbors(u);
+        for &v in ns {
+            let v = v as usize;
+            match depth[v] {
+                None => {
+                    depth[v] = Some(du + 1);
+                    preds[v].push(u as u32);
+                    queue.push_back(v);
+                }
+                Some(dv) if dv == du + 1 => {
+                    preds[v].push(u as u32);
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    ShortestPathDag { depth, preds }
+}
+
+/// Enumerates every shortest path from `source` to `sink` (as node id
+/// sequences), up to `limit` paths. Returns an empty vector when `sink` is
+/// unreachable. Deterministic: paths emerge in lexicographic predecessor
+/// order.
+pub fn shortest_paths(
+    g: &DiGraph,
+    source: usize,
+    sink: usize,
+    max_depth: Option<usize>,
+    limit: usize,
+) -> Vec<Vec<usize>> {
+    let dag = shortest_path_dag(g, source, max_depth);
+    let mut out = Vec::new();
+    if sink >= g.node_count() || dag.depth[sink].is_none() || limit == 0 {
+        return out;
+    }
+    // Walk the predecessor DAG backwards from the sink.
+    let mut partial: Vec<usize> = vec![sink];
+    fn recurse(
+        dag: &ShortestPathDag,
+        source: usize,
+        partial: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+        limit: usize,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        let last = *partial.last().expect("partial path never empty");
+        if last == source {
+            let mut path = partial.clone();
+            path.reverse();
+            out.push(path);
+            return;
+        }
+        for &p in &dag.preds[last] {
+            partial.push(p as usize);
+            recurse(dag, source, partial, out, limit);
+            partial.pop();
+            if out.len() >= limit {
+                return;
+            }
+        }
+    }
+    recurse(&dag, source, &mut partial, &mut out, limit);
+    out
+}
+
+/// The strength of a path is the *minimum* edge weight along it (the
+/// weakest link); `None` for paths shorter than 2 nodes or missing edges.
+pub fn path_strength(g: &DiGraph, path: &[usize]) -> Option<f64> {
+    if path.len() < 2 {
+        return None;
+    }
+    let mut strength = f64::INFINITY;
+    for w in path.windows(2) {
+        strength = strength.min(g.edge_weight(w[0], w[1])?);
+    }
+    Some(strength)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // Two shortest 0->3 paths: 0-1-3 and 0-2-3; plus a longer 0-4-5-3.
+        DiGraph::from_edges(
+            6,
+            [
+                (0, 1, 0.9),
+                (0, 2, 0.5),
+                (1, 3, 0.7),
+                (2, 3, 0.3),
+                (0, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 3, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dag_depths_and_preds() {
+        let dag = shortest_path_dag(&diamond(), 0, None);
+        assert_eq!(dag.depth[3], Some(2));
+        assert_eq!(dag.preds[3], vec![1, 2]);
+        assert_eq!(dag.preds[0], Vec::<u32>::new());
+    }
+
+    #[test]
+    fn enumerates_all_shortest_paths() {
+        let paths = shortest_paths(&diamond(), 0, 3, None, 10);
+        assert_eq!(paths, vec![vec![0, 1, 3], vec![0, 2, 3]]);
+    }
+
+    #[test]
+    fn respects_path_limit() {
+        let paths = shortest_paths(&diamond(), 0, 3, None, 1);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn unreachable_sink_gives_empty() {
+        let g = DiGraph::from_edges(3, [(0, 1, 1.0)]).unwrap();
+        assert!(shortest_paths(&g, 0, 2, None, 10).is_empty());
+        assert!(shortest_paths(&g, 0, 99, None, 10).is_empty());
+    }
+
+    #[test]
+    fn max_depth_prunes() {
+        let g = DiGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        assert!(shortest_paths(&g, 0, 3, Some(2), 10).is_empty());
+        assert_eq!(shortest_paths(&g, 0, 3, Some(3), 10).len(), 1);
+    }
+
+    #[test]
+    fn strength_is_weakest_link() {
+        let g = diamond();
+        assert_eq!(path_strength(&g, &[0, 1, 3]), Some(0.7));
+        assert_eq!(path_strength(&g, &[0, 2, 3]), Some(0.3));
+        assert_eq!(path_strength(&g, &[0]), None);
+        assert_eq!(path_strength(&g, &[0, 3]), None); // no direct edge
+    }
+}

@@ -1,0 +1,163 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! Trust networks have a large strongly connected "core" of mutually
+//! reachable users; the eval harness reports it as a structural statistic
+//! and EigenTrust's convergence behaviour depends on it.
+
+use crate::DiGraph;
+
+/// Result of an SCC decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccResult {
+    /// Component id per node (components are numbered in reverse
+    /// topological order of the condensation, per Tarjan).
+    pub component: Vec<usize>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl SccResult {
+    /// Sizes of all components, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.component {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Tarjan's algorithm, implemented iteratively so deep graphs cannot
+/// overflow the call stack.
+pub fn tarjan_scc(g: &DiGraph) -> SccResult {
+    let n = g.node_count();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut component = vec![UNSET; n];
+    let mut next_index = 0usize;
+    let mut comp_count = 0usize;
+
+    // Explicit DFS frames: (node, next neighbor offset).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (u, ref mut off)) = frames.last_mut() {
+            let (ns, _) = g.out_neighbors(u);
+            if *off < ns.len() {
+                let v = ns[*off] as usize;
+                *off += 1;
+                if index[v] == UNSET {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    frames.push((v, 0));
+                } else if on_stack[v] {
+                    lowlink[u] = lowlink[u].min(index[v]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[u]);
+                }
+                if lowlink[u] == index[u] {
+                    loop {
+                        let w = stack.pop().expect("scc stack underflow");
+                        on_stack[w] = false;
+                        component[w] = comp_count;
+                        if w == u {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+            }
+        }
+    }
+
+    SccResult {
+        component,
+        count: comp_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = DiGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, 1);
+        assert_eq!(scc.largest(), 3);
+    }
+
+    #[test]
+    fn dag_gives_singletons() {
+        let g = DiGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, 3);
+        assert_eq!(scc.sizes(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        // cycle {0,1}, cycle {2,3}, bridge 1 -> 2
+        let g = DiGraph::from_edges(
+            4,
+            [
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (2, 3, 1.0),
+                (3, 2, 1.0),
+                (1, 2, 1.0),
+            ],
+        )
+        .unwrap();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, 2);
+        assert_eq!(scc.component[0], scc.component[1]);
+        assert_eq!(scc.component[2], scc.component[3]);
+        assert_ne!(scc.component[0], scc.component[2]);
+        // Reverse topological numbering: downstream component gets the
+        // smaller id.
+        assert!(scc.component[2] < scc.component[0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, []).unwrap();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, 0);
+        assert_eq!(scc.largest(), 0);
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        let n = 100_000;
+        let edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        let g = DiGraph::from_edges(n, edges).unwrap();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, n);
+    }
+}

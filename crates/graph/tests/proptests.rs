@@ -1,0 +1,121 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use wot_graph::{metrics, paths, scc, traversal, DiGraph};
+
+const MAX_N: usize = 20;
+
+fn graph_input() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2..MAX_N).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n, 0.01f64..1.0), 0..n * 3),
+        )
+    })
+}
+
+proptest! {
+    /// In/out degree sums both equal the edge count.
+    #[test]
+    fn degree_sums_match_edge_count((n, edges) in graph_input()) {
+        let g = DiGraph::from_edges(n, edges).unwrap();
+        let out_sum: usize = (0..n).map(|u| g.out_degree(u)).sum();
+        let in_sum: usize = (0..n).map(|u| g.in_degree(u)).sum();
+        prop_assert_eq!(out_sum, g.edge_count());
+        prop_assert_eq!(in_sum, g.edge_count());
+    }
+
+    /// Reversing twice is the identity.
+    #[test]
+    fn reverse_involution((n, edges) in graph_input()) {
+        let g = DiGraph::from_edges(n, edges).unwrap();
+        prop_assert_eq!(&g.reversed().reversed(), &g);
+    }
+
+    /// BFS depth is monotone along any edge of the BFS tree:
+    /// depth(v) <= depth(u) + 1 for every edge u -> v with u reachable.
+    #[test]
+    fn bfs_triangle_inequality((n, edges) in graph_input()) {
+        let g = DiGraph::from_edges(n, edges).unwrap();
+        let d = traversal::bfs_depths(&g, 0, None);
+        for (u, v, _) in g.edges() {
+            if let Some(du) = d[u] {
+                let dv = d[v].expect("neighbor of reachable node is reachable");
+                prop_assert!(dv <= du + 1);
+            }
+        }
+    }
+
+    /// Every shortest path enumerated has length == bfs depth and positive
+    /// strength.
+    #[test]
+    fn shortest_paths_have_bfs_length((n, edges) in graph_input()) {
+        let g = DiGraph::from_edges(n, edges).unwrap();
+        let d = traversal::bfs_depths(&g, 0, None);
+        #[allow(clippy::needless_range_loop)] // `sink` is also a node id argument
+        for sink in 1..n {
+            let ps = paths::shortest_paths(&g, 0, sink, None, 20);
+            match d[sink] {
+                None => prop_assert!(ps.is_empty()),
+                Some(depth) => {
+                    prop_assert!(!ps.is_empty());
+                    for p in &ps {
+                        prop_assert_eq!(p.len(), depth + 1);
+                        prop_assert_eq!(p[0], 0);
+                        prop_assert_eq!(*p.last().unwrap(), sink);
+                        if depth > 0 {
+                            prop_assert!(paths::path_strength(&g, p).unwrap() > 0.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Nodes in the same SCC are mutually reachable; nodes in different
+    /// SCCs are not (checked via reachability sets).
+    #[test]
+    fn scc_consistency((n, edges) in graph_input()) {
+        let g = DiGraph::from_edges(n, edges).unwrap();
+        let r = scc::tarjan_scc(&g);
+        prop_assert_eq!(r.component.len(), n);
+        prop_assert_eq!(r.sizes().iter().sum::<usize>(), n);
+        // Spot-check pairs (full check is O(n^2) BFS; n is small here).
+        for u in 0..n {
+            let reach_u: std::collections::HashSet<usize> =
+                traversal::reachable_from(&g, u).into_iter().collect();
+            for v in 0..n {
+                if r.component[u] == r.component[v] {
+                    prop_assert!(reach_u.contains(&v),
+                        "same SCC must be mutually reachable: {} {}", u, v);
+                }
+            }
+        }
+    }
+
+    /// Weak components are coarser than SCCs.
+    #[test]
+    fn weak_coarser_than_strong((n, edges) in graph_input()) {
+        let g = DiGraph::from_edges(n, edges).unwrap();
+        let strong = scc::tarjan_scc(&g);
+        let weak = traversal::weak_components(&g);
+        for u in 0..n {
+            for v in 0..n {
+                if strong.component[u] == strong.component[v] {
+                    prop_assert_eq!(weak[u], weak[v]);
+                }
+            }
+        }
+    }
+
+    /// Summary invariants: density in [0,1], reciprocity in [0,1].
+    #[test]
+    fn summary_ranges((n, edges) in graph_input()) {
+        let g = DiGraph::from_edges(n, edges).unwrap();
+        let s = metrics::summarize(&g);
+        prop_assert!(s.reciprocity >= 0.0 && s.reciprocity <= 1.0);
+        prop_assert!(s.density >= 0.0);
+        let h = metrics::out_degree_histogram(&g);
+        prop_assert_eq!(h.iter().sum::<usize>(), n);
+    }
+}

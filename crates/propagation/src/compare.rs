@@ -1,0 +1,147 @@
+//! Comparing propagation outcomes across webs of trust.
+//!
+//! The paper's future work proposes propagating the *derived* web of trust
+//! and comparing against propagation over the *explicit* one. These
+//! utilities quantify agreement between two score vectors over the same
+//! user population: Spearman rank correlation and top-k overlap.
+
+/// Spearman rank correlation between two score vectors.
+///
+/// Ties receive average ranks (the standard treatment). Returns `None`
+/// when the vectors differ in length, are shorter than 2, or either one is
+/// constant (correlation undefined).
+pub fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Pearson correlation of two equal-length vectors; `None` if undefined.
+pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va * vb).sqrt())
+}
+
+/// Average ranks (1-based) with tie averaging.
+fn average_ranks(x: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..x.len()).collect();
+    order.sort_by(|&i, &j| {
+        x[i].partial_cmp(&x[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(i.cmp(&j))
+    });
+    let mut ranks = vec![0.0; x.len()];
+    let mut k = 0;
+    while k < order.len() {
+        let mut end = k + 1;
+        while end < order.len() && x[order[end]] == x[order[k]] {
+            end += 1;
+        }
+        // Average 1-based rank across the tie group [k, end).
+        let avg = (k + 1 + end) as f64 / 2.0;
+        for &idx in &order[k..end] {
+            ranks[idx] = avg;
+        }
+        k = end;
+    }
+    ranks
+}
+
+/// Jaccard overlap of the top-`k` index sets of two score vectors
+/// (descending by score, index ascending as tie-break).
+pub fn top_k_jaccard(a: &[f64], b: &[f64], k: usize) -> Option<f64> {
+    if a.len() != b.len() || k == 0 {
+        return None;
+    }
+    let top = |x: &[f64]| -> std::collections::HashSet<usize> {
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        order.sort_by(|&i, &j| {
+            x[j].partial_cmp(&x[i])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(i.cmp(&j))
+        });
+        order.into_iter().take(k).collect()
+    };
+    let sa = top(a);
+    let sb = top(b);
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        None
+    } else {
+        Some(inter as f64 / union as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&a, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone nonlinear transform preserves rho = 1.
+        let a = [1.0f64, 2.0, 3.0, 4.0];
+        let exp: Vec<f64> = a.iter().map(|&x| x.exp()).collect();
+        assert!((spearman(&a, &exp).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_ties_averaged() {
+        let a = [1.0, 1.0, 2.0];
+        let b = [5.0, 5.0, 9.0];
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(spearman(&[1.0], &[2.0]).is_none());
+        assert!(spearman(&[1.0, 2.0], &[2.0]).is_none());
+        assert!(spearman(&[1.0, 1.0], &[1.0, 2.0]).is_none()); // constant
+        assert!(pearson(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn top_k_jaccard_overlap() {
+        let a = [0.9, 0.8, 0.1, 0.0];
+        let b = [0.8, 0.9, 0.0, 0.1];
+        assert!((top_k_jaccard(&a, &b, 2).unwrap() - 1.0).abs() < 1e-12);
+        let c = [0.0, 0.1, 0.8, 0.9];
+        assert_eq!(top_k_jaccard(&a, &c, 2).unwrap(), 0.0);
+        assert!(top_k_jaccard(&a, &c, 0).is_none());
+        assert!(top_k_jaccard(&a, &[0.0], 1).is_none());
+    }
+
+    #[test]
+    fn average_ranks_tie_groups() {
+        let r = average_ranks(&[3.0, 1.0, 1.0, 2.0]);
+        assert_eq!(r, vec![4.0, 1.5, 1.5, 3.0]);
+    }
+}

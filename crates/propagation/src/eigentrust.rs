@@ -1,0 +1,255 @@
+//! EigenTrust (Kamvar, Schlosser & Garcia-Molina, WWW 2003).
+//!
+//! The *global* trust model of the paper's related work: every user gets a
+//! single community-wide trust value, the stationary distribution of a
+//! damped random walk over the row-normalized local trust matrix:
+//!
+//! ```text
+//! t⁽ᵏ⁺¹⁾ = (1 − a)·Cᵀ·t⁽ᵏ⁾ + a·p
+//! ```
+//!
+//! where `C` is row-stochastic local trust, `p` the pre-trusted
+//! distribution and `a` the damping weight. Dangling users (no outgoing
+//! trust) have their walk mass redistributed to `p`, which keeps the
+//! iteration a proper Markov chain — the standard PageRank-style fix.
+
+use wot_sparse::Csr;
+
+use crate::{PropagationError, Result};
+
+/// EigenTrust parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenTrustConfig {
+    /// Damping weight `a` toward the pre-trusted distribution (the paper's
+    /// experiments use 0.1–0.2).
+    pub damping: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// L∞ convergence tolerance between successive trust vectors.
+    pub tolerance: f64,
+    /// Pre-trusted users (uniform mass over them); `None` = uniform over
+    /// everyone.
+    pub pretrusted: Option<Vec<usize>>,
+}
+
+impl Default for EigenTrustConfig {
+    fn default() -> Self {
+        Self {
+            damping: 0.15,
+            // Contraction rate is (1 − damping) ≈ 0.85 per sweep, so an
+            // L∞ tolerance of 1e-10 needs ≈ 145 sweeps; 300 leaves slack.
+            max_iters: 300,
+            tolerance: 1e-10,
+            pretrusted: None,
+        }
+    }
+}
+
+/// Converged global trust values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenTrustResult {
+    /// Global trust per user; sums to 1.
+    pub scores: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether tolerance was met before the cap.
+    pub converged: bool,
+}
+
+/// Runs EigenTrust over a local trust matrix (entry `(i, j)` ≥ 0 is `i`'s
+/// local trust in `j`; it is row-normalized internally).
+pub fn eigentrust(local_trust: &Csr, cfg: &EigenTrustConfig) -> Result<EigenTrustResult> {
+    if local_trust.nrows() != local_trust.ncols() {
+        return Err(PropagationError::Sparse(
+            wot_sparse::SparseError::ShapeMismatch {
+                left: local_trust.shape(),
+                right: local_trust.shape(),
+                op: "eigentrust (square required)",
+            },
+        ));
+    }
+    if !(0.0..=1.0).contains(&cfg.damping) {
+        return Err(PropagationError::InvalidConfig(
+            "damping must be in [0, 1]".into(),
+        ));
+    }
+    if cfg.max_iters == 0 {
+        return Err(PropagationError::InvalidConfig(
+            "max_iters must be at least 1".into(),
+        ));
+    }
+    let n = local_trust.nrows();
+    if n == 0 {
+        return Ok(EigenTrustResult {
+            scores: Vec::new(),
+            iterations: 0,
+            converged: true,
+        });
+    }
+    // Pre-trusted distribution p.
+    let mut p = vec![0.0f64; n];
+    match &cfg.pretrusted {
+        Some(ids) if !ids.is_empty() => {
+            for &i in ids {
+                if i >= n {
+                    return Err(PropagationError::NodeOutOfBounds {
+                        node: i,
+                        node_count: n,
+                    });
+                }
+                p[i] += 1.0;
+            }
+            wot_sparse::l1_normalize(&mut p);
+        }
+        _ => p.iter_mut().for_each(|v| *v = 1.0 / n as f64),
+    }
+
+    // Clamp negatives and drop the resulting explicit zeros, so rows whose
+    // trust mass vanishes are recognized as dangling below.
+    let c = local_trust
+        .map_values(|v| v.max(0.0))
+        .prune(0.0)
+        .row_normalize_l1();
+    let dangling: Vec<usize> = (0..n).filter(|&i| c.row_nnz(i) == 0).collect();
+
+    let mut t = p.clone();
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < cfg.max_iters {
+        iterations += 1;
+        // Walk mass leaving dangling nodes re-enters through p.
+        let dangling_mass: f64 = dangling.iter().map(|&i| t[i]).sum();
+        let mut next = c.spmv_t(&t)?;
+        for i in 0..n {
+            next[i] = (1.0 - cfg.damping) * (next[i] + dangling_mass * p[i]) + cfg.damping * p[i];
+        }
+        let delta = wot_sparse::linf_distance(&next, &t);
+        t = next;
+        if delta <= cfg.tolerance {
+            converged = true;
+            break;
+        }
+    }
+    Ok(EigenTrustResult {
+        scores: t,
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Csr {
+        Csr::from_triplets(n, n, (0..n).map(|i| (i, (i + 1) % n, 1.0))).unwrap()
+    }
+
+    #[test]
+    fn symmetric_ring_is_uniform() {
+        let r = eigentrust(&ring(5), &EigenTrustConfig::default()).unwrap();
+        assert!(r.converged);
+        for &s in &r.scores {
+            assert!((s - 0.2).abs() < 1e-6, "score {s}");
+        }
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let m = Csr::from_triplets(
+            4,
+            4,
+            [
+                (0, 1, 0.9),
+                (1, 2, 0.5),
+                (2, 0, 0.4),
+                (0, 2, 0.1),
+                (3, 0, 1.0),
+            ],
+        )
+        .unwrap();
+        let r = eigentrust(&m, &EigenTrustConfig::default()).unwrap();
+        assert!(r.converged);
+        assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn popular_node_ranks_higher() {
+        // Everyone trusts node 0; node 0 trusts node 1.
+        let m =
+            Csr::from_triplets(4, 4, [(1, 0, 1.0), (2, 0, 1.0), (3, 0, 1.0), (0, 1, 1.0)]).unwrap();
+        let r = eigentrust(&m, &EigenTrustConfig::default()).unwrap();
+        assert!(r.scores[0] > r.scores[2]);
+        assert!(r.scores[0] > r.scores[3]);
+        assert!(r.scores[1] > r.scores[2]); // receives node 0's endorsement
+    }
+
+    #[test]
+    fn dangling_nodes_handled() {
+        // Node 2 has no out-edges; mass must not leak.
+        let m = Csr::from_triplets(3, 3, [(0, 2, 1.0), (1, 2, 1.0)]).unwrap();
+        let r = eigentrust(&m, &EigenTrustConfig::default()).unwrap();
+        assert!(r.converged);
+        assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(r.scores[2] > r.scores[0]);
+    }
+
+    #[test]
+    fn pretrusted_bias() {
+        let m = ring(4);
+        let biased = eigentrust(
+            &m,
+            &EigenTrustConfig {
+                pretrusted: Some(vec![0]),
+                ..EigenTrustConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(biased.scores[0] > biased.scores[2]);
+    }
+
+    #[test]
+    fn config_validation() {
+        let m = ring(3);
+        assert!(eigentrust(
+            &m,
+            &EigenTrustConfig {
+                damping: 1.5,
+                ..EigenTrustConfig::default()
+            }
+        )
+        .is_err());
+        assert!(eigentrust(
+            &m,
+            &EigenTrustConfig {
+                max_iters: 0,
+                ..EigenTrustConfig::default()
+            }
+        )
+        .is_err());
+        assert!(eigentrust(
+            &m,
+            &EigenTrustConfig {
+                pretrusted: Some(vec![99]),
+                ..EigenTrustConfig::default()
+            }
+        )
+        .is_err());
+        let rect = Csr::empty(2, 3);
+        assert!(eigentrust(&rect, &EigenTrustConfig::default()).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = eigentrust(&Csr::empty(0, 0), &EigenTrustConfig::default()).unwrap();
+        assert!(r.scores.is_empty());
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn negative_weights_clamped() {
+        let m = Csr::from_triplets(2, 2, [(0, 1, -5.0), (1, 0, 1.0)]).unwrap();
+        let r = eigentrust(&m, &EigenTrustConfig::default()).unwrap();
+        assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Errors raised by propagation algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropagationError {
+    /// Configuration field out of range.
+    InvalidConfig(String),
+    /// A node id was out of bounds for the graph/matrix.
+    NodeOutOfBounds {
+        /// The offending node.
+        node: usize,
+        /// Number of nodes available.
+        node_count: usize,
+    },
+    /// Propagated from the sparse layer.
+    Sparse(wot_sparse::SparseError),
+    /// Propagated from the graph layer.
+    Graph(wot_graph::GraphError),
+}
+
+impl fmt::Display for PropagationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropagationError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            PropagationError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds ({node_count} nodes)")
+            }
+            PropagationError::Sparse(e) => write!(f, "sparse error: {e}"),
+            PropagationError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PropagationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PropagationError::Sparse(e) => Some(e),
+            PropagationError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wot_sparse::SparseError> for PropagationError {
+    fn from(e: wot_sparse::SparseError) -> Self {
+        PropagationError::Sparse(e)
+    }
+}
+
+impl From<wot_graph::GraphError> for PropagationError {
+    fn from(e: wot_graph::GraphError) -> Self {
+        PropagationError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PropagationError::InvalidConfig("damping".into())
+            .to_string()
+            .contains("damping"));
+        assert!(PropagationError::NodeOutOfBounds {
+            node: 5,
+            node_count: 2
+        }
+        .to_string()
+        .contains('5'));
+        let e: PropagationError = wot_sparse::SparseError::DimensionTooLarge(1).into();
+        assert!(e.to_string().contains("sparse"));
+        let e: PropagationError = wot_graph::GraphError::NotSquare { nrows: 1, ncols: 2 }.into();
+        assert!(e.to_string().contains("graph"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # wot-propagation — trust propagation over a web of trust
+//!
+//! The related work the paper positions itself against (§II), implemented
+//! so the evaluation harness can (a) compare the derived web of trust
+//! against classic propagation models and (b) run the paper's stated
+//! future work — "propagate our derived web of trust and compare the
+//! propagation results between our web of trust and a web of trust
+//! constructed with users' explicit trust ratings":
+//!
+//! * [`eigentrust`] — Kamvar, Schlosser & Garcia-Molina (WWW 2003): the
+//!   global trust model; a damped power iteration on the row-normalized
+//!   trust matrix (ref \[8\] in the paper).
+//! * [`tidaltrust`] — Golbeck (2005): the local trust model; weighted
+//!   averages along strongest shortest paths (ref \[3\]).
+//! * [`appleseed`] — Ziegler & Lausen (EEE 2004): spreading activation
+//!   (ref \[9\]).
+//! * [`guha`] — Guha, Kumar, Raghavan & Tomkins (WWW 2004): atomic
+//!   propagations (direct, co-citation, transpose, coupling) with optional
+//!   distrust (ref \[5\]).
+//! * [`compare`] — rank-correlation and overlap utilities for comparing
+//!   propagation outcomes across different webs of trust.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appleseed;
+pub mod compare;
+pub mod eigentrust;
+mod error;
+pub mod guha;
+pub mod rounding;
+pub mod tidaltrust;
+
+pub use error::PropagationError;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, PropagationError>;

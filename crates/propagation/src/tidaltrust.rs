@@ -1,0 +1,266 @@
+//! TidalTrust (Golbeck, 2005).
+//!
+//! The *local* trust model of the paper's related work: to infer the trust
+//! of a `source` in a `sink`, walk only the **shortest** paths between
+//! them, keep the paths whose strength (weakest edge) reaches the best
+//! achievable strength (the `max` threshold), and average trust backwards
+//! from the sink weighted by the source side of each hop:
+//!
+//! ```text
+//! t(v, sink) = Σ_{w ∈ succ(v), w(v,w) ≥ threshold} w(v,w)·t(w, sink)
+//!              ───────────────────────────────────────────────────────
+//!              Σ_{w ∈ succ(v), w(v,w) ≥ threshold} w(v,w)
+//! ```
+//!
+//! where `succ(v)` are v's successors on the shortest-path DAG that reach
+//! the sink. The paper cites TidalTrust's sensitivity to the web of
+//! trust's sparsity — exactly what the derived `T̂` is meant to fix — so
+//! the result reports path availability explicitly.
+
+use wot_graph::{paths, DiGraph};
+
+use crate::{PropagationError, Result};
+
+/// TidalTrust parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TidalTrustConfig {
+    /// Maximum search depth (hops) from the source; `None` = unbounded.
+    /// Golbeck's experiments bound this for tractability.
+    pub max_depth: Option<usize>,
+}
+
+impl Default for TidalTrustConfig {
+    fn default() -> Self {
+        Self { max_depth: Some(6) }
+    }
+}
+
+/// Outcome of a single source→sink inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TidalTrustResult {
+    /// Inferred trust in `[0, 1]`, or `None` when no path exists within
+    /// the depth bound (the sparsity failure mode the paper discusses).
+    pub trust: Option<f64>,
+    /// The strength threshold (`max`) used for path filtering.
+    pub threshold: f64,
+    /// Hop length of the shortest paths used.
+    pub path_length: Option<usize>,
+}
+
+/// Infers `source`'s trust in `sink` over a weighted trust graph.
+pub fn tidaltrust(
+    g: &DiGraph,
+    source: usize,
+    sink: usize,
+    cfg: &TidalTrustConfig,
+) -> Result<TidalTrustResult> {
+    let n = g.node_count();
+    for node in [source, sink] {
+        if node >= n {
+            return Err(PropagationError::NodeOutOfBounds {
+                node,
+                node_count: n,
+            });
+        }
+    }
+    if source == sink {
+        return Ok(TidalTrustResult {
+            trust: Some(1.0),
+            threshold: 1.0,
+            path_length: Some(0),
+        });
+    }
+    // Direct edge short-circuits: trust is the stated value.
+    if let Some(w) = g.edge_weight(source, sink) {
+        return Ok(TidalTrustResult {
+            trust: Some(w),
+            threshold: w,
+            path_length: Some(1),
+        });
+    }
+    let dag = paths::shortest_path_dag(g, source, cfg.max_depth);
+    let Some(sink_depth) = dag.depth[sink] else {
+        return Ok(TidalTrustResult {
+            trust: None,
+            threshold: 0.0,
+            path_length: None,
+        });
+    };
+
+    // Restrict to nodes on shortest paths to the sink: walk predecessors
+    // backwards from the sink, collecting per-depth layers.
+    let mut on_path = vec![false; n];
+    on_path[sink] = true;
+    let mut layer = vec![sink];
+    let mut layers: Vec<Vec<usize>> = vec![vec![sink]];
+    while let Some(&probe) = layer.first() {
+        if dag.depth[probe] == Some(0) {
+            break;
+        }
+        let mut prev_layer = Vec::new();
+        for &v in &layer {
+            for &p in &dag.preds[v] {
+                let p = p as usize;
+                if !on_path[p] {
+                    on_path[p] = true;
+                    prev_layer.push(p);
+                }
+            }
+        }
+        prev_layer.sort_unstable();
+        layers.push(prev_layer.clone());
+        layer = prev_layer;
+    }
+    layers.reverse(); // layers[d] = on-path nodes at depth d
+
+    // Successors on the DAG, per on-path node.
+    let succ = |v: usize| -> Vec<(usize, f64)> {
+        let (ns, ws) = g.out_neighbors(v);
+        let dv = dag.depth[v].expect("on-path nodes have depth");
+        ns.iter()
+            .zip(ws)
+            .filter_map(|(&w, &weight)| {
+                let w = w as usize;
+                (on_path[w] && dag.depth[w] == Some(dv + 1)).then_some((w, weight))
+            })
+            .collect()
+    };
+
+    // Threshold = the strength of the strongest shortest path (DP backward
+    // from the sink: strength(v) = max over succ of min(edge, strength)).
+    let mut strength = vec![f64::NEG_INFINITY; n];
+    strength[sink] = f64::INFINITY;
+    for d in (0..layers.len().saturating_sub(1)).rev() {
+        for &v in &layers[d] {
+            for (w, weight) in succ(v) {
+                strength[v] = strength[v].max(weight.min(strength[w]));
+            }
+        }
+    }
+    let threshold = if strength[source].is_finite() {
+        strength[source]
+    } else {
+        0.0
+    };
+
+    // Backward weighted average with the threshold filter. Base case:
+    // a node one hop before the sink takes its *stated* rating of the sink
+    // (Golbeck's t(v, sink) = w(v, sink)), not an average.
+    let mut trust = vec![None::<f64>; n];
+    if layers.len() >= 2 {
+        for &v in &layers[layers.len() - 2] {
+            trust[v] = g.edge_weight(v, sink);
+        }
+    }
+    for d in (0..layers.len().saturating_sub(2)).rev() {
+        for &v in &layers[d] {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (w, weight) in succ(v) {
+                if weight >= threshold {
+                    if let Some(tw) = trust[w] {
+                        num += weight * tw;
+                        den += weight;
+                    }
+                }
+            }
+            if den > 0.0 {
+                trust[v] = Some(num / den);
+            }
+        }
+    }
+
+    Ok(TidalTrustResult {
+        trust: trust[source],
+        threshold,
+        path_length: Some(sink_depth),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_edge_returns_stated_trust() {
+        let g = DiGraph::from_edges(2, [(0, 1, 0.7)]).unwrap();
+        let r = tidaltrust(&g, 0, 1, &TidalTrustConfig::default()).unwrap();
+        assert_eq!(r.trust, Some(0.7));
+        assert_eq!(r.path_length, Some(1));
+    }
+
+    #[test]
+    fn self_trust_is_one() {
+        let g = DiGraph::from_edges(1, []).unwrap();
+        let r = tidaltrust(&g, 0, 0, &TidalTrustConfig::default()).unwrap();
+        assert_eq!(r.trust, Some(1.0));
+    }
+
+    #[test]
+    fn two_hop_weighted_average() {
+        // 0 -> 1 (0.8) -> 3 (0.5); 0 -> 2 (0.4) -> 3 (1.0)
+        // Strengths: via 1 = min(0.8, 0.5) = 0.5; via 2 = 0.4 → threshold 0.5.
+        // Only neighbor 1 passes (0.8 ≥ 0.5; 2's edge 0.4 < 0.5):
+        // t = (0.8·0.5)/0.8 = 0.5
+        let g =
+            DiGraph::from_edges(4, [(0, 1, 0.8), (1, 3, 0.5), (0, 2, 0.4), (2, 3, 1.0)]).unwrap();
+        let r = tidaltrust(&g, 0, 3, &TidalTrustConfig::default()).unwrap();
+        assert!((r.threshold - 0.5).abs() < 1e-12);
+        assert!((r.trust.unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(r.path_length, Some(2));
+    }
+
+    #[test]
+    fn averages_when_both_paths_pass() {
+        // Both branches have strength 0.6 → threshold 0.6, both pass:
+        // t = (0.8·0.6 + 0.6·1.0)/(0.8 + 0.6) = (0.48+0.6)/1.4 = 0.7714…
+        let g =
+            DiGraph::from_edges(4, [(0, 1, 0.8), (1, 3, 0.6), (0, 2, 0.6), (2, 3, 1.0)]).unwrap();
+        let r = tidaltrust(&g, 0, 3, &TidalTrustConfig::default()).unwrap();
+        assert!((r.trust.unwrap() - (0.48 + 0.6) / 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_path_gives_none() {
+        let g = DiGraph::from_edges(3, [(0, 1, 1.0)]).unwrap();
+        let r = tidaltrust(&g, 0, 2, &TidalTrustConfig::default()).unwrap();
+        assert_eq!(r.trust, None);
+        assert_eq!(r.path_length, None);
+    }
+
+    #[test]
+    fn depth_bound_cuts_long_paths() {
+        let g = DiGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let bounded = tidaltrust(&g, 0, 3, &TidalTrustConfig { max_depth: Some(2) }).unwrap();
+        assert_eq!(bounded.trust, None);
+        let unbounded = tidaltrust(&g, 0, 3, &TidalTrustConfig { max_depth: None }).unwrap();
+        assert_eq!(unbounded.trust, Some(1.0));
+    }
+
+    #[test]
+    fn longer_paths_ignored_when_shorter_exist() {
+        // Shortest (2 hops, weak) vs longer (3 hops, strong): TidalTrust
+        // uses only the shortest.
+        let g = DiGraph::from_edges(
+            5,
+            [
+                (0, 1, 0.2),
+                (1, 4, 0.2),
+                (0, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+            ],
+        )
+        .unwrap();
+        let r = tidaltrust(&g, 0, 4, &TidalTrustConfig::default()).unwrap();
+        assert_eq!(r.path_length, Some(2));
+        assert!((r.trust.unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_bounds_checked() {
+        let g = DiGraph::from_edges(2, [(0, 1, 1.0)]).unwrap();
+        assert!(tidaltrust(&g, 0, 9, &TidalTrustConfig::default()).is_err());
+        assert!(tidaltrust(&g, 9, 0, &TidalTrustConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the propagation algorithms.
+
+use proptest::prelude::*;
+use wot_graph::DiGraph;
+use wot_propagation::{
+    appleseed::{appleseed, AppleseedConfig},
+    compare,
+    eigentrust::{eigentrust, EigenTrustConfig},
+    guha::{propagate, GuhaConfig},
+    tidaltrust::{tidaltrust, TidalTrustConfig},
+};
+use wot_sparse::Csr;
+
+const MAX_N: usize = 12;
+
+fn graph_input() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2..MAX_N).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n, 0.05f64..1.0), 1..n * 2).prop_map(|edges| {
+                // DiGraph sums parallel edges; dedup so weights stay
+                // within the trust range [0, 1].
+                let mut seen = std::collections::HashSet::new();
+                edges
+                    .into_iter()
+                    .filter(|&(s, d, _)| seen.insert((s, d)))
+                    .collect()
+            }),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// EigenTrust always yields a probability distribution.
+    #[test]
+    fn eigentrust_is_distribution((n, edges) in graph_input()) {
+        let g = DiGraph::from_edges(n, edges).unwrap();
+        let r = eigentrust(g.adjacency(), &EigenTrustConfig::default()).unwrap();
+        prop_assert!(r.converged);
+        prop_assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+        prop_assert!(r.scores.iter().all(|&s| s >= 0.0));
+    }
+
+    /// EigenTrust is invariant to positive scaling of local trust (it
+    /// row-normalizes internally).
+    #[test]
+    fn eigentrust_scale_invariant((n, edges) in graph_input(), scale in 0.5f64..10.0) {
+        let g = DiGraph::from_edges(n, edges.clone()).unwrap();
+        let scaled = DiGraph::from_edges(
+            n,
+            edges.into_iter().map(|(s, d, w)| (s, d, w * scale)),
+        )
+        .unwrap();
+        let a = eigentrust(g.adjacency(), &EigenTrustConfig::default()).unwrap();
+        let b = eigentrust(scaled.adjacency(), &EigenTrustConfig::default()).unwrap();
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            prop_assert!((x - y).abs() < 1e-7);
+        }
+    }
+
+    /// TidalTrust results stay in [0, 1] and direct edges dominate.
+    #[test]
+    fn tidaltrust_in_unit_range((n, edges) in graph_input()) {
+        let g = DiGraph::from_edges(n, edges).unwrap();
+        for source in 0..n.min(4) {
+            for sink in 0..n.min(4) {
+                let r = tidaltrust(&g, source, sink, &TidalTrustConfig::default()).unwrap();
+                if let Some(t) = r.trust {
+                    prop_assert!((0.0..=1.0 + 1e-12).contains(&t), "t={t}");
+                }
+                if let Some(w) = g.edge_weight(source, sink) {
+                    if source != sink {
+                        prop_assert_eq!(r.trust, Some(w));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Appleseed: ranks are non-negative, total bounded by injection, and
+    /// only reachable nodes are ranked.
+    #[test]
+    fn appleseed_energy_conservation((n, edges) in graph_input()) {
+        let g = DiGraph::from_edges(n, edges).unwrap();
+        let r = appleseed(&g, 0, &AppleseedConfig::default()).unwrap();
+        prop_assert!(r.rank.iter().all(|&x| x >= 0.0));
+        let total: f64 = r.rank.iter().sum();
+        prop_assert!(total <= 200.0 + 1e-6);
+        let reachable: std::collections::HashSet<usize> =
+            wot_graph::traversal::reachable_from(&g, 0).into_iter().collect();
+        for (v, &rank) in r.rank.iter().enumerate() {
+            if !reachable.contains(&v) {
+                prop_assert_eq!(rank, 0.0, "unreachable node {} ranked", v);
+            }
+        }
+    }
+
+    /// Guha: with only direct propagation, one step reproduces B.
+    #[test]
+    fn guha_direct_one_step_is_identity((n, edges) in graph_input()) {
+        let g = DiGraph::from_edges(n, edges).unwrap();
+        let b: &Csr = g.adjacency();
+        let cfg = GuhaConfig {
+            alpha: [1.0, 0.0, 0.0, 0.0],
+            steps: 1,
+            ..GuhaConfig::default()
+        };
+        let r = propagate(b, None, &cfg).unwrap();
+        prop_assert_eq!(&r.beliefs, b);
+    }
+
+    /// Guha: belief support only grows with more steps (decay > 0,
+    /// non-negative alphas, no distrust).
+    #[test]
+    fn guha_support_monotone_in_steps((n, edges) in graph_input()) {
+        let g = DiGraph::from_edges(n, edges).unwrap();
+        let mk = |steps| GuhaConfig {
+            steps,
+            decay: 0.5,
+            ..GuhaConfig::default()
+        };
+        let one = propagate(g.adjacency(), None, &mk(1)).unwrap();
+        let three = propagate(g.adjacency(), None, &mk(3)).unwrap();
+        // Every coordinate present after 1 step persists after 3 (all
+        // terms are non-negative so no cancellation).
+        let missing = one.beliefs.subtract_pattern(&three.beliefs).unwrap();
+        prop_assert_eq!(missing.nnz(), 0);
+        prop_assert!(three.beliefs.nnz() >= one.beliefs.nnz());
+    }
+
+    /// Spearman is symmetric and bounded.
+    #[test]
+    fn spearman_properties(
+        xs in proptest::collection::vec(0.0f64..100.0, 3..30),
+        shift in -10.0f64..10.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|&x| x + shift).collect();
+        if let Some(rho) = compare::spearman(&xs, &ys) {
+            prop_assert!((rho - 1.0).abs() < 1e-9, "shifted copy must correlate perfectly");
+        }
+        let rev: Vec<f64> = xs.iter().rev().copied().collect();
+        if let (Some(ab), Some(ba)) =
+            (compare::spearman(&xs, &rev), compare::spearman(&rev, &xs))
+        {
+            prop_assert!((ab - ba).abs() < 1e-9);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ab));
+        }
+    }
+}

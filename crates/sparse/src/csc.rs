@@ -1,0 +1,135 @@
+use crate::Csr;
+
+/// Compressed sparse column matrix.
+///
+/// The column-sliced twin of [`Csr`]: within a column, row indices are
+/// strictly increasing. Used where per-column scans dominate — e.g. "all
+/// ratings received by review *j*" when ratings are stored rater×review.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl Csc {
+    /// Builds from a [`Csr`] (cost: one counting sort over the entries).
+    pub fn from_csr(csr: &Csr) -> Self {
+        let t = csr.transpose(); // rows of t are the columns of csr
+        let mut col_ptr = Vec::with_capacity(t.nrows() + 1);
+        col_ptr.push(0usize);
+        let mut row_idx = Vec::with_capacity(t.nnz());
+        let mut values = Vec::with_capacity(t.nnz());
+        for j in 0..t.nrows() {
+            let (rows, vals) = t.row(j);
+            row_idx.extend_from_slice(rows);
+            values.extend_from_slice(vals);
+            col_ptr.push(row_idx.len());
+        }
+        Self {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row indices and values of column `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= ncols`.
+    pub fn col(&self, j: usize) -> (&[u32], &[f64]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in column `j`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Value at `(i, j)` if explicitly stored.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        if i >= self.nrows || j >= self.ncols {
+            return None;
+        }
+        let (rows, vals) = self.col(j);
+        rows.binary_search(&(i as u32)).ok().map(|k| vals[k])
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> Csr {
+        let mut coo = crate::Coo::new(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                coo.push(i as usize, j, v)
+                    .expect("csc invariant: indices in bounds");
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> Csr {
+        // [ 0  2  0 ]
+        // [ 1  0  3 ]
+        // [ 4  0  0 ]
+        Csr::from_triplets(3, 3, [(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0), (2, 0, 4.0)]).unwrap()
+    }
+
+    #[test]
+    fn from_csr_column_slices() {
+        let csc = Csc::from_csr(&sample_csr());
+        assert_eq!(csc.nnz(), 4);
+        assert_eq!(csc.col(0), (&[1u32, 2][..], &[1.0, 4.0][..]));
+        assert_eq!(csc.col(1), (&[0u32][..], &[2.0][..]));
+        assert_eq!(csc.col_nnz(2), 1);
+    }
+
+    #[test]
+    fn get_matches_csr() {
+        let csr = sample_csr();
+        let csc = csr.to_csc();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(csc.get(i, j), csr.get(i, j), "mismatch at ({i},{j})");
+            }
+        }
+        assert_eq!(csc.get(10, 0), None);
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let csr = sample_csr();
+        assert_eq!(csr.to_csc().to_csr(), csr);
+    }
+}

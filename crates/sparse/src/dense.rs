@@ -1,0 +1,267 @@
+use crate::{Csr, Result, SparseError};
+
+/// Row-major dense matrix.
+///
+/// Sized for the tall-skinny user×category blocks of the pipeline (the
+/// expertise matrix `E` and affiliation matrix `A` are ~40k×12 in the
+/// paper's dataset — a few megabytes). Not intended for user×user data;
+/// that's what [`Csr`] is for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Dense {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Matrix filled with `value`.
+    pub fn filled(nrows: usize, ncols: usize, value: f64) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![value; nrows * ncols],
+        }
+    }
+
+    /// Builds from a row-major data vector.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != nrows * ncols {
+            return Err(SparseError::VectorLengthMismatch {
+                expected: nrows * ncols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { nrows, ncols, data })
+    }
+
+    /// Builds from nested row slices (mostly for tests and fixtures).
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            if r.len() != ncols {
+                return Err(SparseError::VectorLengthMismatch {
+                    expected: ncols,
+                    actual: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self { nrows, ncols, data })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Value at `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds (dense access is an internal hot path; use
+    /// [`Dense::checked_get`] on untrusted indices).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "dense index out of bounds"
+        );
+        self.data[i * self.ncols + j]
+    }
+
+    /// Bounds-checked read.
+    pub fn checked_get(&self, i: usize, j: usize) -> Option<f64> {
+        if i < self.nrows && j < self.ncols {
+            Some(self.data[i * self.ncols + j])
+        } else {
+            None
+        }
+    }
+
+    /// Sets the value at `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "dense index out of bounds"
+        );
+        self.data[i * self.ncols + j] = value;
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Mutable row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Per-row sums.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.nrows).map(|i| self.row(i).iter().sum()).collect()
+    }
+
+    /// Per-column sums.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut s = vec![0.0; self.ncols];
+        for i in 0..self.nrows {
+            for (j, v) in self.row(i).iter().enumerate() {
+                s[j] += v;
+            }
+        }
+        s
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Dense × dense product (small matrices only — O(n·m·k)).
+    pub fn matmul(&self, other: &Dense) -> Result<Dense> {
+        if self.ncols != other.nrows {
+            return Err(SparseError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "dense matmul",
+            });
+        }
+        let mut out = Dense::zeros(self.nrows, other.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.ncols {
+                    out.data[i * other.ncols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Dense {
+        let mut out = Dense::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Converts to CSR, storing every non-zero element.
+    pub fn to_csr(&self) -> Csr {
+        let mut coo = crate::Coo::new(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            for (j, &v) in self.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    coo.push(i, j, v).expect("dense shape matches coo shape");
+                }
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_and_get() {
+        let m = Dense::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Dense::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn from_vec_validates_len() {
+        assert!(Dense::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Dense::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn checked_get_handles_out_of_bounds() {
+        let m = Dense::zeros(2, 2);
+        assert_eq!(m.checked_get(0, 0), Some(0.0));
+        assert_eq!(m.checked_get(2, 0), None);
+    }
+
+    #[test]
+    fn sums() {
+        let m = Dense::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.row_sums(), vec![3.0, 7.0]);
+        assert_eq!(m.col_sums(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_reference() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        let b = Dense::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Dense::from_rows(&[&[2.0, 1.0], &[1.0, 0.0]]).unwrap());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Dense::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn to_csr_skips_zeros() {
+        let m = Dense::from_rows(&[&[0.0, 2.0], &[0.0, 0.0]]).unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn map_inplace_applies() {
+        let mut m = Dense::filled(2, 2, 2.0);
+        m.map_inplace(|v| v * v);
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+}

@@ -1,0 +1,156 @@
+use std::collections::HashMap;
+
+use crate::{Coo, Csr, Result, SparseError};
+
+/// Dictionary-of-keys sparse matrix: random-access assembly with overwrite
+/// semantics.
+///
+/// Unlike [`Coo`], setting the same coordinate twice *replaces* the value
+/// (useful when re-deriving a cell, e.g. updating a review's quality during
+/// fixed-point iteration) and entries can be read back during assembly.
+#[derive(Debug, Clone, Default)]
+pub struct Dok {
+    nrows: usize,
+    ncols: usize,
+    map: HashMap<(u32, u32), f64>,
+}
+
+impl Dok {
+    /// Creates an empty matrix with the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Sets `(i, j)` to `value`, replacing any previous value.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.map.insert((row as u32, col as u32), value);
+        Ok(())
+    }
+
+    /// Adds `delta` to `(i, j)` (creating the entry if absent).
+    pub fn add(&mut self, row: usize, col: usize, delta: f64) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        *self.map.entry((row as u32, col as u32)).or_insert(0.0) += delta;
+        Ok(())
+    }
+
+    /// Value at `(i, j)` if stored.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        self.map.get(&(row as u32, col as u32)).copied()
+    }
+
+    /// Removes and returns the entry at `(i, j)`.
+    pub fn remove(&mut self, row: usize, col: usize) -> Option<f64> {
+        self.map.remove(&(row as u32, col as u32))
+    }
+
+    /// Iterates over entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.map
+            .iter()
+            .map(|(&(r, c), &v)| (r as usize, c as usize, v))
+    }
+
+    /// Converts to triplet format.
+    pub fn to_coo(&self) -> Coo {
+        let mut coo = Coo::new(self.nrows, self.ncols);
+        coo.reserve(self.nnz());
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v).expect("dok invariant: indices in bounds");
+        }
+        coo
+    }
+
+    /// Converts to CSR.
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_coo(&self.to_coo())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_overwrites() {
+        let mut d = Dok::new(2, 2);
+        d.set(0, 0, 1.0).unwrap();
+        d.set(0, 0, 5.0).unwrap();
+        assert_eq!(d.get(0, 0), Some(5.0));
+        assert_eq!(d.nnz(), 1);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut d = Dok::new(2, 2);
+        d.add(1, 1, 1.0).unwrap();
+        d.add(1, 1, 2.5).unwrap();
+        assert_eq!(d.get(1, 1), Some(3.5));
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut d = Dok::new(1, 1);
+        assert!(d.set(1, 0, 1.0).is_err());
+        assert!(d.add(0, 1, 1.0).is_err());
+    }
+
+    #[test]
+    fn remove_returns_value() {
+        let mut d = Dok::new(2, 2);
+        d.set(0, 1, 9.0).unwrap();
+        assert_eq!(d.remove(0, 1), Some(9.0));
+        assert_eq!(d.remove(0, 1), None);
+        assert_eq!(d.nnz(), 0);
+    }
+
+    #[test]
+    fn to_csr_sorted() {
+        let mut d = Dok::new(2, 3);
+        d.set(1, 2, 3.0).unwrap();
+        d.set(0, 0, 1.0).unwrap();
+        d.set(1, 0, 2.0).unwrap();
+        let csr = d.to_csr();
+        assert_eq!(csr.row(1), (&[0u32, 2][..], &[2.0, 3.0][..]));
+        assert_eq!(csr.nnz(), 3);
+    }
+}

@@ -1,0 +1,102 @@
+use std::fmt;
+
+/// Errors produced by matrix construction and algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A row or column index was outside the matrix shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows in the matrix.
+        nrows: usize,
+        /// Number of columns in the matrix.
+        ncols: usize,
+    },
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+        /// Name of the operation that was attempted.
+        op: &'static str,
+    },
+    /// A dimension exceeded the `u32` index space used by sparse storage.
+    DimensionTooLarge(usize),
+    /// A vector length did not match the matrix dimension it pairs with.
+    VectorLengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
+            ),
+            SparseError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::DimensionTooLarge(d) => {
+                write!(f, "dimension {d} exceeds u32 index space")
+            }
+            SparseError::VectorLengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "vector length {actual} does not match dimension {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            nrows: 3,
+            ncols: 3,
+        };
+        assert!(e.to_string().contains("(5, 7)"));
+        let e = SparseError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "spmm",
+        };
+        assert!(e.to_string().contains("spmm"));
+        let e = SparseError::DimensionTooLarge(1 << 40);
+        assert!(e.to_string().contains("u32"));
+        let e = SparseError::VectorLengthMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<SparseError>();
+    }
+}

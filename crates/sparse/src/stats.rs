@@ -1,0 +1,147 @@
+//! Descriptive statistics over sparse matrices — used by the Fig. 3 density
+//! report and by dataset summaries.
+
+use crate::Csr;
+
+/// Distribution quantiles of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantiles {
+    /// Minimum observed value.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Quantiles {
+    /// Computes quantiles of a sample using the nearest-rank method.
+    /// Returns `None` for an empty sample.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        let q = |p: f64| -> f64 {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        Some(Self {
+            min: sorted[0],
+            p25: q(0.25),
+            p50: q(0.50),
+            p75: q(0.75),
+            max: sorted[sorted.len() - 1],
+            mean: crate::vector::mean(&sorted),
+        })
+    }
+}
+
+/// Summary of a sparse matrix: shape, fill, and row-occupancy distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixSummary {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Stored entries.
+    pub nnz: usize,
+    /// `nnz / (nrows·ncols)`.
+    pub density: f64,
+    /// Rows that store at least one entry.
+    pub nonempty_rows: usize,
+    /// Quantiles of per-row entry counts over non-empty rows.
+    pub row_nnz: Option<Quantiles>,
+    /// Quantiles of stored values.
+    pub values: Option<Quantiles>,
+}
+
+impl MatrixSummary {
+    /// Computes the summary of `m`.
+    pub fn of(m: &Csr) -> Self {
+        let mut row_counts = Vec::new();
+        for i in 0..m.nrows() {
+            let n = m.row_nnz(i);
+            if n > 0 {
+                row_counts.push(n as f64);
+            }
+        }
+        let values: Vec<f64> = m.iter().map(|(_, _, v)| v).collect();
+        Self {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            nnz: m.nnz(),
+            density: m.density(),
+            nonempty_rows: row_counts.len(),
+            row_nnz: Quantiles::from_samples(&row_counts),
+            values: Quantiles::from_samples(&values),
+        }
+    }
+}
+
+impl std::fmt::Display for MatrixSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} nnz={} density={:.6} nonempty_rows={}",
+            self.nrows, self.ncols, self.nnz, self.density, self.nonempty_rows
+        )?;
+        if let Some(q) = &self.row_nnz {
+            write!(f, " row_nnz[min/med/max]={}/{}/{}", q.min, q.p50, q.max)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let q = Quantiles::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(q.min, 1.0);
+        assert_eq!(q.p25, 1.0);
+        assert_eq!(q.p50, 2.0);
+        assert_eq!(q.p75, 3.0);
+        assert_eq!(q.max, 4.0);
+        assert_eq!(q.mean, 2.5);
+    }
+
+    #[test]
+    fn quantiles_empty_and_nan() {
+        assert!(Quantiles::from_samples(&[]).is_none());
+        assert!(Quantiles::from_samples(&[f64::NAN]).is_none());
+        let q = Quantiles::from_samples(&[f64::NAN, 2.0]).unwrap();
+        assert_eq!(q.min, 2.0);
+    }
+
+    #[test]
+    fn summary_counts_rows() {
+        let m = Csr::from_triplets(3, 3, [(0, 0, 1.0), (0, 1, 2.0), (2, 2, 5.0)]).unwrap();
+        let s = MatrixSummary::of(&m);
+        assert_eq!(s.nnz, 3);
+        assert_eq!(s.nonempty_rows, 2);
+        assert_eq!(s.row_nnz.unwrap().max, 2.0);
+        assert_eq!(s.values.unwrap().max, 5.0);
+        assert!(s.to_string().contains("nnz=3"));
+    }
+
+    #[test]
+    fn summary_of_empty_matrix() {
+        let s = MatrixSummary::of(&Csr::empty(2, 2));
+        assert_eq!(s.nnz, 0);
+        assert!(s.row_nnz.is_none());
+        assert!(s.values.is_none());
+    }
+}

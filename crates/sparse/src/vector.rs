@@ -1,0 +1,139 @@
+//! Free functions over `&[f64]` used throughout the workspace.
+//!
+//! These are deliberately plain slices rather than a newtype: every consumer
+//! (reputation scores, trust vectors, rating lists) already owns a `Vec<f64>`
+//! and the operations are one-liners that benefit from zero ceremony.
+
+/// Dot product. Panics in debug builds if lengths differ; in release the
+/// shorter length wins (callers validate shapes at the matrix level).
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Sum of all elements.
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        sum(x) / x.len() as f64
+    }
+}
+
+/// L1 norm (sum of absolute values).
+pub fn l1_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// L2 (Euclidean) norm.
+pub fn l2_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Largest absolute element-wise difference — the convergence criterion for
+/// power iteration and the Riggs fixed point.
+pub fn linf_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "linf_distance: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// In-place L1 normalization. Leaves an all-zero vector untouched and
+/// returns `false` in that case.
+pub fn l1_normalize(x: &mut [f64]) -> bool {
+    let norm = l1_norm(x);
+    if norm == 0.0 {
+        return false;
+    }
+    for v in x.iter_mut() {
+        *v /= norm;
+    }
+    true
+}
+
+/// Maximum element; `None` for an empty slice. NaN entries are skipped.
+pub fn max(x: &[f64]) -> Option<f64> {
+    x.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+}
+
+/// Minimum element; `None` for an empty slice. NaN entries are skipped.
+pub fn min(x: &[f64]) -> Option<f64> {
+    x.iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+}
+
+/// Index of the maximum element (first occurrence); `None` if empty.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(l1_norm(&[-1.0, 2.0]), 3.0);
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn linf_distance_is_max_abs_diff() {
+        assert_eq!(linf_distance(&[1.0, 5.0], &[2.0, 4.5]), 1.0);
+        assert_eq!(linf_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn l1_normalize_handles_zero_vector() {
+        let mut x = [0.0, 0.0];
+        assert!(!l1_normalize(&mut x));
+        let mut y = [1.0, 3.0];
+        assert!(l1_normalize(&mut y));
+        assert!((sum(&y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrema() {
+        assert_eq!(max(&[1.0, 3.0, 2.0]), Some(3.0));
+        assert_eq!(min(&[1.0, 3.0, 2.0]), Some(1.0));
+        assert_eq!(max(&[]), None);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[f64::NAN, 2.0]), Some(2.0));
+    }
+
+    #[test]
+    fn argmax_first_occurrence() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN]), None);
+    }
+}

@@ -1,0 +1,281 @@
+//! Sampling routines implemented from first principles.
+//!
+//! `rand` (the only sanctioned randomness dependency) ships uniform
+//! sampling but not the shaped distributions the generative model needs, so
+//! they are implemented here from their textbook algorithms: polar
+//! Box–Muller normals, Marsaglia–Tsang gammas, gamma-ratio betas and
+//! Dirichlets, inverse-CDF Pareto, and Knuth/normal-approximation Poisson.
+//! A cumulative-sum [`WeightedIndex`] covers affinity-weighted choices.
+
+use rand::Rng;
+
+/// Standard normal via the Marsaglia polar method.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal with the given mean and standard deviation.
+pub fn normal(rng: &mut impl Rng, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Gamma(shape, scale=1) via Marsaglia & Tsang (2000); shapes < 1 handled
+/// by the standard boosting identity.
+///
+/// # Panics
+/// Panics if `shape <= 0`.
+pub fn gamma(rng: &mut impl Rng, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // G(a) = G(a+1) * U^(1/a)
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Beta(a, b) via the gamma ratio.
+pub fn beta(rng: &mut impl Rng, a: f64, b: f64) -> f64 {
+    let x = gamma(rng, a);
+    let y = gamma(rng, b);
+    if x + y == 0.0 {
+        0.5
+    } else {
+        x / (x + y)
+    }
+}
+
+/// Symmetric Dirichlet over `k` components with concentration `alpha`
+/// (small `alpha` → peaky draws, the "one or two pet categories" regime).
+pub fn dirichlet(rng: &mut impl Rng, alpha: f64, k: usize) -> Vec<f64> {
+    assert!(k > 0, "dirichlet needs at least one component");
+    let mut draws: Vec<f64> = (0..k).map(|_| gamma(rng, alpha)).collect();
+    let total: f64 = draws.iter().sum();
+    if total == 0.0 {
+        // Degenerate underflow: fall back to uniform.
+        return vec![1.0 / k as f64; k];
+    }
+    for d in &mut draws {
+        *d /= total;
+    }
+    draws
+}
+
+/// Pareto with minimum 1 and the given shape (`x = (1-u)^{-1/shape}`);
+/// heavy-tailed user activity.
+pub fn pareto(rng: &mut impl Rng, shape: f64) -> f64 {
+    assert!(shape > 0.0, "pareto shape must be positive");
+    let u: f64 = rng.gen_range(0.0..1.0);
+    (1.0 - u).powf(-1.0 / shape)
+}
+
+/// Poisson-distributed count; Knuth's product method for small `lambda`,
+/// rounded normal approximation above 30.
+pub fn poisson(rng: &mut impl Rng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let x = normal(rng, lambda, lambda.sqrt());
+        return x.max(0.0).round() as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// O(log n) weighted sampling over a fixed weight vector (cumulative-sum
+/// binary search). Zero-weight items are never drawn.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Builds from non-negative weights. Returns `None` if no weight is
+    /// positive (nothing to sample).
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0f64;
+        for &w in weights {
+            debug_assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative");
+            total += w.max(0.0);
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return None;
+        }
+        Some(Self { cumulative, total })
+    }
+
+    /// Draws an index with probability proportional to its weight.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let x: f64 = rng.gen_range(0.0..self.total);
+        // partition_point: first index with cumulative > x.
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(20240609)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut r = rng();
+        for &shape in &[0.5, 1.0, 2.5, 9.0] {
+            let n = 20_000;
+            let samples: Vec<f64> = (0..n).map(|_| gamma(&mut r, shape)).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+            assert!(samples.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma shape must be positive")]
+    fn gamma_rejects_nonpositive_shape() {
+        gamma(&mut rng(), 0.0);
+    }
+
+    #[test]
+    fn beta_range_and_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| beta(&mut r, 5.0, 2.0)).collect();
+        assert!(samples.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0 / 7.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut r = rng();
+        for &alpha in &[0.1, 1.0, 10.0] {
+            let d = dirichlet(&mut r, alpha, 12);
+            assert_eq!(d.len(), 12);
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(d.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_concentration_controls_peakiness() {
+        let mut r = rng();
+        let peaky: f64 = (0..200)
+            .map(|_| dirichlet(&mut r, 0.1, 10).into_iter().fold(0.0, f64::max))
+            .sum::<f64>()
+            / 200.0;
+        let flat: f64 = (0..200)
+            .map(|_| dirichlet(&mut r, 50.0, 10).into_iter().fold(0.0, f64::max))
+            .sum::<f64>()
+            / 200.0;
+        assert!(
+            peaky > flat + 0.3,
+            "expected peaky ({peaky}) >> flat ({flat})"
+        );
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_and_bounded_below() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..10_000).map(|_| pareto(&mut r, 1.5)).collect();
+        assert!(samples.iter().all(|&x| x >= 1.0));
+        let over10 = samples.iter().filter(|&&x| x > 10.0).count();
+        assert!(over10 > 0, "expected a heavy tail");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut r = rng();
+        for &lambda in &[0.5, 4.0, 80.0] {
+            let n = 5_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut r, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.15 * lambda.max(1.0),
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let w = WeightedIndex::new(&[1.0, 0.0, 3.0]).unwrap();
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[w.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight item drawn");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_all_zero() {
+        assert!(WeightedIndex::new(&[0.0, 0.0]).is_none());
+        assert!(WeightedIndex::new(&[]).is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! Latent per-user factors — the generative truth behind the observable
+//! community.
+
+use rand::Rng;
+
+use crate::dist;
+use crate::rng::Xoshiro256pp;
+use crate::SynthConfig;
+
+/// The hidden variables of one user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserFactors {
+    /// Category-affinity distribution (sums to 1): how the user's
+    /// attention splits across categories. Drives which categories they
+    /// review, rate, and form trust in.
+    pub affinity: Vec<f64>,
+    /// Per-category expertise in `[0, 1]`: the latent quality of reviews
+    /// the user writes in each category.
+    pub expertise: Vec<f64>,
+    /// Rating reliability in `[0, 1]`: how tightly the user's helpfulness
+    /// ratings track a review's latent quality.
+    pub reliability: f64,
+    /// Heavy-tailed activity multiplier (≥ 1).
+    pub activity: f64,
+}
+
+impl UserFactors {
+    /// Samples one user's factors.
+    ///
+    /// Expertise is *correlated with affinity*: the categories a user is
+    /// expert in are drawn with probability proportional to their affinity,
+    /// reflecting the paper's premise that people develop expertise where
+    /// their interests lie (and making affinity an informative signal for
+    /// trust formation rather than an independent nuisance variable).
+    pub fn sample(rng: &mut Xoshiro256pp, cfg: &SynthConfig) -> Self {
+        let c = cfg.num_categories;
+        // Activity first: heavy users have *broader* interests (their
+        // Dirichlet concentration grows with activity), matching how real
+        // power-raters cover every sub-genre of a site section.
+        let activity = dist::pareto(rng, cfg.activity_exponent);
+        let alpha = cfg.affinity_concentration * (1.0 + activity.ln_1p());
+        let affinity = dist::dirichlet(rng, alpha, c);
+
+        // Per-category expertise blends a general skill factor (the
+        // categories are sub-genres of one domain) with category-specific
+        // specialisation.
+        let general = dist::beta(rng, cfg.expertise_beta.0, cfg.expertise_beta.1);
+        let mut specific: Vec<f64> = (0..c)
+            .map(|_| rng.gen_range(0.0..cfg.background_expertise.max(f64::MIN_POSITIVE)))
+            .collect();
+        let n_expert = dist::poisson(rng, cfg.expertise_categories_per_user) as usize;
+        if n_expert > 0 {
+            if let Some(w) = dist::WeightedIndex::new(&affinity) {
+                for _ in 0..n_expert.min(c) {
+                    let cat = w.sample(rng);
+                    let magnitude = dist::beta(rng, cfg.expertise_beta.0, cfg.expertise_beta.1);
+                    specific[cat] = specific[cat].max(magnitude);
+                }
+            }
+        }
+        let w = cfg.general_skill_weight;
+        let expertise: Vec<f64> = specific
+            .into_iter()
+            .map(|s| (w * general + (1.0 - w) * s).clamp(0.0, 1.0))
+            .collect();
+
+        let reliability = dist::beta(rng, cfg.reliability_beta.0, cfg.reliability_beta.1);
+        Self {
+            affinity,
+            expertise,
+            reliability,
+            activity,
+        }
+    }
+
+    /// The rater's rating-noise standard deviation under `cfg`:
+    /// `rating_noise · (1.05 − reliability)` — perfectly reliable raters
+    /// still carry a sliver of noise, unreliable ones a lot.
+    pub fn rating_noise_sd(&self, cfg: &SynthConfig) -> f64 {
+        cfg.rating_noise * (1.05 - self.reliability)
+    }
+}
+
+/// Samples factors for the whole population.
+pub fn sample_population(rng: &mut Xoshiro256pp, cfg: &SynthConfig) -> Vec<UserFactors> {
+    (0..cfg.num_users)
+        .map(|_| UserFactors::sample(rng, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Xoshiro256pp, SynthConfig) {
+        (Xoshiro256pp::seed_from_u64(7), SynthConfig::tiny(7))
+    }
+
+    #[test]
+    fn factors_in_range() {
+        let (mut rng, cfg) = setup();
+        for _ in 0..100 {
+            let f = UserFactors::sample(&mut rng, &cfg);
+            assert_eq!(f.affinity.len(), cfg.num_categories);
+            assert!((f.affinity.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(f.expertise.iter().all(|&e| (0.0..=1.0).contains(&e)));
+            assert!((0.0..=1.0).contains(&f.reliability));
+            assert!(f.activity >= 1.0);
+        }
+    }
+
+    #[test]
+    fn expertise_correlates_with_affinity() {
+        let (mut rng, mut cfg) = setup();
+        cfg.expertise_categories_per_user = 1.0;
+        cfg.background_expertise = 0.05;
+        // Over many users, the argmax-affinity category should hold high
+        // expertise more often than a uniformly random category would (1/4).
+        let mut hits = 0usize;
+        let n = 400;
+        for _ in 0..n {
+            let f = UserFactors::sample(&mut rng, &cfg);
+            let top_aff = wot_argmax(&f.affinity);
+            if f.expertise[top_aff] > 0.3 {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        assert!(
+            rate > 0.35,
+            "affinity-expertise correlation too weak: {rate}"
+        );
+    }
+
+    fn wot_argmax(x: &[f64]) -> usize {
+        x.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    #[test]
+    fn noise_sd_decreases_with_reliability() {
+        let (_, cfg) = setup();
+        let low = UserFactors {
+            affinity: vec![1.0],
+            expertise: vec![0.5],
+            reliability: 0.2,
+            activity: 1.0,
+        };
+        let high = UserFactors {
+            reliability: 0.95,
+            ..low.clone()
+        };
+        assert!(low.rating_noise_sd(&cfg) > high.rating_noise_sd(&cfg));
+        assert!(high.rating_noise_sd(&cfg) > 0.0);
+    }
+
+    #[test]
+    fn population_is_deterministic() {
+        let cfg = SynthConfig::tiny(3);
+        let a = sample_population(&mut Xoshiro256pp::seed_from_u64(3), &cfg);
+        let b = sample_population(&mut Xoshiro256pp::seed_from_u64(3), &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.num_users);
+    }
+}

@@ -1,0 +1,35 @@
+//! Generator output: the observable community plus the latent truth.
+
+use wot_community::{CommunityStore, UserId};
+use wot_sparse::Dense;
+
+/// The hidden variables behind a generated community — used as validation
+/// labels (Advisors, Top Reviewers, trust mechanism) and by ablation
+/// experiments that correlate inferred quantities with the truth.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// U×C affinity matrix (rows sum to 1).
+    pub affinity: Dense,
+    /// U×C expertise matrix (entries in `[0, 1]`).
+    pub expertise: Dense,
+    /// Per-user rating reliability in `[0, 1]`.
+    pub reliability: Vec<f64>,
+    /// Per-user activity multiplier (≥ 1).
+    pub activity: Vec<f64>,
+    /// Latent quality of every review, indexed by `ReviewId`.
+    pub review_quality: Vec<f64>,
+    /// Community-wide Advisors (editorially designated top raters).
+    pub advisors: Vec<UserId>,
+    /// Community-wide Top Reviewers (editorially designated top writers).
+    pub top_reviewers: Vec<UserId>,
+}
+
+/// A generated dataset: what an experimenter can observe (`store`) and
+/// what only the simulator knows (`truth`).
+#[derive(Debug, Clone)]
+pub struct SynthOutput {
+    /// The observable community (reviews, ratings, explicit trust).
+    pub store: CommunityStore,
+    /// The latent generative truth.
+    pub truth: GroundTruth,
+}

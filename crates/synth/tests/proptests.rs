@@ -1,0 +1,96 @@
+//! Property-based tests for the generator: arbitrary valid configs must
+//! produce valid, deterministic communities whose latent truth lines up
+//! with the observable data.
+
+use proptest::prelude::*;
+use wot_synth::{generate, SynthConfig};
+
+fn small_config() -> impl Strategy<Value = SynthConfig> {
+    (
+        any::<u64>(),
+        10usize..60,
+        1usize..5,
+        2usize..20,
+        0.5f64..3.0,  // mean reviews
+        1.0f64..12.0, // mean ratings
+        0.1f64..2.0,  // affinity concentration
+        0.0f64..0.3,  // trust noise
+        0.0f64..0.9,  // direct bias
+        0.0f64..0.5,  // reciprocity
+    )
+        .prop_map(|(seed, users, cats, objs, mr, mrt, conc, tn, db, rec)| {
+            let mut c = SynthConfig::tiny(seed);
+            c.num_users = users;
+            c.num_categories = cats;
+            c.objects_per_category = objs;
+            c.mean_reviews_per_user = mr;
+            c.mean_ratings_per_user = mrt;
+            c.affinity_concentration = conc;
+            c.trust_noise = tn;
+            c.trust_direct_bias = db;
+            c.reciprocity = rec;
+            c.num_advisors = 3.min(users);
+            c.num_top_reviewers = 4.min(users);
+            c
+        })
+        .prop_filter("direct bias + noise must fit in [0,1]", |c| {
+            c.trust_noise + c.trust_direct_bias <= 1.0
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generation succeeds and the store respects all community invariants
+    /// (the builder re-validates them, so success implies validity); the
+    /// ground truth is dimensionally consistent with the store.
+    #[test]
+    fn generates_consistent_output(cfg in small_config()) {
+        let out = generate(&cfg).unwrap();
+        let s = &out.store;
+        prop_assert_eq!(s.num_users(), cfg.num_users);
+        prop_assert_eq!(s.num_categories(), cfg.num_categories);
+        prop_assert_eq!(out.truth.review_quality.len(), s.num_reviews());
+        prop_assert_eq!(out.truth.reliability.len(), cfg.num_users);
+        prop_assert_eq!(out.truth.activity.len(), cfg.num_users);
+        prop_assert_eq!(out.truth.affinity.shape(), (cfg.num_users, cfg.num_categories));
+        prop_assert_eq!(out.truth.expertise.shape(), (cfg.num_users, cfg.num_categories));
+        for i in 0..cfg.num_users {
+            let aff_sum: f64 = out.truth.affinity.row(i).iter().sum();
+            prop_assert!((aff_sum - 1.0).abs() < 1e-9);
+            prop_assert!(out.truth.activity[i] >= 1.0);
+        }
+        prop_assert!(out.truth.advisors.len() <= cfg.num_advisors);
+        prop_assert!(out.truth.top_reviewers.len() <= cfg.num_top_reviewers);
+    }
+
+    /// Same config ⇒ identical dataset (cross-run determinism).
+    #[test]
+    fn deterministic(cfg in small_config()) {
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        prop_assert_eq!(a.store.num_reviews(), b.store.num_reviews());
+        prop_assert_eq!(a.store.num_ratings(), b.store.num_ratings());
+        prop_assert_eq!(a.store.num_trust(), b.store.num_trust());
+        for (x, y) in a.store.trust_statements().iter().zip(b.store.trust_statements()) {
+            prop_assert_eq!(x.source, y.source);
+            prop_assert_eq!(x.target, y.target);
+        }
+        prop_assert_eq!(a.truth.advisors, b.truth.advisors);
+        prop_assert_eq!(a.truth.top_reviewers, b.truth.top_reviewers);
+    }
+
+    /// Review latent quality tracks writer expertise in the category
+    /// (within the configured noise).
+    #[test]
+    fn quality_tracks_expertise(cfg in small_config()) {
+        let out = generate(&cfg).unwrap();
+        for r in out.store.reviews() {
+            let q = out.truth.review_quality[r.id.index()];
+            let e = out.truth.expertise.get(r.writer.index(), r.category.index());
+            // Quality = clamp(expertise + N(0, noise)); 6 sigma bound.
+            prop_assert!((q - e).abs() <= 6.0 * cfg.quality_noise + 1e-9,
+                "quality {} vs expertise {}", q, e);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Quickstart: derive trust for a hand-built six-user community.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a small review community in code (no explicit trust statements
+//! anywhere), runs the three steps of the framework, and prints the
+//! expertise matrix `E`, the affiliation matrix `A`, and the derived trust
+//! matrix `T̂`.
+
+use webtrust::community::{CommunityBuilder, RatingScale, UserId};
+use webtrust::core::{pipeline, DeriveConfig};
+
+fn main() {
+    // ---- 1. a community: movies and cameras --------------------------------
+    let mut b = CommunityBuilder::new(RatingScale::five_step());
+    let ana = b.add_user("ana"); // film buff, rates a lot
+    let raj = b.add_user("raj"); // writes stellar movie reviews
+    let mei = b.add_user("mei"); // writes solid camera reviews
+    let tom = b.add_user("tom"); // writes sloppy movie reviews
+    let zoe = b.add_user("zoe"); // camera shopper
+    let kim = b.add_user("kim"); // rates both topics
+
+    let movies = b.add_category("movies");
+    let cameras = b.add_category("cameras");
+
+    // raj: three movie reviews, consistently rated helpful.
+    for (i, film) in ["heat", "ran", "alien"].iter().enumerate() {
+        let o = b.add_object(format!("film-{film}"), movies).unwrap();
+        let r = b.add_review(raj, o).unwrap();
+        b.add_rating(ana, r, 1.0).unwrap();
+        b.add_rating(kim, r, 0.8).unwrap();
+        if i == 0 {
+            b.add_rating(zoe, r, 1.0).unwrap();
+        }
+    }
+    // tom: two movie reviews the crowd finds unhelpful.
+    for film in ["heat", "ran"] {
+        let o = b.add_object(format!("film-{film}-tom"), movies).unwrap();
+        let r = b.add_review(tom, o).unwrap();
+        b.add_rating(ana, r, 0.2).unwrap();
+        b.add_rating(kim, r, 0.4).unwrap();
+    }
+    // mei: two camera reviews, well received.
+    for cam in ["x100", "om-1"] {
+        let o = b.add_object(format!("cam-{cam}"), cameras).unwrap();
+        let r = b.add_review(mei, o).unwrap();
+        b.add_rating(zoe, r, 1.0).unwrap();
+        b.add_rating(kim, r, 0.8).unwrap();
+    }
+    let store = b.build();
+    println!(
+        "community: {} users, {} reviews, {} ratings, {} explicit trust statements\n",
+        store.num_users(),
+        store.num_reviews(),
+        store.num_ratings(),
+        store.num_trust()
+    );
+
+    // ---- 2. derive E (expertise) and A (affiliation) -----------------------
+    let derived = pipeline::derive(&store, &DeriveConfig::default()).expect("valid config");
+
+    let names = ["ana", "raj", "mei", "tom", "zoe", "kim"];
+    println!("expertise E (rows: users, cols: [movies, cameras]):");
+    for (i, name) in names.iter().enumerate() {
+        let row = derived.expertise.row(i);
+        println!("  {name:<4} [{:.3}, {:.3}]", row[0], row[1]);
+    }
+    println!("\naffiliation A (rows: users, cols: [movies, cameras]):");
+    for (i, name) in names.iter().enumerate() {
+        let row = derived.affiliation.row(i);
+        println!("  {name:<4} [{:.3}, {:.3}]", row[0], row[1]);
+    }
+
+    // ---- 3. derived degree of trust T̂ --------------------------------------
+    println!("\nderived trust T̂ (Eq. 5), selected pairs:");
+    for (src, dst) in [
+        (ana, raj),
+        (ana, tom),
+        (ana, mei),
+        (zoe, mei),
+        (zoe, raj),
+        (kim, raj),
+    ] {
+        let t = derived.pairwise_trust(src, dst);
+        println!(
+            "  {:<4} → {:<4} {:.3}",
+            names[src.index()],
+            names[dst.index()],
+            t
+        );
+    }
+
+    // The headline behaviours:
+    assert!(
+        derived.pairwise_trust(ana, raj) > derived.pairwise_trust(ana, tom),
+        "ana trusts the good movie reviewer over the sloppy one"
+    );
+    assert!(
+        derived.pairwise_trust(zoe, mei) > derived.pairwise_trust(zoe, raj),
+        "zoe the camera shopper trusts the camera expert more"
+    );
+    let _ = UserId(0);
+    println!("\nok: expertise in the right category wins the trust decision");
+}

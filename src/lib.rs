@@ -1,0 +1,64 @@
+//! # webtrust — building a web of trust without explicit trust ratings
+//!
+//! A complete Rust implementation of Kim, Le, Lauw, Lim, Liu & Srivastava,
+//! *"Building a Web of Trust without Explicit Trust Ratings"* (ICDE
+//! Workshops 2008), including every substrate the paper depends on and a
+//! reproduction harness for each of its tables and figures.
+//!
+//! The framework derives a **dense, continuous trust matrix `T̂`** for a
+//! review community from rating data alone:
+//!
+//! 1. **Expertise `E`** — per category, review quality and rater
+//!    reputation are solved as a fixed point (Riggs' model), and writer
+//!    reputation aggregates review quality ([`core::riggs`],
+//!    [`core::reputation`]).
+//! 2. **Affiliation `A`** — per user, max-normalized rating/writing
+//!    activity per category ([`core::affiliation`]).
+//! 3. **Derived trust** — `T̂_ij = Σ_c A_ic·E_jc / Σ_c A_ic`
+//!    ([`core::trust`]).
+//!
+//! ## Crate map
+//!
+//! | module (re-export) | crate | contents |
+//! |---|---|---|
+//! | [`sparse`] | `wot-sparse` | COO/CSR/CSC/DOK matrices, products, masking |
+//! | [`graph`] | `wot-graph` | digraph, BFS, shortest-path DAGs, SCC |
+//! | [`community`] | `wot-community` | Epinions-like data model, TSV interchange |
+//! | [`synth`] | `wot-synth` | seeded synthetic community generator |
+//! | [`core`] | `wot-core` | the paper's framework (Eqs. 1–5) + metrics |
+//! | [`propagation`] | `wot-propagation` | EigenTrust, TidalTrust, Appleseed, Guha |
+//! | [`eval`] | `wot-eval` | Table 2/3/4, Fig. 3, §IV.C, §V, ablations |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use webtrust::community::{CommunityBuilder, RatingScale};
+//! use webtrust::core::{pipeline, DeriveConfig};
+//!
+//! // A two-user community: bob writes a movie review, alice rates it.
+//! let mut b = CommunityBuilder::new(RatingScale::five_step());
+//! let alice = b.add_user("alice");
+//! let bob = b.add_user("bob");
+//! let movies = b.add_category("movies");
+//! let film = b.add_object("heat-1995", movies).unwrap();
+//! let review = b.add_review(bob, film).unwrap();
+//! b.add_rating(alice, review, 0.8).unwrap();
+//! let store = b.build();
+//!
+//! // Derive expertise + affiliation, then read off pairwise trust.
+//! let derived = pipeline::derive(&store, &DeriveConfig::default()).unwrap();
+//! assert!(derived.pairwise_trust(alice, bob) > 0.0);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench`'s `repro`
+//! binary for the paper reproduction.
+
+#![forbid(unsafe_code)]
+
+pub use wot_community as community;
+pub use wot_core as core;
+pub use wot_eval as eval;
+pub use wot_graph as graph;
+pub use wot_propagation as propagation;
+pub use wot_sparse as sparse;
+pub use wot_synth as synth;

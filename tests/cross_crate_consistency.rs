@@ -1,0 +1,114 @@
+//! Consistency checks that cut across crate boundaries: matrices from the
+//! community layer, scores from the core pipeline, graphs from the graph
+//! layer and algorithms from the propagation layer must all agree on the
+//! same dataset.
+
+use webtrust::community::UserId;
+use webtrust::core::{binarize, metrics, DeriveConfig};
+use webtrust::eval::Workbench;
+use webtrust::graph::{metrics as gmetrics, scc, DiGraph};
+use webtrust::propagation::eigentrust::{eigentrust, EigenTrustConfig};
+use webtrust::propagation::guha::{propagate, GuhaConfig};
+use webtrust::synth::SynthConfig;
+
+fn workbench() -> Workbench {
+    Workbench::new(&SynthConfig::tiny(4242), &DeriveConfig::default()).unwrap()
+}
+
+#[test]
+fn r_b_patterns_and_scores_align() {
+    let wb = workbench();
+    let b = wb.scores_baseline();
+    // B exists exactly where R does, with on-scale values.
+    assert_eq!(b.nnz(), wb.r.nnz());
+    for (i, j, v) in b.iter() {
+        assert!(wb.r.contains(i, j));
+        assert!((0.2..=1.0).contains(&v), "baseline {v} off the scale");
+    }
+    // T̂ on the R mask also matches pairwise evaluation.
+    let scores = wb.scores_ours().unwrap();
+    for (i, j, v) in scores.iter().take(500) {
+        let direct = wb
+            .derived
+            .pairwise_trust(UserId::from_index(i), UserId::from_index(j));
+        assert!((v - direct).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn trust_graph_agrees_with_trust_matrix() {
+    let wb = workbench();
+    let g = DiGraph::from_adjacency(wb.t.clone()).unwrap();
+    assert_eq!(g.edge_count(), wb.out.store.num_trust());
+    let summary = gmetrics::summarize(&g);
+    assert_eq!(summary.edges, wb.t.nnz());
+    // Reciprocity configured at 0.25 must be visible in the graph.
+    assert!(
+        summary.reciprocity > 0.1,
+        "reciprocity {:.3}",
+        summary.reciprocity
+    );
+    // The SCC decomposition covers every user exactly once.
+    let comps = scc::tarjan_scc(&g);
+    assert_eq!(comps.component.len(), g.node_count());
+    assert_eq!(comps.sizes().iter().sum::<usize>(), g.node_count());
+}
+
+#[test]
+fn eigentrust_runs_on_both_webs() {
+    let wb = workbench();
+    let cfg = EigenTrustConfig::default();
+    let explicit = eigentrust(&wb.t, &cfg).unwrap();
+    assert!(explicit.converged);
+    assert!((explicit.scores.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+    let derived_scores = wb.scores_ours().unwrap();
+    let derived = eigentrust(&derived_scores, &cfg).unwrap();
+    assert!(derived.converged);
+    assert!((derived.scores.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+}
+
+#[test]
+fn guha_propagation_densifies_the_explicit_web() {
+    let wb = workbench();
+    let result = propagate(&wb.t, None, &GuhaConfig::default()).unwrap();
+    assert!(
+        result.beliefs.nnz() > wb.t.nnz(),
+        "propagation should add edges: {} -> {}",
+        wb.t.nnz(),
+        result.beliefs.nnz()
+    );
+    // Fill-in telemetry is present for every step.
+    assert_eq!(result.step_nnz.len(), GuhaConfig::default().steps);
+}
+
+#[test]
+fn validation_counts_are_internally_consistent() {
+    let wb = workbench();
+    let scores = wb.scores_ours().unwrap();
+    let pred = wb.prediction_ours().unwrap();
+    let v = metrics::validate(&pred, &wb.r, &wb.t).unwrap();
+    let va = metrics::value_analysis(&pred, &scores, &wb.r, &wb.t).unwrap();
+    // The value analysis sees exactly the validated prediction sets.
+    assert_eq!(va.count_in_rt, v.predicted_in_rt);
+    assert_eq!(va.count_in_r_minus_t, v.predicted_in_r_minus_t);
+    // Confusion counts bound the metrics.
+    assert!(v.predicted_in_rt <= v.rt_total);
+    assert!(v.predicted_in_r_minus_t <= v.r_minus_t_total);
+}
+
+#[test]
+fn binarization_variants_are_ordered() {
+    // Full-support thresholds are laxer than R-restricted top-k_i inside R
+    // whenever R candidates outscore the population — so the paper recipe
+    // must predict at least as many R pairs.
+    let wb = workbench();
+    let scores = wb.scores_ours().unwrap();
+    let full = wb.prediction_ours().unwrap();
+    let restricted = binarize::binarize_like_paper(&scores, &wb.r, &wb.t).unwrap();
+    assert!(
+        full.nnz() >= restricted.nnz(),
+        "full-support {} vs restricted {}",
+        full.nnz(),
+        restricted.nnz()
+    );
+}

@@ -1,0 +1,120 @@
+//! Failure injection: degenerate communities and malformed inputs must
+//! produce clean results or precise errors — never panics.
+
+use webtrust::community::{tsv, CommunityBuilder, CommunityError, RatingScale};
+use webtrust::core::{binarize, pipeline, DeriveConfig};
+use webtrust::eval::{quartiles, validation, Workbench};
+use webtrust::sparse::Csr;
+use webtrust::synth::{generate, SynthConfig};
+
+#[test]
+fn empty_community_derives_empty_model() {
+    let store = CommunityBuilder::new(RatingScale::five_step()).build();
+    let d = pipeline::derive(&store, &DeriveConfig::default()).unwrap();
+    assert_eq!(d.num_users(), 0);
+    assert_eq!(d.trust_support_count().unwrap(), 0);
+    assert_eq!(store.trust_matrix().nnz(), 0);
+    assert_eq!(store.direct_connection_matrix().nnz(), 0);
+}
+
+#[test]
+fn community_without_ratings_still_works() {
+    // Writers exist but nobody rates: all review qualities fall back to
+    // the configured unrated quality; expertise collapses to zero.
+    let mut b = CommunityBuilder::new(RatingScale::five_step());
+    let w = b.add_user("writer");
+    b.add_user("lurker");
+    let c = b.add_category("cat");
+    let o = b.add_object("o", c).unwrap();
+    b.add_review(w, o).unwrap();
+    let store = b.build();
+    let d = pipeline::derive(&store, &DeriveConfig::default()).unwrap();
+    assert_eq!(d.expertise.get(w.index(), 0), 0.0);
+    // Affiliation still registers the writing activity.
+    assert!(d.affiliation.get(w.index(), 0) > 0.0);
+}
+
+#[test]
+fn community_without_trust_yields_empty_predictions() {
+    // No explicit trust ⇒ every generosity fraction k_i = 0 ⇒ the paper
+    // binarization predicts nothing, and validation reports all zeros.
+    let mut cfg = SynthConfig::tiny(3);
+    cfg.trust_edges_per_user = 0.0;
+    cfg.reciprocity = 0.0;
+    let out = generate(&cfg).unwrap();
+    assert_eq!(out.store.num_trust(), 0);
+    let wb = Workbench::from_output(out, &DeriveConfig::default()).unwrap();
+    let pred = wb.prediction_ours().unwrap();
+    assert_eq!(pred.nnz(), 0);
+    let rep = validation::table4(&wb).unwrap();
+    assert_eq!(rep.ours.validation.recall, 0.0);
+    assert_eq!(rep.baseline.validation.recall, 0.0);
+}
+
+#[test]
+fn single_category_community_is_fine() {
+    let mut cfg = SynthConfig::tiny(11);
+    cfg.num_categories = 1;
+    let out = generate(&cfg).unwrap();
+    let wb = Workbench::from_output(out, &DeriveConfig::default()).unwrap();
+    let raters = quartiles::rater_quartiles(&wb).unwrap();
+    assert_eq!(raters.rows.len(), 1);
+    let rep = validation::table4(&wb).unwrap();
+    assert!(rep.ours.validation.recall >= 0.0);
+}
+
+#[test]
+fn malformed_tsv_reports_precise_errors() {
+    let out = generate(&SynthConfig::tiny(17)).unwrap();
+    let dir = std::env::temp_dir().join(format!("webtrust-it-malformed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    tsv::save(&out.store, &dir).unwrap();
+
+    // Dangling review id in ratings.tsv.
+    std::fs::write(dir.join("ratings.tsv"), "0\t999999\t0.8\n").unwrap();
+    match tsv::load(&dir).unwrap_err() {
+        CommunityError::UnknownEntity { kind, .. } => assert_eq!(kind, "review"),
+        other => panic!("expected dangling-id error, got {other:?}"),
+    }
+
+    // Non-numeric user id in trust.tsv.
+    tsv::save(&out.store, &dir).unwrap();
+    std::fs::write(dir.join("trust.tsv"), "zero\t1\n").unwrap();
+    match tsv::load(&dir).unwrap_err() {
+        CommunityError::Parse { file, line, .. } => {
+            assert_eq!(file, "trust.tsv");
+            assert_eq!(line, 1);
+        }
+        other => panic!("expected parse error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn metric_functions_reject_mismatched_shapes() {
+    let small = Csr::empty(2, 2);
+    let big = Csr::empty(3, 3);
+    assert!(binarize::trust_generosity(&small, &big).is_err());
+    assert!(webtrust::core::metrics::validate(&small, &small, &big).is_err());
+}
+
+#[test]
+fn zero_activity_users_are_inert_everywhere() {
+    // A community where half the users never write or rate: they must
+    // carry zero affiliation, zero expertise, no predictions, and not
+    // disturb anyone else's scores.
+    let mut cfg = SynthConfig::tiny(23);
+    cfg.mean_reviews_per_user = 0.3;
+    cfg.mean_ratings_per_user = 1.0;
+    let out = generate(&cfg).unwrap();
+    let store = out.store.clone();
+    let wb = Workbench::from_output(out, &DeriveConfig::default()).unwrap();
+    let active: std::collections::HashSet<usize> =
+        store.active_users().iter().map(|u| u.index()).collect();
+    for i in 0..store.num_users() {
+        if !active.contains(&i) {
+            assert_eq!(wb.derived.affiliation.row(i).iter().sum::<f64>(), 0.0);
+            assert_eq!(wb.derived.expertise.row(i).iter().sum::<f64>(), 0.0);
+        }
+    }
+}
