@@ -16,7 +16,8 @@
 //!   ablation-fixpoint  A2: fixed-point iteration budget
 //!   sweep-noise        A3: rating-noise sweep
 //!   sweep-trust-noise  A3b: trust-mechanism noise sweep (crossover)
-//!   all                everything above
+//!   bench-summary      time the derivation hot paths, write BENCH_pipeline.json
+//!   all                everything above (except bench-summary)
 //! ```
 
 use std::process::ExitCode;
@@ -30,7 +31,7 @@ use wot_eval::{
 
 const USAGE: &str = "usage: repro [--scale tiny|laptop|paper] [--seed N] <experiment>...
 experiments: stats table2 table3 fig3 table4 values propagation rounding \
-ablation-discount ablation-fixpoint sweep-noise sweep-trust-noise all";
+ablation-discount ablation-fixpoint sweep-noise sweep-trust-noise bench-summary all";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -170,6 +171,171 @@ fn run_experiment(
             table.title = "A3b — trust-mechanism noise sweep (x = rewired fraction)".into();
             table.to_string()
         }
+        "bench-summary" => bench_summary(wb, scale, seed)?,
         other => return Err(format!("unknown experiment {other:?}\n{USAGE}").into()),
     })
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_best_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Times the derivation hot paths (HashMap baseline vs index-dense,
+/// sequential vs parallel) and writes the machine-readable
+/// `BENCH_pipeline.json` next to the working directory, so the perf
+/// trajectory across PRs can be tracked without parsing bench logs.
+fn bench_summary(
+    wb: &Workbench,
+    scale: Scale,
+    seed: u64,
+) -> Result<String, Box<dyn std::error::Error>> {
+    use std::hint::black_box;
+    use wot_core::{pipeline, trust, DeriveConfig};
+
+    let store = &wb.out.store;
+    let derived = &wb.derived;
+    let threads = wot_par::max_threads();
+    let seq_cfg = DeriveConfig {
+        parallel: false,
+        ..DeriveConfig::default()
+    };
+    let par_cfg = DeriveConfig {
+        parallel: true,
+        threads: 0,
+        ..DeriveConfig::default()
+    };
+
+    let mut rows: Vec<(&str, f64)> = Vec::new();
+    rows.push((
+        "derive_baseline_hashmap_1t",
+        time_best_ms(3, || {
+            black_box(pipeline::derive_baseline(store, &seq_cfg).unwrap());
+        }),
+    ));
+    rows.push((
+        "derive_index_dense_1t",
+        time_best_ms(3, || {
+            black_box(pipeline::derive(store, &seq_cfg).unwrap());
+        }),
+    ));
+    rows.push((
+        "derive_index_dense_mt",
+        time_best_ms(3, || {
+            black_box(pipeline::derive(store, &par_cfg).unwrap());
+        }),
+    ));
+    rows.push((
+        "masked_row_dot_1t",
+        time_best_ms(5, || {
+            black_box(
+                wot_sparse::masked_row_dot_threaded(
+                    &derived.affiliation,
+                    &derived.expertise,
+                    &wb.r,
+                    1,
+                )
+                .unwrap(),
+            );
+        }),
+    ));
+    rows.push((
+        "masked_row_dot_mt",
+        time_best_ms(5, || {
+            black_box(
+                wot_sparse::masked_row_dot_threaded(
+                    &derived.affiliation,
+                    &derived.expertise,
+                    &wb.r,
+                    0,
+                )
+                .unwrap(),
+            );
+        }),
+    ));
+    rows.push((
+        "support_count_1t",
+        time_best_ms(5, || {
+            black_box(
+                trust::support_count_threaded(&derived.affiliation, &derived.expertise, 1).unwrap(),
+            );
+        }),
+    ));
+    rows.push((
+        "support_count_mt",
+        time_best_ms(5, || {
+            black_box(
+                trust::support_count_threaded(&derived.affiliation, &derived.expertise, 0).unwrap(),
+            );
+        }),
+    ));
+    // The full dense T̂ only fits in memory away from paper scale.
+    if store.num_users() <= 10_000 {
+        rows.push((
+            "trust_dense_1t",
+            time_best_ms(3, || {
+                black_box(
+                    trust::derive_dense_threaded(&derived.affiliation, &derived.expertise, 1)
+                        .unwrap(),
+                );
+            }),
+        ));
+        rows.push((
+            "trust_dense_mt",
+            time_best_ms(3, || {
+                black_box(
+                    trust::derive_dense_threaded(&derived.affiliation, &derived.expertise, 0)
+                        .unwrap(),
+                );
+            }),
+        ));
+    }
+
+    let get = |name: &str| {
+        rows.iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, ms)| ms)
+            .expect("row recorded above")
+    };
+    let derive_speedup = get("derive_baseline_hashmap_1t") / get("derive_index_dense_mt");
+
+    let scale_name = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Laptop => "laptop",
+        Scale::Paper => "paper",
+    };
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"pipeline\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"users\": {},\n", store.num_users()));
+    json.push_str(&format!("  \"ratings\": {},\n", store.num_ratings()));
+    json.push_str("  \"timings_ms\": {\n");
+    for (k, (name, ms)) in rows.iter().enumerate() {
+        let comma = if k + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ms:.3}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"derive_speedup_vs_hashmap_baseline\": {derive_speedup:.2}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_pipeline.json", &json)?;
+
+    let mut out = String::from("bench-summary — best-of-N wall times (ms)\n");
+    for (name, ms) in &rows {
+        out.push_str(&format!("  {name:<28} {ms:>10.3}\n"));
+    }
+    out.push_str(&format!(
+        "  derive speedup vs HashMap baseline: {derive_speedup:.2}x ({threads} threads)\n"
+    ));
+    out.push_str("  wrote BENCH_pipeline.json\n");
+    Ok(out)
 }

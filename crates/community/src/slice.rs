@@ -9,9 +9,16 @@ use crate::{CategoryId, CommunityStore, ReviewId, UserId};
 /// reputation and writer reputation are all category-local (Section III.A:
 /// "the reputation of review rater, the quality of review and the
 /// reputation of review writer should be calculated for each category").
-/// A `CategorySlice` renumbers the category's reviews `0..num_reviews` and
-/// pre-groups its ratings both by review and by rater so the fixed-point
-/// iteration runs over dense local indexes.
+/// A `CategorySlice` renumbers the category's reviews `0..num_reviews`,
+/// its raters `0..num_raters` and its writers `0..num_writers`, and
+/// pre-groups its ratings both by review and by rater, so the fixed-point
+/// iteration runs entirely over dense local indexes — flat `Vec<f64>`
+/// state instead of `HashMap<UserId, f64>` lookups in the Eq. 1/Eq. 2
+/// inner loops.
+///
+/// Local rater/writer indexes are assigned in ascending [`UserId`] order,
+/// so iterating `0..num_raters()` visits raters deterministically and
+/// `rater_of_local` is sorted.
 #[derive(Debug, Clone)]
 pub struct CategorySlice {
     /// The source category.
@@ -26,36 +33,117 @@ pub struct CategorySlice {
     pub ratings_by_rater: HashMap<UserId, Vec<(u32, f64)>>,
     /// Local review indexes written, per writer.
     pub reviews_by_writer: HashMap<UserId, Vec<u32>>,
+    /// Global user id of each local rater index (ascending).
+    pub rater_of_local: Vec<UserId>,
+    /// Local rater index of each active rater (inverse of
+    /// `rater_of_local`).
+    pub local_of_rater: HashMap<UserId, u32>,
+    /// Ratings received, per local review index: `(local rater index,
+    /// value)` — the index-dense mirror of `ratings_by_review`, driving
+    /// the Eq. 1 sweep.
+    pub ratings_by_review_local: Vec<Vec<(u32, f64)>>,
+    /// Ratings given, per local rater index: `(local review index,
+    /// value)` — the index-dense mirror of `ratings_by_rater`, driving
+    /// the Eq. 2 sweep.
+    pub ratings_by_rater_local: Vec<Vec<(u32, f64)>>,
+    /// Global user id of each local writer index (ascending).
+    pub writer_of_local: Vec<UserId>,
+    /// Local writer index of each active writer (inverse of
+    /// `writer_of_local`).
+    pub local_of_writer: HashMap<UserId, u32>,
+    /// Local review indexes written, per local writer index — the
+    /// index-dense mirror of `reviews_by_writer`, driving Eq. 3.
+    pub reviews_by_writer_local: Vec<Vec<u32>>,
 }
 
 impl CategorySlice {
     pub(crate) fn build(store: &CommunityStore, category: CategoryId) -> Self {
+        // Hot path: projected once per category per derivation, so local
+        // indexes are resolved through O(1) scatter tables (user index →
+        // local index) rather than per-rating hashing; the `HashMap`
+        // views are derived from the dense mirrors at the end.
         let review_ids = store.reviews_in_category(category);
-        let mut local_of: HashMap<ReviewId, u32> = HashMap::with_capacity(review_ids.len());
+        let num_users = store.num_users();
         let mut reviews = Vec::with_capacity(review_ids.len());
         let mut review_writer = Vec::with_capacity(review_ids.len());
-        let mut reviews_by_writer: HashMap<UserId, Vec<u32>> = HashMap::new();
-        for (local, &rid) in review_ids.iter().enumerate() {
-            let review = &store.reviews()[rid.index()];
-            local_of.insert(rid, local as u32);
+        for &rid in review_ids {
             reviews.push(rid);
-            review_writer.push(review.writer);
-            reviews_by_writer
-                .entry(review.writer)
-                .or_default()
-                .push(local as u32);
+            review_writer.push(store.reviews()[rid.index()].writer);
         }
-        let mut ratings_by_review = vec![Vec::new(); reviews.len()];
-        let mut ratings_by_rater: HashMap<UserId, Vec<(u32, f64)>> = HashMap::new();
-        for (local, &rid) in reviews.iter().enumerate() {
-            for &(rater, value) in store.ratings_of_review(rid) {
-                ratings_by_review[local].push((rater, value));
-                ratings_by_rater
-                    .entry(rater)
-                    .or_default()
-                    .push((local as u32, value));
+
+        // Writers: sorted-unique ids, then a scatter table for O(1)
+        // local-index resolution.
+        let mut writer_of_local = review_writer.clone();
+        writer_of_local.sort_unstable();
+        writer_of_local.dedup();
+        let mut writer_slot = vec![u32::MAX; num_users];
+        for (l, &w) in writer_of_local.iter().enumerate() {
+            writer_slot[w.index()] = l as u32;
+        }
+        let mut reviews_by_writer_local = vec![Vec::new(); writer_of_local.len()];
+        for (local, &w) in review_writer.iter().enumerate() {
+            reviews_by_writer_local[writer_slot[w.index()] as usize].push(local as u32);
+        }
+
+        // Ratings, grouped by review (store order) and by rater (review
+        // order within each rater).
+        let mut ratings_by_review = Vec::with_capacity(reviews.len());
+        let mut rater_of_local: Vec<UserId> = Vec::new();
+        for &rid in &reviews {
+            let ratings = store.ratings_of_review(rid);
+            rater_of_local.extend(ratings.iter().map(|&(rater, _)| rater));
+            ratings_by_review.push(ratings.to_vec());
+        }
+        rater_of_local.sort_unstable();
+        rater_of_local.dedup();
+        let mut rater_slot = vec![u32::MAX; num_users];
+        for (l, &r) in rater_of_local.iter().enumerate() {
+            rater_slot[r.index()] = l as u32;
+        }
+        let mut rater_counts = vec![0u32; rater_of_local.len()];
+        let mut ratings_by_review_local = Vec::with_capacity(reviews.len());
+        for ratings in &ratings_by_review {
+            let locals: Vec<(u32, f64)> = ratings
+                .iter()
+                .map(|&(rater, value)| {
+                    let lr = rater_slot[rater.index()];
+                    rater_counts[lr as usize] += 1;
+                    (lr, value)
+                })
+                .collect();
+            ratings_by_review_local.push(locals);
+        }
+        let mut ratings_by_rater_local: Vec<Vec<(u32, f64)>> = rater_counts
+            .iter()
+            .map(|&c| Vec::with_capacity(c as usize))
+            .collect();
+        for (local, ratings) in ratings_by_review_local.iter().enumerate() {
+            for &(lr, value) in ratings {
+                ratings_by_rater_local[lr as usize].push((local as u32, value));
             }
         }
+
+        // Map-keyed views, derived from the dense mirrors.
+        let local_of_rater: HashMap<UserId, u32> = rater_of_local
+            .iter()
+            .enumerate()
+            .map(|(l, &u)| (u, l as u32))
+            .collect();
+        let local_of_writer: HashMap<UserId, u32> = writer_of_local
+            .iter()
+            .enumerate()
+            .map(|(l, &u)| (u, l as u32))
+            .collect();
+        let ratings_by_rater: HashMap<UserId, Vec<(u32, f64)>> = rater_of_local
+            .iter()
+            .zip(&ratings_by_rater_local)
+            .map(|(&u, v)| (u, v.clone()))
+            .collect();
+        let reviews_by_writer: HashMap<UserId, Vec<u32>> = writer_of_local
+            .iter()
+            .zip(&reviews_by_writer_local)
+            .map(|(&u, v)| (u, v.clone()))
+            .collect();
         Self {
             category,
             reviews,
@@ -63,6 +151,13 @@ impl CategorySlice {
             ratings_by_review,
             ratings_by_rater,
             reviews_by_writer,
+            rater_of_local,
+            local_of_rater,
+            ratings_by_review_local,
+            ratings_by_rater_local,
+            writer_of_local,
+            local_of_writer,
+            reviews_by_writer_local,
         }
     }
 
@@ -87,18 +182,17 @@ impl CategorySlice {
     }
 
     /// Raters active in the category, in ascending id order (deterministic
-    /// iteration for the fixed point).
+    /// iteration for the fixed point). Identical to
+    /// [`rater_of_local`](Self::rater_of_local), returned by value for
+    /// backward compatibility.
     pub fn raters(&self) -> Vec<UserId> {
-        let mut r: Vec<UserId> = self.ratings_by_rater.keys().copied().collect();
-        r.sort();
-        r
+        self.rater_of_local.clone()
     }
 
-    /// Writers active in the category, in ascending id order.
+    /// Writers active in the category, in ascending id order. Identical to
+    /// [`writer_of_local`](Self::writer_of_local).
     pub fn writers(&self) -> Vec<UserId> {
-        let mut w: Vec<UserId> = self.reviews_by_writer.keys().copied().collect();
-        w.sort();
-        w
+        self.writer_of_local.clone()
     }
 }
 
@@ -145,6 +239,53 @@ mod tests {
         );
         assert_eq!(slice.ratings_by_rater[&UserId(0)], vec![(0, 0.8), (1, 0.6)]);
         assert_eq!(slice.reviews_by_writer[&UserId(1)], vec![0, 1]);
+    }
+
+    #[test]
+    fn local_indexes_mirror_maps() {
+        let s = sample();
+        let slice = s.category_slice(CategoryId(0)).unwrap();
+        // Raters u0 and u2 get local indexes 0 and 1 (ascending id).
+        assert_eq!(slice.rater_of_local, vec![UserId(0), UserId(2)]);
+        assert_eq!(slice.local_of_rater[&UserId(0)], 0);
+        assert_eq!(slice.local_of_rater[&UserId(2)], 1);
+        // Review 0 is rated by u0 (0.8) and u2 (0.4) → locals 0 and 1.
+        assert_eq!(slice.ratings_by_review_local[0], vec![(0, 0.8), (1, 0.4)]);
+        assert_eq!(slice.ratings_by_review_local[1], vec![(0, 0.6)]);
+        // Local rater 0 (= u0) mirrors ratings_by_rater[&u0].
+        assert_eq!(slice.ratings_by_rater_local[0], vec![(0, 0.8), (1, 0.6)]);
+        assert_eq!(slice.ratings_by_rater_local[1], vec![(0, 0.4)]);
+        // Writers: only u1 active.
+        assert_eq!(slice.writer_of_local, vec![UserId(1)]);
+        assert_eq!(slice.local_of_writer[&UserId(1)], 0);
+        assert_eq!(slice.reviews_by_writer_local, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn local_mirrors_agree_with_maps_everywhere() {
+        let s = sample();
+        for c in 0..2 {
+            let slice = s.category_slice(CategoryId(c)).unwrap();
+            assert_eq!(slice.rater_of_local.len(), slice.num_raters());
+            assert_eq!(slice.writer_of_local.len(), slice.num_writers());
+            for (l, &u) in slice.rater_of_local.iter().enumerate() {
+                assert_eq!(slice.ratings_by_rater_local[l], slice.ratings_by_rater[&u]);
+            }
+            for (l, &u) in slice.writer_of_local.iter().enumerate() {
+                assert_eq!(
+                    slice.reviews_by_writer_local[l],
+                    slice.reviews_by_writer[&u]
+                );
+            }
+            for (j, ratings) in slice.ratings_by_review.iter().enumerate() {
+                let locals = &slice.ratings_by_review_local[j];
+                assert_eq!(ratings.len(), locals.len());
+                for (&(u, v), &(l, lv)) in ratings.iter().zip(locals) {
+                    assert_eq!(slice.rater_of_local[l as usize], u);
+                    assert_eq!(v, lv);
+                }
+            }
+        }
     }
 
     #[test]

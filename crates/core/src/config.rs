@@ -23,6 +23,16 @@ pub struct DeriveConfig {
     /// Rater reputation before the first sweep. `1.0` makes the first
     /// quality estimate the plain mean of received ratings.
     pub initial_rater_reputation: f64,
+    /// Run the per-category fixed points of [`pipeline::derive`] on worker
+    /// threads. Output is **bit-identical** to the sequential path (each
+    /// category's computation is self-contained and results are assembled
+    /// in category order), so this is purely a throughput knob.
+    ///
+    /// [`pipeline::derive`]: crate::pipeline::derive
+    pub parallel: bool,
+    /// Worker-thread count when [`parallel`](Self::parallel) is on;
+    /// `0` = all available hardware threads.
+    pub threads: usize,
 }
 
 impl Default for DeriveConfig {
@@ -33,6 +43,8 @@ impl Default for DeriveConfig {
             experience_discount: true,
             unrated_review_quality: 0.0,
             initial_rater_reputation: 1.0,
+            parallel: true,
+            threads: 0,
         }
     }
 }
@@ -63,6 +75,17 @@ impl DeriveConfig {
             ));
         }
         Ok(())
+    }
+
+    /// Worker threads the pipeline should use: `1` when
+    /// [`parallel`](Self::parallel) is off, otherwise
+    /// [`threads`](Self::threads) resolved against the hardware.
+    pub fn effective_threads(&self) -> usize {
+        if self.parallel {
+            wot_par::resolve_threads(self.threads)
+        } else {
+            1
+        }
     }
 
     /// The experience discount factor `1 − 1/(n+1)` for `n` contributions,
@@ -110,6 +133,28 @@ mod tests {
             ..DeriveConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn effective_threads_honours_knobs() {
+        let seq = DeriveConfig {
+            parallel: false,
+            threads: 8,
+            ..DeriveConfig::default()
+        };
+        assert_eq!(seq.effective_threads(), 1);
+        let fixed = DeriveConfig {
+            parallel: true,
+            threads: 3,
+            ..DeriveConfig::default()
+        };
+        assert_eq!(fixed.effective_threads(), 3);
+        let auto = DeriveConfig {
+            parallel: true,
+            threads: 0,
+            ..DeriveConfig::default()
+        };
+        assert_eq!(auto.effective_threads(), wot_par::max_threads());
     }
 
     #[test]

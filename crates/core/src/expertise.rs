@@ -23,6 +23,19 @@ pub fn expertise_matrix(num_users: usize, per_category: &[HashMap<UserId, f64>])
     e
 }
 
+/// Assembles `E` from per-category `(writer, reputation)` pair lists — the
+/// index-dense pipeline's native output shape (see
+/// [`writer_reputation_pairs`](crate::reputation::writer_reputation_pairs)).
+pub fn expertise_matrix_from_pairs(num_users: usize, per_category: &[&[(UserId, f64)]]) -> Dense {
+    let mut e = Dense::zeros(num_users, per_category.len());
+    for (c, writers) in per_category.iter().enumerate() {
+        for &(u, rep) in *writers {
+            e.set(u.index(), c, rep);
+        }
+    }
+    e
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,5 +60,19 @@ mod tests {
     fn empty_categories_give_zero_matrix() {
         let e = expertise_matrix(2, &[HashMap::new(), HashMap::new()]);
         assert_eq!(e.row_sums(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn pairs_form_matches_map_form() {
+        let mut c0 = HashMap::new();
+        c0.insert(UserId(1), 0.7);
+        let mut c1 = HashMap::new();
+        c1.insert(UserId(1), 0.2);
+        c1.insert(UserId(2), 0.9);
+        let from_maps = expertise_matrix(3, &[c0, c1]);
+        let p0 = [(UserId(1), 0.7)];
+        let p1 = [(UserId(1), 0.2), (UserId(2), 0.9)];
+        let from_pairs = expertise_matrix_from_pairs(3, &[&p0, &p1]);
+        assert_eq!(from_maps, from_pairs);
     }
 }

@@ -28,6 +28,36 @@
 //! analysis. The paper's baseline `B` (mean rating given) comes from
 //! [`wot_community::CommunityStore::baseline_matrix`].
 //!
+//! ## Complexity and parallelism
+//!
+//! The pipeline is engineered for Epinions scale (~44k users, 100k+
+//! reviews) and beyond:
+//!
+//! * **Index-dense hot paths.** Every per-category computation runs over
+//!   [`wot_community::CategorySlice`]'s *local indexes*: raters, writers
+//!   and reviews are renumbered `0..n`, so the Eq. 1/Eq. 2 Jacobi sweeps
+//!   (`riggs`) and the Eq. 3 aggregation (`reputation`) operate on flat
+//!   `Vec<f64>` buffers and contiguous incidence arrays — no `HashMap`
+//!   lookups inside the fixed point. One sweep costs O(ratings in the
+//!   category); slice projection costs O(reviews + ratings) once, via
+//!   O(1) scatter tables. The pre-optimization `HashMap` formulation is
+//!   preserved ([`riggs::reference`], [`pipeline::derive_baseline`]) and
+//!   proven bit-identical by property tests; `wot-bench`'s
+//!   `bench_pipeline` measures the gap (≥2× end-to-end on one thread at
+//!   `laptop` scale, ~4× on the solver alone).
+//! * **Data parallelism.** Categories are independent, so
+//!   [`pipeline::derive`] fans them out across worker threads
+//!   ([`DeriveConfig::parallel`] / [`DeriveConfig::threads`]) with dynamic
+//!   scheduling (category sizes are heavily skewed). The Eq. 5 kernels
+//!   are row-parallel: [`trust::derive_masked_threaded`] splits the mask
+//!   by non-zero count, [`trust::derive_dense_threaded`] by row blocks,
+//!   and [`trust::support_count_threaded`] reduces integer partials.
+//! * **Determinism.** Parallel output is **bit-identical** to sequential
+//!   output for every kernel and any thread count — Jacobi sweeps are
+//!   order-independent, every worker writes a disjoint output range from
+//!   read-only input, and reductions are exactly associative. The
+//!   workspace's determinism tests assert this with `==` on `f64`.
+//!
 //! [`pipeline`] glues the steps together:
 //!
 //! ```

@@ -1,4 +1,13 @@
 //! End-to-end driver: community in, expertise/affiliation/trust out.
+//!
+//! Categories are independent units of work (the paper computes every
+//! Step-1 quantity per category), so [`derive`] fans them out across
+//! worker threads when [`DeriveConfig::parallel`] is set, with dynamic
+//! scheduling to absorb the heavy skew of real category sizes. Results
+//! are assembled in category order and each category's fixed point is
+//! self-contained, so the parallel output is **bit-identical** to the
+//! sequential one — a property the workspace's determinism tests assert
+//! with `==` on `f64`, not approximate comparison.
 
 use wot_community::{CategoryId, CommunityStore, ReviewId, UserId};
 use wot_sparse::{Csr, Dense};
@@ -7,7 +16,7 @@ use crate::{affiliation, expertise, reputation, riggs, trust, DeriveConfig, Resu
 
 /// Step-1 outputs for one category, in deterministic (ascending user id)
 /// order — the raw material of the paper's Tables 2 and 3.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CategoryReputation {
     /// The category.
     pub category: CategoryId,
@@ -25,7 +34,7 @@ pub struct CategoryReputation {
 
 /// The derived model: everything Steps 1–2 produce, with Step 3 exposed as
 /// methods (pairwise, masked, dense, and support-count forms).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Derived {
     /// Users×Category expertise matrix `E` (Eq. 3 per category).
     pub expertise: Dense,
@@ -36,15 +45,76 @@ pub struct Derived {
 }
 
 /// Runs Steps 1 and 2 on the whole community.
+///
+/// Per-category fixed points run on [`DeriveConfig::effective_threads`]
+/// workers; the output does not depend on the thread count.
 pub fn derive(store: &CommunityStore, cfg: &DeriveConfig) -> Result<Derived> {
+    cfg.validate()?;
+    let num_users = store.num_users();
+    let categories = store.categories();
+    // Category sizes are heavily skewed, so use dynamic scheduling: a
+    // worker that drew the giant category must not serialize the rest.
+    let solved: Vec<Result<CategoryReputation>> =
+        wot_par::par_map_indexed(categories.len(), cfg.effective_threads(), |c| {
+            derive_category(store, categories[c].id, cfg)
+        });
+    let per_category = solved.into_iter().collect::<Result<Vec<_>>>()?;
+    let writer_pairs: Vec<&[(UserId, f64)]> = per_category
+        .iter()
+        .map(|cr| cr.writer_reputation.as_slice())
+        .collect();
+    let e = expertise::expertise_matrix_from_pairs(num_users, &writer_pairs);
+    let a = affiliation::affiliation_of(store);
+    Ok(Derived {
+        expertise: e,
+        affiliation: a,
+        per_category,
+    })
+}
+
+/// Solves one category: slice projection, Eqs. 1–2 fixed point, Eq. 3
+/// writer aggregation — all over the slice's index-dense state.
+fn derive_category(
+    store: &CommunityStore,
+    category: CategoryId,
+    cfg: &DeriveConfig,
+) -> Result<CategoryReputation> {
+    let slice = store.category_slice(category)?;
+    let fixed = riggs::solve(&slice, cfg);
+    let writer_reputation = reputation::writer_reputation_pairs(&slice, &fixed.review_quality, cfg);
+    let rater_reputation = fixed.reputation_pairs(&slice);
+    let review_quality: Vec<(ReviewId, f64)> = slice
+        .reviews
+        .iter()
+        .zip(&fixed.review_quality)
+        .map(|(&rid, &q)| (rid, q))
+        .collect();
+    Ok(CategoryReputation {
+        category,
+        rater_reputation,
+        writer_reputation,
+        review_quality,
+        iterations: fixed.iterations,
+        converged: fixed.converged,
+    })
+}
+
+/// The pre-optimization formulation of [`derive`]: sequential over
+/// categories, with `HashMap`-keyed fixed-point state
+/// ([`riggs::reference`]).
+///
+/// Kept as the baseline the index-dense pipeline is validated against
+/// (bit-identical output, asserted by the workspace's property and
+/// round-trip tests) and benchmarked against (`bench_pipeline`).
+pub fn derive_baseline(store: &CommunityStore, cfg: &DeriveConfig) -> Result<Derived> {
     cfg.validate()?;
     let num_users = store.num_users();
     let mut per_category = Vec::with_capacity(store.num_categories());
     let mut writer_maps = Vec::with_capacity(store.num_categories());
     for c in store.categories() {
         let slice = store.category_slice(c.id)?;
-        let fixed = riggs::solve(&slice, cfg);
-        let writers = reputation::writer_reputation(&slice, &fixed.review_quality, cfg);
+        let fixed = riggs::reference::solve(&slice, cfg);
+        let writers = reputation::writer_reputation_map(&slice, &fixed.review_quality, cfg);
         let mut rater_reputation: Vec<(UserId, f64)> = fixed
             .rater_reputation
             .iter()
@@ -200,6 +270,40 @@ mod tests {
         // Out-of-range category yields all zeros rather than panicking.
         let none = d.rater_reputation_of(CategoryId(9));
         assert!(none.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let store = fixture();
+        let sequential = derive(
+            &store,
+            &DeriveConfig {
+                parallel: false,
+                ..DeriveConfig::default()
+            },
+        )
+        .unwrap();
+        for threads in [0usize, 2, 7] {
+            let parallel = derive(
+                &store,
+                &DeriveConfig {
+                    parallel: true,
+                    threads,
+                    ..DeriveConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn baseline_matches_index_dense_pipeline() {
+        let store = fixture();
+        let cfg = DeriveConfig::default();
+        let dense = derive(&store, &cfg).unwrap();
+        let baseline = derive_baseline(&store, &cfg).unwrap();
+        assert_eq!(dense, baseline);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! ```text
 //! ū^w_i = (Σ_{j∈R(u^w_i)} r̄_j / n^w_i) · (1 − 1/(n^w_i+1))   (3)
 //! ```
-
-use std::collections::HashMap;
+//!
+//! Like the Eqs. 1–2 fixed point, this runs over the slice's local writer
+//! indexes ([`CategorySlice::writer_of_local`]) and returns a flat
+//! `Vec<f64>` — no per-writer hashing on the hot path.
 
 use wot_community::{CategorySlice, UserId};
 
@@ -16,15 +18,19 @@ use crate::DeriveConfig;
 /// Computes writer reputation for every writer active in the slice, given
 /// the slice's converged review qualities (from [`riggs::solve`]).
 ///
+/// The result is indexed by **local writer index** (ascending user id);
+/// pair it with [`CategorySlice::writer_of_local`] or use
+/// [`writer_reputation_pairs`] for `(user, value)` form.
+///
 /// [`riggs::solve`]: crate::riggs::solve
 pub fn writer_reputation(
     slice: &CategorySlice,
     review_quality: &[f64],
     cfg: &DeriveConfig,
-) -> HashMap<UserId, f64> {
+) -> Vec<f64> {
     debug_assert_eq!(review_quality.len(), slice.num_reviews());
-    let mut out = HashMap::with_capacity(slice.reviews_by_writer.len());
-    for (&writer, locals) in &slice.reviews_by_writer {
+    let mut out = Vec::with_capacity(slice.num_writers());
+    for locals in &slice.reviews_by_writer_local {
         let n = locals.len();
         debug_assert!(n > 0, "writer entry with no reviews");
         let mean_q: f64 = locals
@@ -32,9 +38,50 @@ pub fn writer_reputation(
             .map(|&l| review_quality[l as usize])
             .sum::<f64>()
             / n as f64;
-        out.insert(writer, mean_q * cfg.discount(n));
+        out.push(mean_q * cfg.discount(n));
     }
     out
+}
+
+/// The original `HashMap`-keyed formulation of Eq. 3 — the baseline
+/// mirror of [`writer_reputation`], used by
+/// [`pipeline::derive_baseline`](crate::pipeline::derive_baseline) so the
+/// formula exists in exactly two audited copies (dense and reference),
+/// not scattered inline.
+pub fn writer_reputation_map(
+    slice: &CategorySlice,
+    review_quality: &[f64],
+    cfg: &DeriveConfig,
+) -> std::collections::HashMap<UserId, f64> {
+    debug_assert_eq!(review_quality.len(), slice.num_reviews());
+    slice
+        .reviews_by_writer
+        .iter()
+        .map(|(&writer, locals)| {
+            let n = locals.len();
+            debug_assert!(n > 0, "writer entry with no reviews");
+            let mean_q: f64 = locals
+                .iter()
+                .map(|&l| review_quality[l as usize])
+                .sum::<f64>()
+                / n as f64;
+            (writer, mean_q * cfg.discount(n))
+        })
+        .collect()
+}
+
+/// Writer reputations as `(user, value)` pairs in ascending user-id order.
+pub fn writer_reputation_pairs(
+    slice: &CategorySlice,
+    review_quality: &[f64],
+    cfg: &DeriveConfig,
+) -> Vec<(UserId, f64)> {
+    slice
+        .writer_of_local
+        .iter()
+        .copied()
+        .zip(writer_reputation(slice, review_quality, cfg))
+        .collect()
 }
 
 #[cfg(test)]
@@ -57,9 +104,10 @@ mod tests {
         let _r1 = b.add_review(w, o2).unwrap();
         b.add_rating(a, r0, 0.8).unwrap();
         let slice = b.build().category_slice(cat).unwrap();
-        let rep = writer_reputation(&slice, &[0.64, 0.6], &DeriveConfig::default());
+        let rep = writer_reputation_pairs(&slice, &[0.64, 0.6], &DeriveConfig::default());
         assert_eq!(rep.len(), 1);
-        assert!((rep[&w] - 0.62 * (2.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(rep[0].0, w);
+        assert!((rep[0].1 - 0.62 * (2.0 / 3.0)).abs() < 1e-12);
     }
 
     #[test]
@@ -81,9 +129,11 @@ mod tests {
         // Local review order: w1's three, then w2's one.
         let q = vec![0.8, 0.8, 0.8, 0.8];
         let rep = writer_reputation(&slice, &q, &DeriveConfig::default());
-        assert!(rep[&w1] > rep[&w2]);
-        assert!((rep[&w1] - 0.8 * 0.75).abs() < 1e-12);
-        assert!((rep[&w2] - 0.8 * 0.5).abs() < 1e-12);
+        let l1 = slice.local_of_writer[&w1] as usize;
+        let l2 = slice.local_of_writer[&w2] as usize;
+        assert!(rep[l1] > rep[l2]);
+        assert!((rep[l1] - 0.8 * 0.75).abs() < 1e-12);
+        assert!((rep[l2] - 0.8 * 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -99,11 +149,34 @@ mod tests {
             ..DeriveConfig::default()
         };
         let rep = writer_reputation(&slice, &[0.9], &cfg);
-        assert!((rep[&w] - 0.9).abs() < 1e-12);
+        assert!((rep[0] - 0.9).abs() < 1e-12);
     }
 
     #[test]
-    fn empty_slice_yields_empty_map() {
+    fn map_form_matches_dense_form() {
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        let w1 = b.add_user("w1");
+        let w2 = b.add_user("w2");
+        let cat = b.add_category("cat");
+        for (w, n) in [(w1, 2usize), (w2, 1usize)] {
+            for k in 0..n {
+                let o = b.add_object(format!("o-{w}-{k}"), cat).unwrap();
+                b.add_review(w, o).unwrap();
+            }
+        }
+        let slice = b.build().category_slice(cat).unwrap();
+        let q = vec![0.9, 0.5, 0.7];
+        let cfg = DeriveConfig::default();
+        let dense = writer_reputation(&slice, &q, &cfg);
+        let map = writer_reputation_map(&slice, &q, &cfg);
+        assert_eq!(map.len(), dense.len());
+        for (l, &u) in slice.writer_of_local.iter().enumerate() {
+            assert_eq!(map[&u], dense[l]);
+        }
+    }
+
+    #[test]
+    fn empty_slice_yields_empty_vec() {
         let mut b = CommunityBuilder::new(RatingScale::five_step());
         b.add_user("u");
         let cat = b.add_category("cat");

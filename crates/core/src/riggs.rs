@@ -14,8 +14,20 @@
 //! uniform reputations until no reputation moves by more than the
 //! configured tolerance (Jacobi-style sweeps, so the result is independent
 //! of user iteration order).
-
-use std::collections::HashMap;
+//!
+//! ## Index-dense state
+//!
+//! The sweeps run over the slice's **local indexes**
+//! ([`CategorySlice::rater_of_local`] and friends): reputation lives in a
+//! flat `Vec<f64>` indexed by local rater, and every rating carries a
+//! pre-resolved local rater index, so the innermost loops are pure
+//! array arithmetic with no hashing. On Epinions-scale categories this is
+//! the difference between a memory-bound hash walk and a cache-friendly
+//! linear scan (see `wot-bench`'s `bench_pipeline`). The original
+//! `HashMap`-keyed formulation is preserved in [`reference`] and proven
+//! bit-identical by `wot-core`'s property tests — both iterate the same
+//! Jacobi sweeps in the same arithmetic order, so even floating-point
+//! rounding agrees.
 
 use wot_community::{CategorySlice, UserId};
 
@@ -23,36 +35,112 @@ use crate::DeriveConfig;
 
 /// Converged (or iteration-capped) result of the fixed point for one
 /// category.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RiggsResult {
     /// Review quality `r̄_j ∈ [0, 1]`, indexed by the slice's local review
     /// index. Reviews with no ratings get
     /// [`DeriveConfig::unrated_review_quality`].
     pub review_quality: Vec<f64>,
-    /// Rater reputation `ū_i ∈ [0, 1]` for every rater active in the
-    /// category.
-    pub rater_reputation: HashMap<UserId, f64>,
+    /// Rater reputation `ū_i ∈ [0, 1]`, indexed by the slice's **local
+    /// rater index** (ascending user id; see
+    /// [`CategorySlice::rater_of_local`]).
+    pub rater_reputation: Vec<f64>,
     /// Sweeps executed.
     pub iterations: usize,
     /// Whether the tolerance was met before the iteration cap.
     pub converged: bool,
 }
 
-/// Runs the fixed point on one category slice.
+impl RiggsResult {
+    /// Reputation of one user, or `None` if they rated nothing in the
+    /// category.
+    pub fn reputation_of(&self, slice: &CategorySlice, user: UserId) -> Option<f64> {
+        slice
+            .local_of_rater
+            .get(&user)
+            .map(|&l| self.rater_reputation[l as usize])
+    }
+
+    /// Reputations as `(user, value)` pairs in ascending user-id order.
+    pub fn reputation_pairs(&self, slice: &CategorySlice) -> Vec<(UserId, f64)> {
+        slice
+            .rater_of_local
+            .iter()
+            .copied()
+            .zip(self.rater_reputation.iter().copied())
+            .collect()
+    }
+}
+
+/// Flattened, struct-of-arrays view of one slice's rating incidence — the
+/// working set of the sweeps. Built once per category (O(nnz)), amortized
+/// over the dozens of Jacobi sweeps that follow; the per-sweep loops then
+/// walk three contiguous arrays with zero pointer chasing.
+struct FlatIncidence {
+    /// Ratings grouped by review: `rev_ptr[j]..rev_ptr[j + 1]` indexes the
+    /// two arrays below.
+    rev_ptr: Vec<usize>,
+    rev_rater: Vec<u32>,
+    rev_value: Vec<f64>,
+    /// Ratings grouped by rater, same encoding.
+    rater_ptr: Vec<usize>,
+    rater_review: Vec<u32>,
+    rater_value: Vec<f64>,
+    /// `discount(n_i)` per local rater, hoisted out of the sweep loop.
+    rater_discount: Vec<f64>,
+}
+
+impl FlatIncidence {
+    fn build(slice: &CategorySlice, cfg: &DeriveConfig) -> Self {
+        let nnz = slice.num_ratings();
+        let mut rev_ptr = Vec::with_capacity(slice.num_reviews() + 1);
+        let mut rev_rater = Vec::with_capacity(nnz);
+        let mut rev_value = Vec::with_capacity(nnz);
+        rev_ptr.push(0);
+        for ratings in &slice.ratings_by_review_local {
+            for &(rater, value) in ratings {
+                rev_rater.push(rater);
+                rev_value.push(value);
+            }
+            rev_ptr.push(rev_rater.len());
+        }
+        let mut rater_ptr = Vec::with_capacity(slice.num_raters() + 1);
+        let mut rater_review = Vec::with_capacity(nnz);
+        let mut rater_value = Vec::with_capacity(nnz);
+        let mut rater_discount = Vec::with_capacity(slice.num_raters());
+        rater_ptr.push(0);
+        for ratings in &slice.ratings_by_rater_local {
+            for &(review, value) in ratings {
+                rater_review.push(review);
+                rater_value.push(value);
+            }
+            rater_ptr.push(rater_review.len());
+            rater_discount.push(cfg.discount(ratings.len()));
+        }
+        Self {
+            rev_ptr,
+            rev_rater,
+            rev_value,
+            rater_ptr,
+            rater_review,
+            rater_value,
+            rater_discount,
+        }
+    }
+}
+
+/// Runs the fixed point on one category slice over index-dense state.
 pub fn solve(slice: &CategorySlice, cfg: &DeriveConfig) -> RiggsResult {
-    let raters = slice.raters();
-    let mut reputation: HashMap<UserId, f64> = raters
-        .iter()
-        .map(|&u| (u, cfg.initial_rater_reputation))
-        .collect();
+    let flat = FlatIncidence::build(slice, cfg);
+    let mut reputation = vec![cfg.initial_rater_reputation; slice.num_raters()];
     let mut quality = vec![cfg.unrated_review_quality; slice.num_reviews()];
 
     let mut iterations = 0;
     let mut converged = false;
     while iterations < cfg.fixpoint_max_iters {
         iterations += 1;
-        update_quality(slice, &reputation, cfg, &mut quality);
-        let delta = update_reputation(slice, &quality, cfg, &mut reputation);
+        update_quality(&flat, &reputation, cfg, &mut quality);
+        let delta = update_reputation(&flat, &quality, &mut reputation);
         if delta <= cfg.fixpoint_tolerance {
             converged = true;
             break;
@@ -67,59 +155,164 @@ pub fn solve(slice: &CategorySlice, cfg: &DeriveConfig) -> RiggsResult {
 }
 
 /// One Eq. 1 sweep: recompute every review's quality from current
-/// reputations. Falls back to the unweighted mean when the reputation mass
-/// of a review's raters is zero (e.g. all its raters have fully divergent
-/// histories), so ratings are never silently discarded.
+/// reputations (indexed by local rater). Falls back to the unweighted mean
+/// when the reputation mass of a review's raters is zero (e.g. all its
+/// raters have fully divergent histories), so ratings are never silently
+/// discarded.
 fn update_quality(
-    slice: &CategorySlice,
-    reputation: &HashMap<UserId, f64>,
+    flat: &FlatIncidence,
+    reputation: &[f64],
     cfg: &DeriveConfig,
     quality: &mut [f64],
 ) {
-    for (j, ratings) in slice.ratings_by_review.iter().enumerate() {
-        if ratings.is_empty() {
-            quality[j] = cfg.unrated_review_quality;
+    for (j, q) in quality.iter_mut().enumerate() {
+        let (lo, hi) = (flat.rev_ptr[j], flat.rev_ptr[j + 1]);
+        if lo == hi {
+            *q = cfg.unrated_review_quality;
             continue;
         }
+        let raters = &flat.rev_rater[lo..hi];
+        let values = &flat.rev_value[lo..hi];
         let mut num = 0.0;
         let mut den = 0.0;
-        for &(rater, value) in ratings {
-            let w = reputation.get(&rater).copied().unwrap_or(0.0);
+        for (&rater, &value) in raters.iter().zip(values) {
+            let w = reputation[rater as usize];
             num += w * value;
             den += w;
         }
-        quality[j] = if den > 0.0 {
+        *q = if den > 0.0 {
             num / den
         } else {
-            ratings.iter().map(|&(_, v)| v).sum::<f64>() / ratings.len() as f64
+            values.iter().sum::<f64>() / values.len() as f64
         };
     }
 }
 
 /// One Eq. 2 sweep: recompute every rater's reputation from current
 /// qualities. Returns the largest absolute reputation change.
-fn update_reputation(
-    slice: &CategorySlice,
-    quality: &[f64],
-    cfg: &DeriveConfig,
-    reputation: &mut HashMap<UserId, f64>,
-) -> f64 {
+fn update_reputation(flat: &FlatIncidence, quality: &[f64], reputation: &mut [f64]) -> f64 {
     let mut max_delta = 0.0f64;
-    for (&rater, ratings) in &slice.ratings_by_rater {
-        let n = ratings.len();
+    for (i, rep) in reputation.iter_mut().enumerate() {
+        let (lo, hi) = (flat.rater_ptr[i], flat.rater_ptr[i + 1]);
+        let n = hi - lo;
         debug_assert!(n > 0, "rater entry with no ratings");
-        let mad: f64 = ratings
+        let reviews = &flat.rater_review[lo..hi];
+        let values = &flat.rater_value[lo..hi];
+        let mad: f64 = reviews
             .iter()
-            .map(|&(local, value)| (value - quality[local as usize]).abs())
+            .zip(values)
+            .map(|(&local, &value)| (value - quality[local as usize]).abs())
             .sum::<f64>()
             / n as f64;
-        let new = (1.0 - mad).max(0.0) * cfg.discount(n);
-        let old = reputation
-            .insert(rater, new)
-            .expect("reputation map seeded with every rater");
+        let new = (1.0 - mad).max(0.0) * flat.rater_discount[i];
+        let old = std::mem::replace(rep, new);
         max_delta = max_delta.max((new - old).abs());
     }
     max_delta
+}
+
+/// The original `HashMap`-keyed formulation of the fixed point.
+///
+/// Kept as the equivalence baseline: `wot-core`'s property tests assert
+/// the index-dense [`solve`] reproduces this solver's output bit-for-bit,
+/// and `wot-bench`'s `bench_pipeline` measures the speedup against it.
+pub mod reference {
+    use std::collections::HashMap;
+
+    use wot_community::{CategorySlice, UserId};
+
+    use crate::DeriveConfig;
+
+    /// Result of the reference solver, keyed by user id.
+    #[derive(Debug, Clone)]
+    pub struct RiggsResultMap {
+        /// Review quality per local review index.
+        pub review_quality: Vec<f64>,
+        /// Rater reputation for every rater active in the category.
+        pub rater_reputation: HashMap<UserId, f64>,
+        /// Sweeps executed.
+        pub iterations: usize,
+        /// Whether the tolerance was met before the iteration cap.
+        pub converged: bool,
+    }
+
+    /// Runs the fixed point with `HashMap`-keyed reputation state.
+    pub fn solve(slice: &CategorySlice, cfg: &DeriveConfig) -> RiggsResultMap {
+        let raters = slice.raters();
+        let mut reputation: HashMap<UserId, f64> = raters
+            .iter()
+            .map(|&u| (u, cfg.initial_rater_reputation))
+            .collect();
+        let mut quality = vec![cfg.unrated_review_quality; slice.num_reviews()];
+
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < cfg.fixpoint_max_iters {
+            iterations += 1;
+            update_quality(slice, &reputation, cfg, &mut quality);
+            let delta = update_reputation(slice, &quality, cfg, &mut reputation);
+            if delta <= cfg.fixpoint_tolerance {
+                converged = true;
+                break;
+            }
+        }
+        RiggsResultMap {
+            review_quality: quality,
+            rater_reputation: reputation,
+            iterations,
+            converged,
+        }
+    }
+
+    fn update_quality(
+        slice: &CategorySlice,
+        reputation: &HashMap<UserId, f64>,
+        cfg: &DeriveConfig,
+        quality: &mut [f64],
+    ) {
+        for (j, ratings) in slice.ratings_by_review.iter().enumerate() {
+            if ratings.is_empty() {
+                quality[j] = cfg.unrated_review_quality;
+                continue;
+            }
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for &(rater, value) in ratings {
+                let w = reputation.get(&rater).copied().unwrap_or(0.0);
+                num += w * value;
+                den += w;
+            }
+            quality[j] = if den > 0.0 {
+                num / den
+            } else {
+                ratings.iter().map(|&(_, v)| v).sum::<f64>() / ratings.len() as f64
+            };
+        }
+    }
+
+    fn update_reputation(
+        slice: &CategorySlice,
+        quality: &[f64],
+        cfg: &DeriveConfig,
+        reputation: &mut HashMap<UserId, f64>,
+    ) -> f64 {
+        let mut max_delta = 0.0f64;
+        for (&rater, ratings) in &slice.ratings_by_rater {
+            let n = ratings.len();
+            debug_assert!(n > 0, "rater entry with no ratings");
+            let mad: f64 = ratings
+                .iter()
+                .map(|&(local, value)| (value - quality[local as usize]).abs())
+                .sum::<f64>()
+                / n as f64;
+            let new = (1.0 - mad).max(0.0) * cfg.discount(n);
+            let old = reputation
+                .insert(rater, new)
+                .expect("reputation map seeded with every rater");
+            max_delta = max_delta.max((new - old).abs());
+        }
+        max_delta
+    }
 }
 
 #[cfg(test)]
@@ -159,9 +352,11 @@ mod tests {
         assert!((r.review_quality[0] - 0.6).abs() < 1e-12);
         assert!((r.review_quality[1] - 0.6).abs() < 1e-12);
         // A: mad = (0.2 + 0.0)/2 = 0.1, n=2 → 0.9 * 2/3 = 0.6
-        assert!((r.rater_reputation[&UserId(0)] - 0.6).abs() < 1e-12);
+        assert!((r.reputation_of(&slice, UserId(0)).unwrap() - 0.6).abs() < 1e-12);
         // B: mad = 0.2, n=1 → 0.8 * 1/2 = 0.4
-        assert!((r.rater_reputation[&UserId(1)] - 0.4).abs() < 1e-12);
+        assert!((r.reputation_of(&slice, UserId(1)).unwrap() - 0.4).abs() < 1e-12);
+        // The writer rated nothing.
+        assert_eq!(r.reputation_of(&slice, UserId(2)), None);
     }
 
     #[test]
@@ -188,11 +383,14 @@ mod tests {
         for &q in &r.review_quality {
             assert!((0.0..=1.0).contains(&q));
         }
-        for &rep in r.rater_reputation.values() {
+        for &rep in &r.rater_reputation {
             assert!((0.0..=1.0).contains(&rep));
         }
         // A tracks consensus better than B throughout.
-        assert!(r.rater_reputation[&UserId(0)] > r.rater_reputation[&UserId(1)]);
+        assert!(
+            r.reputation_of(&slice, UserId(0)).unwrap()
+                > r.reputation_of(&slice, UserId(1)).unwrap()
+        );
     }
 
     #[test]
@@ -206,8 +404,8 @@ mod tests {
                 ..DeriveConfig::default()
             },
         );
-        for (u, &rep) in &with.rater_reputation {
-            assert!(without.rater_reputation[u] >= rep);
+        for (rep, rep_without) in with.rater_reputation.iter().zip(&without.rater_reputation) {
+            assert!(rep_without >= rep);
         }
     }
 
@@ -262,6 +460,32 @@ mod tests {
         let r = solve(&slice, &DeriveConfig::default());
         assert!(r.converged);
         assert!((r.review_quality[0] - 0.8).abs() < 1e-12);
-        assert!((r.rater_reputation[&a] - 0.5).abs() < 1e-12); // (1-0)·(1-1/2)
+        // (1-0)·(1-1/2)
+        assert!((r.reputation_of(&slice, a).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    /// The index-dense solver and the reference HashMap solver agree
+    /// bit-for-bit (also covered at scale by the crate's property tests).
+    #[test]
+    fn dense_matches_reference_exactly() {
+        let slice = fixture();
+        for cfg in [
+            DeriveConfig::default(),
+            DeriveConfig {
+                fixpoint_max_iters: 3,
+                fixpoint_tolerance: 0.0,
+                ..DeriveConfig::default()
+            },
+        ] {
+            let dense = solve(&slice, &cfg);
+            let map = reference::solve(&slice, &cfg);
+            assert_eq!(dense.review_quality, map.review_quality);
+            assert_eq!(dense.iterations, map.iterations);
+            assert_eq!(dense.converged, map.converged);
+            assert_eq!(dense.rater_reputation.len(), map.rater_reputation.len());
+            for (u, rep) in dense.reputation_pairs(&slice) {
+                assert_eq!(rep, map.rater_reputation[&u], "user {u:?}");
+            }
+        }
     }
 }

@@ -20,12 +20,24 @@
 //! * [`support_count`] — the *number* of non-zero entries of the full `T̂`
 //!   without materializing it (Fig. 3's density), via category-overlap
 //!   bitmask counting, O(U + U·distinct-masks) for C ≤ 64.
+//!
+//! The masked, dense and support-count forms are row-parallel: rows of
+//! `T̂` are independent (each reads the shared `A`/`E` matrices and writes
+//! its own output range), so they split across worker threads with
+//! bit-identical results for any thread count. Each function has a
+//! `*_threaded` variant taking an explicit count (`0` = auto,
+//! `1` = sequential). Explicit counts are honoured as given; in auto
+//! mode a size cutoff keeps small problems on the calling thread and
+//! large ones fan out to all hardware threads.
 
 use std::collections::HashMap;
 
-use wot_sparse::{masked_row_dot, Csr, Dense};
+use wot_sparse::{masked_row_dot_threaded, Csr, Dense};
 
 use crate::{CoreError, Result};
+
+/// Below this many output cells (dense) the row loop stays sequential.
+const PAR_CELLS_THRESHOLD: usize = 1 << 16;
 
 /// Eq. 5 for one ordered pair.
 pub fn pairwise(affiliation: &Dense, expertise: &Dense, i: usize, j: usize) -> f64 {
@@ -39,8 +51,18 @@ pub fn pairwise(affiliation: &Dense, expertise: &Dense, i: usize, j: usize) -> f
 }
 
 /// Eq. 5 on every coordinate of `mask` (values of `mask` are ignored; its
-/// pattern defines the candidate set).
+/// pattern defines the candidate set). Row-parallel on large masks.
 pub fn derive_masked(affiliation: &Dense, expertise: &Dense, mask: &Csr) -> Result<Csr> {
+    derive_masked_threaded(affiliation, expertise, mask, 0)
+}
+
+/// [`derive_masked`] with an explicit worker-thread count.
+pub fn derive_masked_threaded(
+    affiliation: &Dense,
+    expertise: &Dense,
+    mask: &Csr,
+    threads: usize,
+) -> Result<Csr> {
     if affiliation.shape() != expertise.shape() {
         return Err(CoreError::Shape(format!(
             "affiliation {:?} vs expertise {:?}",
@@ -48,7 +70,7 @@ pub fn derive_masked(affiliation: &Dense, expertise: &Dense, mask: &Csr) -> Resu
             expertise.shape()
         )));
     }
-    let numerators = masked_row_dot(affiliation, expertise, mask)?;
+    let numerators = masked_row_dot_threaded(affiliation, expertise, mask, threads)?;
     let row_mass: Vec<f64> = affiliation.row_sums();
     let inv: Vec<f64> = row_mass
         .iter()
@@ -58,8 +80,17 @@ pub fn derive_masked(affiliation: &Dense, expertise: &Dense, mask: &Csr) -> Resu
 }
 
 /// Eq. 5 as a full dense matrix — O(U²·C); intended for examples, tests
-/// and laptop-scale analyses.
+/// and laptop-scale analyses. Row-parallel on large communities.
 pub fn derive_dense(affiliation: &Dense, expertise: &Dense) -> Result<Dense> {
+    derive_dense_threaded(affiliation, expertise, 0)
+}
+
+/// [`derive_dense`] with an explicit worker-thread count.
+pub fn derive_dense_threaded(
+    affiliation: &Dense,
+    expertise: &Dense,
+    threads: usize,
+) -> Result<Dense> {
     if affiliation.shape() != expertise.shape() {
         return Err(CoreError::Shape(format!(
             "affiliation {:?} vs expertise {:?}",
@@ -69,29 +100,65 @@ pub fn derive_dense(affiliation: &Dense, expertise: &Dense) -> Result<Dense> {
     }
     let u = affiliation.nrows();
     let mut out = Dense::zeros(u, u);
-    for i in 0..u {
-        let a_row = affiliation.row(i);
-        let den: f64 = a_row.iter().sum();
-        if den <= 0.0 {
-            continue;
-        }
-        for j in 0..u {
-            let v = wot_sparse::dot(a_row, expertise.row(j)) / den;
-            if v != 0.0 {
-                out.set(i, j, v);
+
+    // Fills output rows `rows`, given the flat slice holding exactly those
+    // rows (`chunk[0]` is cell `(rows.start, 0)`).
+    let fill = |rows: core::ops::Range<usize>, chunk: &mut [f64]| {
+        for i in rows.clone() {
+            let a_row = affiliation.row(i);
+            let den: f64 = a_row.iter().sum();
+            if den <= 0.0 {
+                continue;
+            }
+            let out_row = &mut chunk[(i - rows.start) * u..(i - rows.start + 1) * u];
+            for (j, out_cell) in out_row.iter_mut().enumerate() {
+                *out_cell = wot_sparse::dot(a_row, expertise.row(j)) / den;
             }
         }
+    };
+
+    // Explicit counts are authoritative; the size cutoff only governs
+    // auto mode (threads == 0).
+    let threads = if threads == 0 {
+        if u * u < PAR_CELLS_THRESHOLD {
+            1
+        } else {
+            wot_par::max_threads()
+        }
+    } else {
+        threads
+    };
+    if threads <= 1 {
+        fill(0..u, out.as_mut_slice());
+    } else {
+        let row_ranges = wot_par::even_ranges(u, threads);
+        let bounds: Vec<usize> = std::iter::once(0)
+            .chain(row_ranges.iter().map(|r| r.end * u))
+            .collect();
+        wot_par::par_chunks_mut(out.as_mut_slice(), &bounds, |k, chunk| {
+            fill(row_ranges[k].clone(), chunk);
+        });
     }
     Ok(out)
 }
 
 /// Number of strictly positive entries the full `T̂` would have (including
-/// the diagonal), computed without materializing it.
+/// the diagonal), computed without materializing it. Row-parallel over the
+/// affiliation side.
 ///
 /// `T̂_ij > 0` iff some category holds both `A_ic > 0` and `E_jc > 0`, so
 /// the count only depends on each user's *support bitmask* over categories.
 /// Supports up to 64 categories.
 pub fn support_count(affiliation: &Dense, expertise: &Dense) -> Result<u64> {
+    support_count_threaded(affiliation, expertise, 0)
+}
+
+/// [`support_count`] with an explicit worker-thread count.
+pub fn support_count_threaded(
+    affiliation: &Dense,
+    expertise: &Dense,
+    threads: usize,
+) -> Result<u64> {
     let c = affiliation.ncols();
     if c != expertise.ncols() {
         return Err(CoreError::Shape(
@@ -109,7 +176,8 @@ pub fn support_count(affiliation: &Dense, expertise: &Dense) -> Result<u64> {
             .filter(|&(_, &v)| v > 0.0)
             .fold(0u64, |m, (k, _)| m | (1u64 << k))
     };
-    // Histogram of expertise masks.
+    // Histogram of expertise masks (one linear pass; the row loop below
+    // dominates, so only that side is parallelized).
     let mut hist: HashMap<u64, u64> = HashMap::new();
     for j in 0..expertise.nrows() {
         let m = mask_of(expertise.row(j));
@@ -117,20 +185,34 @@ pub fn support_count(affiliation: &Dense, expertise: &Dense) -> Result<u64> {
             *hist.entry(m).or_insert(0) += 1;
         }
     }
-    let hist: Vec<(u64, u64)> = hist.into_iter().collect();
-    let mut total = 0u64;
-    for i in 0..affiliation.nrows() {
-        let am = mask_of(affiliation.row(i));
-        if am == 0 {
-            continue;
-        }
-        for &(em, count) in &hist {
-            if am & em != 0 {
-                total += count;
+    let mut hist: Vec<(u64, u64)> = hist.into_iter().collect();
+    hist.sort_unstable(); // deterministic scan order
+    let u = affiliation.nrows();
+    // Explicit counts are authoritative; the size cutoff only governs
+    // auto mode (threads == 0).
+    let threads = if threads == 0 && u * hist.len().max(1) < PAR_CELLS_THRESHOLD {
+        1
+    } else {
+        threads
+    };
+    // Integer partial sums are exactly associative, so the split cannot
+    // change the total.
+    let partials = wot_par::par_ranges(u, threads, |rows| {
+        let mut total = 0u64;
+        for i in rows {
+            let am = mask_of(affiliation.row(i));
+            if am == 0 {
+                continue;
+            }
+            for &(em, count) in &hist {
+                if am & em != 0 {
+                    total += count;
+                }
             }
         }
-    }
-    Ok(total)
+        total
+    });
+    Ok(partials.into_iter().sum())
 }
 
 #[cfg(test)]
@@ -215,6 +297,78 @@ mod tests {
         let a = Dense::zeros(1, 2);
         let e = Dense::zeros(1, 3);
         assert!(support_count(&a, &e).is_err());
+    }
+
+    /// A deterministic pseudo-random instance big enough to cross the
+    /// parallel thresholds (u² > 2^16).
+    fn large() -> (Dense, Dense) {
+        let (u, c) = (300usize, 5usize);
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut a = Dense::zeros(u, c);
+        let mut e = Dense::zeros(u, c);
+        for i in 0..u {
+            for j in 0..c {
+                if next() % 3 == 0 {
+                    a.set(i, j, (next() % 1000) as f64 / 1000.0);
+                }
+                if next() % 4 == 0 {
+                    e.set(i, j, (next() % 1000) as f64 / 1000.0);
+                }
+            }
+        }
+        (a, e)
+    }
+
+    #[test]
+    fn threaded_dense_matches_sequential_bitwise() {
+        let (a, e) = large();
+        let seq = derive_dense_threaded(&a, &e, 1).unwrap();
+        for threads in [0usize, 2, 5] {
+            let par = derive_dense_threaded(&a, &e, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_support_count_matches_sequential() {
+        let (a, e) = large();
+        let seq = support_count_threaded(&a, &e, 1).unwrap();
+        let brute = derive_dense(&a, &e)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .filter(|&&v| v > 0.0)
+            .count() as u64;
+        assert_eq!(seq, brute);
+        for threads in [0usize, 2, 5] {
+            assert_eq!(support_count_threaded(&a, &e, threads).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn threaded_masked_matches_sequential_bitwise() {
+        let (a, e) = large();
+        let u = a.nrows();
+        let mut triplets = Vec::new();
+        for i in 0..u {
+            for j in 0..u {
+                if (i * 31 + j * 17) % 7 == 0 {
+                    triplets.push((i, j, 1.0));
+                }
+            }
+        }
+        let mask = Csr::from_triplets(u, u, triplets).unwrap();
+        let seq = derive_masked_threaded(&a, &e, &mask, 1).unwrap();
+        for threads in [0usize, 2, 5] {
+            let par = derive_masked_threaded(&a, &e, &mask, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use wot_community::{CategoryId, CommunityBuilder, CommunityStore, ObjectId, RatingScale, UserId};
-use wot_core::{binarize, metrics, pipeline, DeriveConfig};
+use wot_core::{binarize, metrics, pipeline, riggs, DeriveConfig};
 use wot_sparse::Csr;
 
 /// Random valid community: a handful of users, categories, objects,
@@ -92,6 +92,61 @@ proptest! {
         for cr in &d.per_category {
             prop_assert!(cr.converged, "category {} did not converge", cr.category);
         }
+    }
+
+    /// The index-dense Riggs solver matches the original HashMap
+    /// formulation **bit for bit** on every category of every random
+    /// community — same qualities, same reputations, same iteration
+    /// count, same convergence flag.
+    #[test]
+    fn index_dense_riggs_matches_hashmap_reference(store in community()) {
+        let cfg = DeriveConfig::default();
+        for c in 0..store.num_categories() {
+            let slice = store.category_slice(CategoryId::from_index(c)).unwrap();
+            let dense = riggs::solve(&slice, &cfg);
+            let reference = riggs::reference::solve(&slice, &cfg);
+            prop_assert_eq!(&dense.review_quality, &reference.review_quality);
+            prop_assert_eq!(dense.iterations, reference.iterations);
+            prop_assert_eq!(dense.converged, reference.converged);
+            prop_assert_eq!(
+                dense.rater_reputation.len(),
+                reference.rater_reputation.len()
+            );
+            for (u, rep) in dense.reputation_pairs(&slice) {
+                // Exact f64 equality: both solvers iterate the same
+                // arithmetic in the same order.
+                prop_assert_eq!(rep, reference.rater_reputation[&u]);
+            }
+        }
+    }
+
+    /// Parallel derivation is bit-identical to sequential on arbitrary
+    /// community shapes, for several thread counts.
+    #[test]
+    fn parallel_derive_matches_sequential(store in community()) {
+        let sequential = pipeline::derive(
+            &store,
+            &DeriveConfig { parallel: false, ..DeriveConfig::default() },
+        )
+        .unwrap();
+        for threads in [0usize, 2, 3] {
+            let parallel = pipeline::derive(
+                &store,
+                &DeriveConfig { parallel: true, threads, ..DeriveConfig::default() },
+            )
+            .unwrap();
+            prop_assert_eq!(&parallel, &sequential);
+        }
+    }
+
+    /// The full index-dense pipeline matches the HashMap baseline
+    /// pipeline exactly.
+    #[test]
+    fn pipeline_matches_baseline(store in community()) {
+        let cfg = DeriveConfig { parallel: false, ..DeriveConfig::default() };
+        let dense = pipeline::derive(&store, &cfg).unwrap();
+        let baseline = pipeline::derive_baseline(&store, &cfg).unwrap();
+        prop_assert_eq!(&dense, &baseline);
     }
 
     /// Derivation is a pure function of the store.

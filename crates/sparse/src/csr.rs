@@ -102,6 +102,80 @@ impl Csr {
         self.values.len()
     }
 
+    /// The raw row-pointer array (`nrows + 1` entries; row `i` occupies
+    /// `row_ptr[i]..row_ptr[i + 1]` of the index/value arrays). Exposed so
+    /// perf-sensitive consumers can partition work by non-zero count.
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The raw column-index array, row-major, strictly increasing within
+    /// each row.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The raw value array, parallel to [`col_indices`](Self::col_indices).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Builds a CSR directly from its raw arrays, validating the
+    /// invariants (`row_ptr` spans `0..=nnz` monotonically; column indices
+    /// are strictly increasing within each row and in bounds).
+    ///
+    /// This is the zero-copy construction path for operations that compute
+    /// values onto an existing pattern (e.g. masked products): clone the
+    /// pattern arrays, fill a value buffer, and assemble — no COO
+    /// round-trip, no re-sort.
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if row_ptr.len() != nrows + 1
+            || row_ptr.first() != Some(&0)
+            || row_ptr.last() != Some(&col_idx.len())
+            || col_idx.len() != values.len()
+        {
+            return Err(SparseError::ShapeMismatch {
+                left: (nrows, ncols),
+                right: (row_ptr.len(), col_idx.len()),
+                op: "from_raw_parts (array lengths)",
+            });
+        }
+        for i in 0..nrows {
+            let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+            if lo > hi || hi > col_idx.len() {
+                return Err(SparseError::ShapeMismatch {
+                    left: (lo, hi),
+                    right: (nrows, ncols),
+                    op: "from_raw_parts (row_ptr monotonicity)",
+                });
+            }
+            let row = &col_idx[lo..hi];
+            let in_bounds = row.last().is_none_or(|&c| (c as usize) < ncols);
+            let increasing = row.windows(2).all(|w| w[0] < w[1]);
+            if !in_bounds || !increasing {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: i,
+                    col: row.last().copied().unwrap_or(0) as usize,
+                    nrows,
+                    ncols,
+                });
+            }
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
     /// Fraction of cells that are explicitly stored.
     ///
     /// Returns `0.0` for a degenerate zero-area matrix.
@@ -702,5 +776,36 @@ mod tests {
     fn to_coo_roundtrip() {
         let m = sample();
         assert_eq!(Csr::from_coo(&m.to_coo()), m);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip() {
+        let m = sample();
+        let rebuilt = Csr::from_raw_parts(
+            m.nrows(),
+            m.ncols(),
+            m.row_ptr().to_vec(),
+            m.col_indices().to_vec(),
+            m.values().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn raw_parts_validation() {
+        // Length mismatch.
+        assert!(Csr::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // row_ptr not ending at nnz.
+        assert!(Csr::from_raw_parts(2, 2, vec![0, 1, 2], vec![0], vec![1.0]).is_err());
+        // Non-monotone row_ptr.
+        assert!(Csr::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // Column out of bounds.
+        assert!(Csr::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // Duplicate / unsorted columns within a row.
+        assert!(Csr::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+        assert!(Csr::from_raw_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]).is_err());
+        // Valid empty matrix.
+        assert!(Csr::from_raw_parts(0, 0, vec![0], vec![], vec![]).is_ok());
     }
 }

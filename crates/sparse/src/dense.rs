@@ -126,6 +126,12 @@ impl Dense {
         &self.data
     }
 
+    /// Mutable underlying row-major data (for bulk fills; row `i` occupies
+    /// `i * ncols..(i + 1) * ncols`).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Per-row sums.
     pub fn row_sums(&self) -> Vec<f64> {
         (0..self.nrows).map(|i| self.row(i).iter().sum()).collect()

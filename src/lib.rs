@@ -28,6 +28,7 @@
 //! | [`core`] | `wot-core` | the paper's framework (Eqs. 1–5) + metrics |
 //! | [`propagation`] | `wot-propagation` | EigenTrust, TidalTrust, Appleseed, Guha |
 //! | [`eval`] | `wot-eval` | Table 2/3/4, Fig. 3, §IV.C, §V, ablations |
+//! | [`par`] | `wot-par` | scoped-thread data parallelism (deterministic) |
 //!
 //! ## Quickstart
 //!
@@ -59,6 +60,7 @@ pub use wot_community as community;
 pub use wot_core as core;
 pub use wot_eval as eval;
 pub use wot_graph as graph;
+pub use wot_par as par;
 pub use wot_propagation as propagation;
 pub use wot_sparse as sparse;
 pub use wot_synth as synth;
