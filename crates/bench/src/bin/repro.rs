@@ -197,7 +197,7 @@ fn bench_summary(
     seed: u64,
 ) -> Result<String, Box<dyn std::error::Error>> {
     use std::hint::black_box;
-    use wot_core::{pipeline, trust, DeriveConfig};
+    use wot_core::{pipeline, trust, DeriveConfig, IncrementalDerived};
 
     let store = &wb.out.store;
     let derived = &wb.derived;
@@ -231,6 +231,82 @@ fn bench_summary(
             black_box(pipeline::derive(store, &par_cfg).unwrap());
         }),
     ));
+    // Incremental (online) path: bootstrap, a warm one-rating refresh of
+    // the busiest category, and the canonical batch-equal snapshot.
+    rows.push((
+        "incremental_bootstrap_1t",
+        time_best_ms(3, || {
+            black_box(IncrementalDerived::from_store(store, &seq_cfg).unwrap());
+        }),
+    ));
+    {
+        use std::collections::HashSet;
+        use wot_community::{ReviewId, UserId};
+        let mut per_cat = vec![0usize; store.num_categories()];
+        for rt in store.ratings() {
+            per_cat[store.reviews()[rt.review.index()].category.index()] += 1;
+        }
+        let busiest = per_cat
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, n)| n)
+            .map(|(c, _)| c)
+            .unwrap_or(0);
+        let cat = store.categories()[busiest].id;
+        let existing: HashSet<(UserId, ReviewId)> = store
+            .ratings()
+            .iter()
+            .map(|rt| (rt.rater, rt.review))
+            .collect();
+        let raters: Vec<UserId> = {
+            let mut rs: Vec<UserId> = store
+                .ratings()
+                .iter()
+                .filter(|rt| store.reviews()[rt.review.index()].category == cat)
+                .map(|rt| rt.rater)
+                .collect();
+            rs.sort_unstable();
+            rs.dedup();
+            rs
+        };
+        let mut candidates: Vec<(UserId, ReviewId)> = Vec::new();
+        'fill: for &rid in store.reviews_in_category(cat) {
+            let writer = store.reviews()[rid.index()].writer;
+            for &rater in &raters {
+                if rater != writer && !existing.contains(&(rater, rid)) {
+                    candidates.push((rater, rid));
+                    if candidates.len() >= 8 {
+                        break 'fill;
+                    }
+                }
+            }
+        }
+        if !candidates.is_empty() {
+            let mut inc = IncrementalDerived::from_store(store, &seq_cfg)?;
+            let mut next = candidates.iter();
+            rows.push((
+                "incremental_refresh_one_rating_1t",
+                time_best_ms(candidates.len().min(5), || {
+                    let &(rater, review) = next.next().expect("reps bounded by candidates");
+                    inc.add_rating(rater, review, 0.8).unwrap();
+                    black_box(inc.refresh(cat));
+                }),
+            ));
+            rows.push((
+                "incremental_snapshot_1t",
+                time_best_ms(3, || {
+                    black_box(inc.to_derived());
+                }),
+            ));
+            let inc_mt = IncrementalDerived::from_store(store, &par_cfg)?;
+            rows.push((
+                "incremental_snapshot_mt",
+                time_best_ms(3, || {
+                    black_box(inc_mt.to_derived());
+                }),
+            ));
+        }
+    }
     rows.push((
         "masked_row_dot_1t",
         time_best_ms(5, || {

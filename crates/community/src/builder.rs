@@ -28,7 +28,9 @@ pub struct CommunityBuilder {
     category_names: HashMap<String, CategoryId>,
     object_keys: HashMap<String, ObjectId>,
     review_keys: HashSet<(UserId, ObjectId)>,
-    rating_keys: HashSet<(UserId, ReviewId)>,
+    /// Position of each (rater, review) rating in `ratings`, for duplicate
+    /// detection and O(1) upsert.
+    rating_index: HashMap<(UserId, ReviewId), usize>,
     trust_keys: HashSet<(UserId, UserId)>,
 }
 
@@ -47,7 +49,7 @@ impl CommunityBuilder {
             category_names: HashMap::new(),
             object_keys: HashMap::new(),
             review_keys: HashSet::new(),
-            rating_keys: HashSet::new(),
+            rating_index: HashMap::new(),
             trust_keys: HashSet::new(),
         }
     }
@@ -137,8 +139,9 @@ impl CommunityBuilder {
         Ok(id)
     }
 
-    /// Records a rating of `review` by `rater` with `value`.
-    pub fn add_rating(&mut self, rater: UserId, review: ReviewId, value: f64) -> Result<()> {
+    /// Validates everything about a rating except (rater, review)
+    /// uniqueness — the part `add_rating` and `upsert_rating` disagree on.
+    fn validate_rating(&self, rater: UserId, review: ReviewId, value: f64) -> Result<()> {
         if rater.index() >= self.users.len() {
             return Err(CommunityError::UnknownEntity {
                 kind: "user",
@@ -160,15 +163,49 @@ impl CommunityBuilder {
         if !self.scale.is_valid(value) {
             return Err(CommunityError::OffScaleRating { value });
         }
-        if !self.rating_keys.insert((rater, review)) {
+        Ok(())
+    }
+
+    /// Records a rating of `review` by `rater` with `value`.
+    pub fn add_rating(&mut self, rater: UserId, review: ReviewId, value: f64) -> Result<()> {
+        self.validate_rating(rater, review, value)?;
+        if self.rating_index.contains_key(&(rater, review)) {
             return Err(CommunityError::DuplicateRating { rater, review });
         }
+        self.rating_index
+            .insert((rater, review), self.ratings.len());
         self.ratings.push(Rating {
             rater,
             review,
             value,
         });
         Ok(())
+    }
+
+    /// Records a rating, or — when `rater` already rated `review` —
+    /// replaces the stored value in place (the rating keeps its original
+    /// position in insertion order). Returns `true` iff an existing rating
+    /// was replaced.
+    ///
+    /// Streaming ingestion needs this: review sites let users revise a
+    /// helpfulness vote, and a re-ingested feed replays the same rating
+    /// line twice; both must fold to one rating with the latest value
+    /// rather than abort where [`add_rating`](Self::add_rating)'s strict
+    /// uniqueness would.
+    pub fn upsert_rating(&mut self, rater: UserId, review: ReviewId, value: f64) -> Result<bool> {
+        self.validate_rating(rater, review, value)?;
+        if let Some(&at) = self.rating_index.get(&(rater, review)) {
+            self.ratings[at].value = value;
+            return Ok(true);
+        }
+        self.rating_index
+            .insert((rater, review), self.ratings.len());
+        self.ratings.push(Rating {
+            rater,
+            review,
+            value,
+        });
+        Ok(false)
     }
 
     /// Records an explicit trust statement `source → target`.
@@ -282,6 +319,74 @@ mod tests {
         assert!(matches!(
             b2.add_rating(alice2, ReviewId(99), 0.8),
             Err(CommunityError::UnknownEntity { .. })
+        ));
+    }
+
+    #[test]
+    fn upsert_rating_replaces_in_place() {
+        let (mut b, alice, _bob, review) = base();
+        // First upsert inserts.
+        assert!(!b.upsert_rating(alice, review, 0.4).unwrap());
+        // Second upsert replaces the value, keeping one rating in place.
+        assert!(b.upsert_rating(alice, review, 0.8).unwrap());
+        let store = b.build();
+        assert_eq!(store.num_ratings(), 1);
+        assert_eq!(store.ratings()[0].value, 0.8);
+        assert_eq!(store.ratings()[0].rater, alice);
+    }
+
+    #[test]
+    fn upsert_rating_keeps_insertion_order() {
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        let alice = b.add_user("alice");
+        let carol = b.add_user("carol");
+        let bob = b.add_user("bob");
+        let cat = b.add_category("movies");
+        let obj = b.add_object("film-1", cat).unwrap();
+        let review = b.add_review(bob, obj).unwrap();
+        b.add_rating(alice, review, 0.2).unwrap();
+        b.add_rating(carol, review, 0.6).unwrap();
+        // Revising alice's vote must not move it behind carol's.
+        assert!(b.upsert_rating(alice, review, 1.0).unwrap());
+        let store = b.build();
+        assert_eq!(
+            store.ratings_of_review(review),
+            &[(alice, 1.0), (carol, 0.6)]
+        );
+    }
+
+    #[test]
+    fn upsert_rating_still_validates() {
+        let (mut b, alice, bob, review) = base();
+        // Same integrity rules as add_rating: scale, self-rating,
+        // dangling ids.
+        assert!(matches!(
+            b.upsert_rating(alice, review, 0.55),
+            Err(CommunityError::OffScaleRating { .. })
+        ));
+        assert!(matches!(
+            b.upsert_rating(bob, review, 0.8),
+            Err(CommunityError::SelfRating { .. })
+        ));
+        assert!(matches!(
+            b.upsert_rating(alice, ReviewId(99), 0.8),
+            Err(CommunityError::UnknownEntity { .. })
+        ));
+        assert!(matches!(
+            b.upsert_rating(UserId(99), review, 0.8),
+            Err(CommunityError::UnknownEntity { .. })
+        ));
+        // A failed upsert leaves nothing behind.
+        assert_eq!(b.build().num_ratings(), 0);
+    }
+
+    #[test]
+    fn add_after_upsert_detects_duplicate() {
+        let (mut b, alice, _bob, review) = base();
+        assert!(!b.upsert_rating(alice, review, 0.4).unwrap());
+        assert!(matches!(
+            b.add_rating(alice, review, 0.6),
+            Err(CommunityError::DuplicateRating { .. })
         ));
     }
 

@@ -16,8 +16,11 @@
 //! [`load_flat`] converts those into a validated [`CommunityStore`]:
 //! external ids are interned in first-appearance order, 1..5 ratings map
 //! onto the paper's 0.2..1.0 scale, and records violating the data model
-//! (self-ratings, duplicates, dangling references) are either skipped or
-//! reported, per [`FlatOptions::strict`].
+//! (self-ratings, dangling references, malformed lines) are either
+//! skipped or reported, per [`FlatOptions::strict`]. A repeated (member,
+//! content) rating line is treated as a **revision** in lenient mode —
+//! upserted in place so the latest value wins, counted in
+//! [`FlatReport::revised`] — and as a violation in strict mode.
 
 use std::collections::HashMap;
 use std::fs;
@@ -53,8 +56,12 @@ impl Default for FlatOptions {
 pub struct FlatReport {
     /// Content lines accepted.
     pub reviews: usize,
-    /// Rating lines accepted.
+    /// Rating lines accepted (first rating of a (member, content) pair).
     pub ratings: usize,
+    /// Rating lines that revised an earlier rating of the same (member,
+    /// content) pair — upserted in place, latest value wins (lenient mode
+    /// only; strict mode aborts on them).
+    pub revised: usize,
     /// Trust lines accepted.
     pub trust: usize,
     /// Lines skipped (malformed, duplicate, self-referential, dangling).
@@ -199,9 +206,22 @@ pub fn load_flat(
             )?;
             continue;
         };
-        match b.add_rating(rater, review, value) {
-            Ok(()) => report.ratings += 1,
-            Err(e) => fail("ratings", line_no, e.to_string(), &mut report)?,
+        if options.strict {
+            // Strict mode surfaces dirt: a repeated (member, content)
+            // rating aborts like any other violation.
+            match b.add_rating(rater, review, value) {
+                Ok(()) => report.ratings += 1,
+                Err(e) => fail("ratings", line_no, e.to_string(), &mut report)?,
+            }
+        } else {
+            // Lenient mode folds a re-ingested or revised rating line to
+            // one rating with the latest value (upsert), as a live feed
+            // would.
+            match b.upsert_rating(rater, review, value) {
+                Ok(false) => report.ratings += 1,
+                Ok(true) => report.revised += 1,
+                Err(e) => fail("ratings", line_no, e.to_string(), &mut report)?,
+            }
         }
     }
 
@@ -343,6 +363,143 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CommunityError::Io { .. }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repeated_rating_lines_revise_in_lenient_mode() {
+        let dir = tempdir("revise");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("content.txt"), "c1 u10 s1\n").unwrap();
+        // u20 rates c1 twice: the revision (2) must win over the first
+        // vote (5), in place, as one rating.
+        fs::write(dir.join("ratings.txt"), "c1 u20 5\nc1 u20 2\n").unwrap();
+        fs::write(dir.join("trust.txt"), "").unwrap();
+        let (store, report) = load_flat(
+            dir.join("content.txt"),
+            dir.join("ratings.txt"),
+            dir.join("trust.txt"),
+            &FlatOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.ratings, 1);
+        assert_eq!(report.revised, 1);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(store.num_ratings(), 1);
+        assert_eq!(
+            store.ratings()[0].value.to_bits(),
+            map_rating(2).unwrap().to_bits()
+        );
+        // Strict mode treats the same repetition as a violation.
+        let err = load_flat(
+            dir.join("content.txt"),
+            dir.join("ratings.txt"),
+            dir.join("trust.txt"),
+            &FlatOptions {
+                strict: true,
+                ..FlatOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CommunityError::Parse { ref file, .. } if file == "ratings"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reordered_lines_within_files_load_identically() {
+        // The flat files resolve every reference by external id, so
+        // shuffling lines inside each file changes nothing but interning
+        // order: same accepted counts, same ratings per (rater, writer).
+        let dir = tempdir("reordered");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("content.txt"), "c3 u20 s1\nc1 u10 s1\nc2 u10 s2\n").unwrap();
+        fs::write(
+            dir.join("ratings.txt"),
+            "c3 u10 1\nc1 u30 4\nc2 u20 3\nc1 u20 5\n",
+        )
+        .unwrap();
+        fs::write(dir.join("trust.txt"), "u30 u10 1\nu20 u10 1\n").unwrap();
+        let (store, report) = load_flat(
+            dir.join("content.txt"),
+            dir.join("ratings.txt"),
+            dir.join("trust.txt"),
+            &FlatOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.reviews, 3);
+        assert_eq!(report.ratings, 4);
+        assert_eq!(report.trust, 2);
+        assert_eq!(report.skipped, 0);
+        // Same multiset of (rater, writer, value) as the canonical order.
+        let mut pairs: Vec<(String, String, u64)> = store
+            .ratings()
+            .iter()
+            .map(|rt| {
+                let w = store.reviews()[rt.review.index()].writer;
+                (
+                    store.users()[rt.rater.index()].handle.clone(),
+                    store.users()[w.index()].handle.clone(),
+                    rt.value.to_bits(),
+                )
+            })
+            .collect();
+        pairs.sort();
+        let level = |l: u32| map_rating(l).unwrap().to_bits();
+        assert_eq!(
+            pairs,
+            vec![
+                ("member-u10".into(), "member-u20".into(), level(1)),
+                ("member-u20".into(), "member-u10".into(), level(3)),
+                ("member-u20".into(), "member-u10".into(), level(5)),
+                ("member-u30".into(), "member-u10".into(), level(4)),
+            ]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_and_counted() {
+        let dir = tempdir("malformed");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("content.txt"),
+            "c1 u10 s1\n\
+             c2 u20\n\
+             just-one-field\n", // wrong arities → skipped
+        )
+        .unwrap();
+        fs::write(
+            dir.join("ratings.txt"),
+            "c1 u20 5\n\
+             c1 u30 not-a-number\n\
+             c1\n", // bad value and arity → skipped
+        )
+        .unwrap();
+        fs::write(dir.join("trust.txt"), "u20\n").unwrap();
+        let (store, report) = load_flat(
+            dir.join("content.txt"),
+            dir.join("ratings.txt"),
+            dir.join("trust.txt"),
+            &FlatOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.reviews, 1);
+        assert_eq!(report.ratings, 1);
+        assert_eq!(report.trust, 0);
+        assert_eq!(report.skipped, 5);
+        assert_eq!(store.num_ratings(), 1);
+        // Strict mode rejects the first malformed line instead.
+        let err = load_flat(
+            dir.join("content.txt"),
+            dir.join("ratings.txt"),
+            dir.join("trust.txt"),
+            &FlatOptions {
+                strict: true,
+                ..FlatOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CommunityError::Parse { .. }));
         fs::remove_dir_all(&dir).unwrap();
     }
 

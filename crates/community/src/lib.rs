@@ -44,6 +44,7 @@
 mod builder;
 pub mod epinions;
 mod error;
+pub mod events;
 mod ids;
 mod model;
 mod slice;
@@ -53,6 +54,7 @@ pub mod tsv;
 
 pub use builder::CommunityBuilder;
 pub use error::CommunityError;
+pub use events::StoreEvent;
 pub use ids::{CategoryId, ObjectId, ReviewId, UserId};
 pub use model::{Category, Object, Rating, RatingScale, Review, TrustStatement, User};
 pub use slice::CategorySlice;

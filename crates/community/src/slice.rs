@@ -1,4 +1,5 @@
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use crate::{CategoryId, CommunityStore, ReviewId, UserId};
 
@@ -19,6 +20,18 @@ use crate::{CategoryId, CommunityStore, ReviewId, UserId};
 /// Local rater/writer indexes are assigned in ascending [`UserId`] order,
 /// so iterating `0..num_raters()` visits raters deterministically and
 /// `rater_of_local` is sorted.
+///
+/// ## Lazy map views
+///
+/// Only the index-dense mirrors are materialized at build time. The
+/// `HashMap`-keyed views ([`ratings_by_review`](Self::ratings_by_review),
+/// [`ratings_by_rater`](Self::ratings_by_rater),
+/// [`reviews_by_writer`](Self::reviews_by_writer),
+/// [`local_of_rater`](Self::local_of_rater),
+/// [`local_of_writer`](Self::local_of_writer)) are consumed only by the
+/// reference solver, `derive_baseline` and tests, so they are derived
+/// lazily on first access (`OnceLock`) instead of eagerly cloned — slice
+/// projection on the hot path pays nothing for them.
 #[derive(Debug, Clone)]
 pub struct CategorySlice {
     /// The source category.
@@ -27,33 +40,28 @@ pub struct CategorySlice {
     pub reviews: Vec<ReviewId>,
     /// Writer of each review (parallel to `reviews`).
     pub review_writer: Vec<UserId>,
-    /// Ratings received, per local review index: `(rater, value)`.
-    pub ratings_by_review: Vec<Vec<(UserId, f64)>>,
-    /// Ratings given, per rater: `(local review index, value)`.
-    pub ratings_by_rater: HashMap<UserId, Vec<(u32, f64)>>,
-    /// Local review indexes written, per writer.
-    pub reviews_by_writer: HashMap<UserId, Vec<u32>>,
     /// Global user id of each local rater index (ascending).
     pub rater_of_local: Vec<UserId>,
-    /// Local rater index of each active rater (inverse of
-    /// `rater_of_local`).
-    pub local_of_rater: HashMap<UserId, u32>,
     /// Ratings received, per local review index: `(local rater index,
-    /// value)` — the index-dense mirror of `ratings_by_review`, driving
-    /// the Eq. 1 sweep.
+    /// value)` — drives the Eq. 1 sweep.
     pub ratings_by_review_local: Vec<Vec<(u32, f64)>>,
     /// Ratings given, per local rater index: `(local review index,
-    /// value)` — the index-dense mirror of `ratings_by_rater`, driving
-    /// the Eq. 2 sweep.
+    /// value)` — drives the Eq. 2 sweep.
     pub ratings_by_rater_local: Vec<Vec<(u32, f64)>>,
     /// Global user id of each local writer index (ascending).
     pub writer_of_local: Vec<UserId>,
-    /// Local writer index of each active writer (inverse of
-    /// `writer_of_local`).
-    pub local_of_writer: HashMap<UserId, u32>,
-    /// Local review indexes written, per local writer index — the
-    /// index-dense mirror of `reviews_by_writer`, driving Eq. 3.
+    /// Local review indexes written, per local writer index — drives Eq. 3.
     pub reviews_by_writer_local: Vec<Vec<u32>>,
+    /// Lazy view: ratings received per local review as `(rater, value)`.
+    ratings_by_review: OnceLock<Vec<Vec<(UserId, f64)>>>,
+    /// Lazy view: ratings given per rater, keyed by user id.
+    ratings_by_rater: OnceLock<HashMap<UserId, Vec<(u32, f64)>>>,
+    /// Lazy view: local reviews per writer, keyed by user id.
+    reviews_by_writer: OnceLock<HashMap<UserId, Vec<u32>>>,
+    /// Lazy view: inverse of `rater_of_local`.
+    local_of_rater: OnceLock<HashMap<UserId, u32>>,
+    /// Lazy view: inverse of `writer_of_local`.
+    local_of_writer: OnceLock<HashMap<UserId, u32>>,
 }
 
 impl CategorySlice {
@@ -61,7 +69,7 @@ impl CategorySlice {
         // Hot path: projected once per category per derivation, so local
         // indexes are resolved through O(1) scatter tables (user index →
         // local index) rather than per-rating hashing; the `HashMap`
-        // views are derived from the dense mirrors at the end.
+        // views are lazy and cost nothing here.
         let review_ids = store.reviews_in_category(category);
         let num_users = store.num_users();
         let mut reviews = Vec::with_capacity(review_ids.len());
@@ -87,12 +95,9 @@ impl CategorySlice {
 
         // Ratings, grouped by review (store order) and by rater (review
         // order within each rater).
-        let mut ratings_by_review = Vec::with_capacity(reviews.len());
         let mut rater_of_local: Vec<UserId> = Vec::new();
         for &rid in &reviews {
-            let ratings = store.ratings_of_review(rid);
-            rater_of_local.extend(ratings.iter().map(|&(rater, _)| rater));
-            ratings_by_review.push(ratings.to_vec());
+            rater_of_local.extend(store.ratings_of_review(rid).iter().map(|&(rater, _)| rater));
         }
         rater_of_local.sort_unstable();
         rater_of_local.dedup();
@@ -102,8 +107,9 @@ impl CategorySlice {
         }
         let mut rater_counts = vec![0u32; rater_of_local.len()];
         let mut ratings_by_review_local = Vec::with_capacity(reviews.len());
-        for ratings in &ratings_by_review {
-            let locals: Vec<(u32, f64)> = ratings
+        for &rid in &reviews {
+            let locals: Vec<(u32, f64)> = store
+                .ratings_of_review(rid)
                 .iter()
                 .map(|&(rater, value)| {
                     let lr = rater_slot[rater.index()];
@@ -123,41 +129,20 @@ impl CategorySlice {
             }
         }
 
-        // Map-keyed views, derived from the dense mirrors.
-        let local_of_rater: HashMap<UserId, u32> = rater_of_local
-            .iter()
-            .enumerate()
-            .map(|(l, &u)| (u, l as u32))
-            .collect();
-        let local_of_writer: HashMap<UserId, u32> = writer_of_local
-            .iter()
-            .enumerate()
-            .map(|(l, &u)| (u, l as u32))
-            .collect();
-        let ratings_by_rater: HashMap<UserId, Vec<(u32, f64)>> = rater_of_local
-            .iter()
-            .zip(&ratings_by_rater_local)
-            .map(|(&u, v)| (u, v.clone()))
-            .collect();
-        let reviews_by_writer: HashMap<UserId, Vec<u32>> = writer_of_local
-            .iter()
-            .zip(&reviews_by_writer_local)
-            .map(|(&u, v)| (u, v.clone()))
-            .collect();
         Self {
             category,
             reviews,
             review_writer,
-            ratings_by_review,
-            ratings_by_rater,
-            reviews_by_writer,
             rater_of_local,
-            local_of_rater,
             ratings_by_review_local,
             ratings_by_rater_local,
             writer_of_local,
-            local_of_writer,
             reviews_by_writer_local,
+            ratings_by_review: OnceLock::new(),
+            ratings_by_rater: OnceLock::new(),
+            reviews_by_writer: OnceLock::new(),
+            local_of_rater: OnceLock::new(),
+            local_of_writer: OnceLock::new(),
         }
     }
 
@@ -168,17 +153,91 @@ impl CategorySlice {
 
     /// Number of distinct raters active in the category.
     pub fn num_raters(&self) -> usize {
-        self.ratings_by_rater.len()
+        self.rater_of_local.len()
     }
 
     /// Number of distinct writers active in the category.
     pub fn num_writers(&self) -> usize {
-        self.reviews_by_writer.len()
+        self.writer_of_local.len()
     }
 
     /// Total ratings in the category.
     pub fn num_ratings(&self) -> usize {
-        self.ratings_by_review.iter().map(Vec::len).sum()
+        self.ratings_by_review_local.iter().map(Vec::len).sum()
+    }
+
+    /// Ratings received, per local review index: `(rater, value)`.
+    ///
+    /// Lazy user-id view of
+    /// [`ratings_by_review_local`](Self::ratings_by_review_local),
+    /// materialized on first access.
+    pub fn ratings_by_review(&self) -> &Vec<Vec<(UserId, f64)>> {
+        self.ratings_by_review.get_or_init(|| {
+            self.ratings_by_review_local
+                .iter()
+                .map(|ratings| {
+                    ratings
+                        .iter()
+                        .map(|&(lr, value)| (self.rater_of_local[lr as usize], value))
+                        .collect()
+                })
+                .collect()
+        })
+    }
+
+    /// Ratings given per rater: `(local review index, value)`, keyed by
+    /// user id.
+    ///
+    /// Lazy view of
+    /// [`ratings_by_rater_local`](Self::ratings_by_rater_local),
+    /// materialized on first access.
+    pub fn ratings_by_rater(&self) -> &HashMap<UserId, Vec<(u32, f64)>> {
+        self.ratings_by_rater.get_or_init(|| {
+            self.rater_of_local
+                .iter()
+                .zip(&self.ratings_by_rater_local)
+                .map(|(&u, v)| (u, v.clone()))
+                .collect()
+        })
+    }
+
+    /// Local review indexes written, per writer, keyed by user id.
+    ///
+    /// Lazy view of
+    /// [`reviews_by_writer_local`](Self::reviews_by_writer_local),
+    /// materialized on first access.
+    pub fn reviews_by_writer(&self) -> &HashMap<UserId, Vec<u32>> {
+        self.reviews_by_writer.get_or_init(|| {
+            self.writer_of_local
+                .iter()
+                .zip(&self.reviews_by_writer_local)
+                .map(|(&u, v)| (u, v.clone()))
+                .collect()
+        })
+    }
+
+    /// Local rater index of each active rater (lazy inverse of
+    /// [`rater_of_local`](Self::rater_of_local)).
+    pub fn local_of_rater(&self) -> &HashMap<UserId, u32> {
+        self.local_of_rater.get_or_init(|| {
+            self.rater_of_local
+                .iter()
+                .enumerate()
+                .map(|(l, &u)| (u, l as u32))
+                .collect()
+        })
+    }
+
+    /// Local writer index of each active writer (lazy inverse of
+    /// [`writer_of_local`](Self::writer_of_local)).
+    pub fn local_of_writer(&self) -> &HashMap<UserId, u32> {
+        self.local_of_writer.get_or_init(|| {
+            self.writer_of_local
+                .iter()
+                .enumerate()
+                .map(|(l, &u)| (u, l as u32))
+                .collect()
+        })
     }
 
     /// Raters active in the category, in ascending id order (deterministic
@@ -234,11 +293,14 @@ mod tests {
         assert_eq!(slice.reviews, vec![ReviewId(0), ReviewId(1)]);
         assert_eq!(slice.review_writer, vec![UserId(1), UserId(1)]);
         assert_eq!(
-            slice.ratings_by_review[0],
+            slice.ratings_by_review()[0],
             vec![(UserId(0), 0.8), (UserId(2), 0.4)]
         );
-        assert_eq!(slice.ratings_by_rater[&UserId(0)], vec![(0, 0.8), (1, 0.6)]);
-        assert_eq!(slice.reviews_by_writer[&UserId(1)], vec![0, 1]);
+        assert_eq!(
+            slice.ratings_by_rater()[&UserId(0)],
+            vec![(0, 0.8), (1, 0.6)]
+        );
+        assert_eq!(slice.reviews_by_writer()[&UserId(1)], vec![0, 1]);
     }
 
     #[test]
@@ -247,37 +309,40 @@ mod tests {
         let slice = s.category_slice(CategoryId(0)).unwrap();
         // Raters u0 and u2 get local indexes 0 and 1 (ascending id).
         assert_eq!(slice.rater_of_local, vec![UserId(0), UserId(2)]);
-        assert_eq!(slice.local_of_rater[&UserId(0)], 0);
-        assert_eq!(slice.local_of_rater[&UserId(2)], 1);
+        assert_eq!(slice.local_of_rater()[&UserId(0)], 0);
+        assert_eq!(slice.local_of_rater()[&UserId(2)], 1);
         // Review 0 is rated by u0 (0.8) and u2 (0.4) → locals 0 and 1.
         assert_eq!(slice.ratings_by_review_local[0], vec![(0, 0.8), (1, 0.4)]);
         assert_eq!(slice.ratings_by_review_local[1], vec![(0, 0.6)]);
-        // Local rater 0 (= u0) mirrors ratings_by_rater[&u0].
+        // Local rater 0 (= u0) mirrors ratings_by_rater()[&u0].
         assert_eq!(slice.ratings_by_rater_local[0], vec![(0, 0.8), (1, 0.6)]);
         assert_eq!(slice.ratings_by_rater_local[1], vec![(0, 0.4)]);
         // Writers: only u1 active.
         assert_eq!(slice.writer_of_local, vec![UserId(1)]);
-        assert_eq!(slice.local_of_writer[&UserId(1)], 0);
+        assert_eq!(slice.local_of_writer()[&UserId(1)], 0);
         assert_eq!(slice.reviews_by_writer_local, vec![vec![0, 1]]);
     }
 
     #[test]
-    fn local_mirrors_agree_with_maps_everywhere() {
+    fn lazy_views_agree_with_dense_mirrors_everywhere() {
         let s = sample();
         for c in 0..2 {
             let slice = s.category_slice(CategoryId(c)).unwrap();
             assert_eq!(slice.rater_of_local.len(), slice.num_raters());
             assert_eq!(slice.writer_of_local.len(), slice.num_writers());
             for (l, &u) in slice.rater_of_local.iter().enumerate() {
-                assert_eq!(slice.ratings_by_rater_local[l], slice.ratings_by_rater[&u]);
+                assert_eq!(
+                    slice.ratings_by_rater_local[l],
+                    slice.ratings_by_rater()[&u]
+                );
             }
             for (l, &u) in slice.writer_of_local.iter().enumerate() {
                 assert_eq!(
                     slice.reviews_by_writer_local[l],
-                    slice.reviews_by_writer[&u]
+                    slice.reviews_by_writer()[&u]
                 );
             }
-            for (j, ratings) in slice.ratings_by_review.iter().enumerate() {
+            for (j, ratings) in slice.ratings_by_review().iter().enumerate() {
                 let locals = &slice.ratings_by_review_local[j];
                 assert_eq!(ratings.len(), locals.len());
                 for (&(u, v), &(l, lv)) in ratings.iter().zip(locals) {
@@ -286,6 +351,18 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cloning_preserves_initialized_lazy_views() {
+        let s = sample();
+        let slice = s.category_slice(CategoryId(0)).unwrap();
+        // Initialize one view, then clone: both copies must answer
+        // identically (the clone either carries or re-derives the view).
+        let before = slice.ratings_by_rater().clone();
+        let cloned = slice.clone();
+        assert_eq!(&before, cloned.ratings_by_rater());
+        assert_eq!(slice.local_of_writer(), cloned.local_of_writer());
     }
 
     #[test]
@@ -321,5 +398,7 @@ mod tests {
         assert_eq!(slice.num_reviews(), 0);
         assert_eq!(slice.num_ratings(), 0);
         assert!(slice.raters().is_empty());
+        assert!(slice.ratings_by_review().is_empty());
+        assert!(slice.ratings_by_rater().is_empty());
     }
 }

@@ -362,6 +362,80 @@ mod tests {
     }
 
     #[test]
+    fn reordered_rating_lines_are_order_insensitive() {
+        // Ratings carry explicit ids, so shuffling their lines changes
+        // only insertion order, never semantics.
+        let store = sample();
+        let dir = tempdir("reorder");
+        save(&store, &dir).unwrap();
+        fs::write(dir.join("ratings.tsv"), "1\t1\t0.4\n0\t0\t0.8\n").unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.num_ratings(), 2);
+        assert_eq!(loaded.ratings()[0].rater, UserId(1));
+        assert_eq!(loaded.ratings()[1].value, 0.8);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reordered_review_lines_shift_implicit_ids() {
+        // Reviews get ids from line order; swapping lines renumbers them,
+        // and the re-validation still catches the resulting dangling or
+        // self-referential ratings instead of loading garbage.
+        let store = sample();
+        let dir = tempdir("reorder-reviews");
+        save(&store, &dir).unwrap();
+        // Original: review 0 = (writer 1, object 0); review 1 =
+        // (writer 0, object 1). Swapped, review 0 is now written by u0 —
+        // so u0's rating of review 0 becomes a self-rating.
+        fs::write(dir.join("reviews.tsv"), "0\t1\n1\t0\n").unwrap();
+        assert!(matches!(
+            load(&dir).unwrap_err(),
+            CommunityError::SelfRating { .. }
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dangling_ids_are_rejected_per_file() {
+        let store = sample();
+        let dir = tempdir("dangling");
+        save(&store, &dir).unwrap();
+        // Rating referencing a review that does not exist.
+        fs::write(dir.join("ratings.tsv"), "0\t9\t0.8\n").unwrap();
+        assert!(matches!(
+            load(&dir).unwrap_err(),
+            CommunityError::UnknownEntity { kind: "review", .. }
+        ));
+        // Object referencing a category that does not exist.
+        fs::write(dir.join("ratings.tsv"), "0\t0\t0.8\n").unwrap();
+        fs::write(dir.join("objects.tsv"), "film-x\t9\n").unwrap();
+        assert!(matches!(
+            load(&dir).unwrap_err(),
+            CommunityError::UnknownEntity {
+                kind: "category",
+                ..
+            }
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_numeric_fields_report_file_and_line() {
+        let store = sample();
+        let dir = tempdir("badnum");
+        save(&store, &dir).unwrap();
+        fs::write(dir.join("objects.tsv"), "# header\nfilm-x\tnot-a-number\n").unwrap();
+        match load(&dir).unwrap_err() {
+            CommunityError::Parse { file, line, .. } => {
+                assert_eq!(file, "objects.tsv");
+                assert_eq!(line, 2);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn save_rejects_tab_in_handle() {
         let mut b = CommunityBuilder::new(RatingScale::five_step());
         b.add_user("bad\thandle");

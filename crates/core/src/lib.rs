@@ -57,6 +57,14 @@
 //!   order-independent, every worker writes a disjoint output range from
 //!   read-only input, and reductions are exactly associative. The
 //!   workspace's determinism tests assert this with `==` on `f64`.
+//! * **Streaming.** [`incremental::IncrementalDerived`] ingests review and
+//!   rating events online on the *same* index-dense layout, warm-starts
+//!   per-category refreshes through the same `riggs` sweep loop, and its
+//!   [`replay`](incremental::IncrementalDerived::replay) /
+//!   [`to_derived`](incremental::IncrementalDerived::to_derived) snapshot
+//!   is bit-identical to [`pipeline::derive`] over the folded store — the
+//!   workspace's replay-conformance suite proves it on randomized causal
+//!   event streams at several thread counts.
 //!
 //! [`pipeline`] glues the steps together:
 //!
@@ -97,7 +105,7 @@ pub mod trust;
 
 pub use config::DeriveConfig;
 pub use error::CoreError;
-pub use incremental::IncrementalDerived;
+pub use incremental::{IncrementalDerived, ReplayEvent};
 pub use pipeline::{CategoryReputation, Derived};
 
 /// Result alias used across the crate.

@@ -29,8 +29,20 @@ pub fn writer_reputation(
     cfg: &DeriveConfig,
 ) -> Vec<f64> {
     debug_assert_eq!(review_quality.len(), slice.num_reviews());
-    let mut out = Vec::with_capacity(slice.num_writers());
-    for locals in &slice.reviews_by_writer_local {
+    writer_reputation_grouped(&slice.reviews_by_writer_local, review_quality, cfg)
+}
+
+/// Eq. 3 over raw grouped incidence: `reviews_by_writer_local[w]` lists
+/// the local review indexes written by local writer `w`. Shared by the
+/// batch path (via [`writer_reputation`]) and the incremental model's
+/// in-place index tables, so the aggregation exists once.
+pub fn writer_reputation_grouped(
+    reviews_by_writer_local: &[Vec<u32>],
+    review_quality: &[f64],
+    cfg: &DeriveConfig,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(reviews_by_writer_local.len());
+    for locals in reviews_by_writer_local {
         let n = locals.len();
         debug_assert!(n > 0, "writer entry with no reviews");
         let mean_q: f64 = locals
@@ -55,7 +67,7 @@ pub fn writer_reputation_map(
 ) -> std::collections::HashMap<UserId, f64> {
     debug_assert_eq!(review_quality.len(), slice.num_reviews());
     slice
-        .reviews_by_writer
+        .reviews_by_writer()
         .iter()
         .map(|(&writer, locals)| {
             let n = locals.len();
@@ -129,8 +141,8 @@ mod tests {
         // Local review order: w1's three, then w2's one.
         let q = vec![0.8, 0.8, 0.8, 0.8];
         let rep = writer_reputation(&slice, &q, &DeriveConfig::default());
-        let l1 = slice.local_of_writer[&w1] as usize;
-        let l2 = slice.local_of_writer[&w2] as usize;
+        let l1 = slice.local_of_writer()[&w1] as usize;
+        let l2 = slice.local_of_writer()[&w2] as usize;
         assert!(rep[l1] > rep[l2]);
         assert!((rep[l1] - 0.8 * 0.75).abs() < 1e-12);
         assert!((rep[l2] - 0.8 * 0.5).abs() < 1e-12);

@@ -56,7 +56,7 @@ impl RiggsResult {
     /// category.
     pub fn reputation_of(&self, slice: &CategorySlice, user: UserId) -> Option<f64> {
         slice
-            .local_of_rater
+            .local_of_rater()
             .get(&user)
             .map(|&l| self.rater_reputation[l as usize])
     }
@@ -72,11 +72,16 @@ impl RiggsResult {
     }
 }
 
-/// Flattened, struct-of-arrays view of one slice's rating incidence — the
-/// working set of the sweeps. Built once per category (O(nnz)), amortized
+/// Flattened, struct-of-arrays view of one category's rating incidence —
+/// the working set of the sweeps. Built once per solve (O(nnz)), amortized
 /// over the dozens of Jacobi sweeps that follow; the per-sweep loops then
 /// walk three contiguous arrays with zero pointer chasing.
-struct FlatIncidence {
+///
+/// Both the batch path ([`from_slice`](Self::from_slice)) and the
+/// incremental path ([`from_grouped`](Self::from_grouped), fed by
+/// [`IncrementalDerived`](crate::IncrementalDerived)'s in-place index
+/// tables) flatten into this same shape, so there is exactly one solver.
+pub(crate) struct FlatIncidence {
     /// Ratings grouped by review: `rev_ptr[j]..rev_ptr[j + 1]` indexes the
     /// two arrays below.
     rev_ptr: Vec<usize>,
@@ -91,25 +96,45 @@ struct FlatIncidence {
 }
 
 impl FlatIncidence {
-    fn build(slice: &CategorySlice, cfg: &DeriveConfig) -> Self {
-        let nnz = slice.num_ratings();
-        let mut rev_ptr = Vec::with_capacity(slice.num_reviews() + 1);
+    /// Flattens a batch [`CategorySlice`]'s grouped mirrors.
+    pub(crate) fn from_slice(slice: &CategorySlice, cfg: &DeriveConfig) -> Self {
+        Self::from_grouped(
+            &slice.ratings_by_review_local,
+            &slice.ratings_by_rater_local,
+            cfg,
+        )
+    }
+
+    /// Flattens grouped incidence arrays: `by_review[j]` holds the
+    /// `(local rater, value)` ratings of local review `j` (store order),
+    /// `by_rater[i]` the `(local review, value)` ratings of local rater
+    /// `i` (ascending local review index). The incremental model maintains
+    /// exactly these arrays in place, so both entry points feed the same
+    /// sweeps with the same summation order — the root of the pipeline's
+    /// bit-identical replay guarantee.
+    pub(crate) fn from_grouped(
+        by_review: &[Vec<(u32, f64)>],
+        by_rater: &[Vec<(u32, f64)>],
+        cfg: &DeriveConfig,
+    ) -> Self {
+        let nnz = by_review.iter().map(Vec::len).sum();
+        let mut rev_ptr = Vec::with_capacity(by_review.len() + 1);
         let mut rev_rater = Vec::with_capacity(nnz);
         let mut rev_value = Vec::with_capacity(nnz);
         rev_ptr.push(0);
-        for ratings in &slice.ratings_by_review_local {
+        for ratings in by_review {
             for &(rater, value) in ratings {
                 rev_rater.push(rater);
                 rev_value.push(value);
             }
             rev_ptr.push(rev_rater.len());
         }
-        let mut rater_ptr = Vec::with_capacity(slice.num_raters() + 1);
+        let mut rater_ptr = Vec::with_capacity(by_rater.len() + 1);
         let mut rater_review = Vec::with_capacity(nnz);
         let mut rater_value = Vec::with_capacity(nnz);
-        let mut rater_discount = Vec::with_capacity(slice.num_raters());
+        let mut rater_discount = Vec::with_capacity(by_rater.len());
         rater_ptr.push(0);
-        for ratings in &slice.ratings_by_rater_local {
+        for ratings in by_rater {
             for &(review, value) in ratings {
                 rater_review.push(review);
                 rater_value.push(value);
@@ -127,25 +152,56 @@ impl FlatIncidence {
             rater_discount,
         }
     }
+
+    /// Number of reviews covered.
+    pub(crate) fn num_reviews(&self) -> usize {
+        self.rev_ptr.len() - 1
+    }
+
+    /// Number of raters covered.
+    pub(crate) fn num_raters(&self) -> usize {
+        self.rater_ptr.len() - 1
+    }
 }
 
-/// Runs the fixed point on one category slice over index-dense state.
-pub fn solve(slice: &CategorySlice, cfg: &DeriveConfig) -> RiggsResult {
-    let flat = FlatIncidence::build(slice, cfg);
-    let mut reputation = vec![cfg.initial_rater_reputation; slice.num_raters()];
-    let mut quality = vec![cfg.unrated_review_quality; slice.num_reviews()];
-
+/// Iterates the Eqs. 1–2 fixed point over a flat incidence, starting from
+/// whatever `quality`/`reputation` already hold — cold when the caller
+/// seeds them with [`DeriveConfig::unrated_review_quality`] /
+/// [`DeriveConfig::initial_rater_reputation`], warm when they carry a
+/// previous solution. Returns `(sweeps, converged)`.
+///
+/// This is the *only* sweep loop in the workspace: batch [`solve`], the
+/// incremental model's warm [`refresh`](crate::IncrementalDerived::refresh)
+/// and its canonical [`to_derived`](crate::IncrementalDerived::to_derived)
+/// snapshot all run this exact code.
+pub(crate) fn solve_warm(
+    flat: &FlatIncidence,
+    cfg: &DeriveConfig,
+    quality: &mut [f64],
+    reputation: &mut [f64],
+) -> (usize, bool) {
+    debug_assert_eq!(quality.len(), flat.num_reviews());
+    debug_assert_eq!(reputation.len(), flat.num_raters());
     let mut iterations = 0;
     let mut converged = false;
     while iterations < cfg.fixpoint_max_iters {
         iterations += 1;
-        update_quality(&flat, &reputation, cfg, &mut quality);
-        let delta = update_reputation(&flat, &quality, &mut reputation);
+        update_quality(flat, reputation, cfg, quality);
+        let delta = update_reputation(flat, quality, reputation);
         if delta <= cfg.fixpoint_tolerance {
             converged = true;
             break;
         }
     }
+    (iterations, converged)
+}
+
+/// Runs the fixed point on one category slice over index-dense state.
+pub fn solve(slice: &CategorySlice, cfg: &DeriveConfig) -> RiggsResult {
+    let flat = FlatIncidence::from_slice(slice, cfg);
+    let mut reputation = vec![cfg.initial_rater_reputation; slice.num_raters()];
+    let mut quality = vec![cfg.unrated_review_quality; slice.num_reviews()];
+    let (iterations, converged) = solve_warm(&flat, cfg, &mut quality, &mut reputation);
     RiggsResult {
         review_quality: quality,
         rater_reputation: reputation,
@@ -270,7 +326,7 @@ pub mod reference {
         cfg: &DeriveConfig,
         quality: &mut [f64],
     ) {
-        for (j, ratings) in slice.ratings_by_review.iter().enumerate() {
+        for (j, ratings) in slice.ratings_by_review().iter().enumerate() {
             if ratings.is_empty() {
                 quality[j] = cfg.unrated_review_quality;
                 continue;
@@ -297,7 +353,7 @@ pub mod reference {
         reputation: &mut HashMap<UserId, f64>,
     ) -> f64 {
         let mut max_delta = 0.0f64;
-        for (&rater, ratings) in &slice.ratings_by_rater {
+        for (&rater, ratings) in slice.ratings_by_rater() {
             let n = ratings.len();
             debug_assert!(n > 0, "rater entry with no ratings");
             let mad: f64 = ratings

@@ -228,10 +228,13 @@ proptest! {
         }
     }
 
-    /// Streaming the same events through the incremental model ends at
-    /// the batch pipeline's fixed point, regardless of community shape.
+    /// Streaming the same events through the incremental model lands
+    /// **bit-identically** on the batch pipeline, regardless of community
+    /// shape: the bootstrap refresh is a cold solve over the same
+    /// index-dense arrays, and the canonical snapshot reproduces the
+    /// entire `Derived` with `==` on `f64`.
     #[test]
-    fn incremental_matches_batch(store in community()) {
+    fn incremental_matches_batch_bitwise(store in community()) {
         let cfg = DeriveConfig::default();
         let batch = pipeline::derive(&store, &cfg).unwrap();
         let mut inc = wot_core::IncrementalDerived::new(
@@ -247,12 +250,37 @@ proptest! {
             inc.add_rating(rating.rater, rating.review, rating.value).unwrap();
         }
         inc.refresh_all();
-        for (a, b) in inc.expertise().as_slice().iter().zip(batch.expertise.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-6, "expertise {} vs {}", a, b);
-        }
-        let inc_affiliation = inc.affiliation();
-        prop_assert_eq!(inc_affiliation.as_slice(), batch.affiliation.as_slice());
         prop_assert!(!inc.is_stale());
+        prop_assert_eq!(inc.expertise().as_slice(), batch.expertise.as_slice());
+        prop_assert_eq!(inc.affiliation().as_slice(), batch.affiliation.as_slice());
+        prop_assert_eq!(&inc.to_derived(), &batch);
+    }
+
+    /// Replaying a store's canonical event log — with refreshes spliced at
+    /// arbitrary strides — reproduces the batch derivation bit for bit at
+    /// several thread counts.
+    #[test]
+    fn replay_of_event_log_matches_batch(store in community(), stride in 1usize..7) {
+        let cfg = DeriveConfig::default();
+        let batch = pipeline::derive(&store, &cfg).unwrap();
+        let mut events: Vec<wot_core::ReplayEvent> = Vec::new();
+        for (i, e) in wot_community::events::event_log(&store).into_iter().enumerate() {
+            events.push(e.into());
+            if i % stride == 0 {
+                events.push(wot_core::ReplayEvent::RefreshAll);
+            }
+        }
+        for threads in [1usize, 3] {
+            let cfg_t = DeriveConfig { parallel: threads != 1, threads, ..cfg.clone() };
+            let derived = wot_core::IncrementalDerived::replay(
+                store.num_users(),
+                store.num_categories(),
+                &cfg_t,
+                &events,
+            )
+            .unwrap();
+            prop_assert_eq!(&derived, &batch);
+        }
     }
 
     /// Generosity fractions are within [0,1] and zero for users without

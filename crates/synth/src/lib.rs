@@ -50,12 +50,14 @@
 
 mod config;
 pub mod dist;
+pub mod events;
 mod generator;
 mod latent;
 mod output;
 pub mod rng;
 
 pub use config::{SynthConfig, SynthConfigError};
+pub use events::shuffled_event_log;
 pub use generator::generate;
 pub use latent::UserFactors;
 pub use output::{GroundTruth, SynthOutput};
