@@ -8,6 +8,8 @@
 //!   table2             rater-reputation quartiles vs Advisors
 //!   table3             writer-reputation quartiles vs Top Reviewers
 //!   fig3               density of T̂, R, T and their overlaps
+//!   stream-fig3        Fig. 3 aggregates over the FULL T̂, block-streamed
+//!                      in O(block) memory (works at --scale paper)
 //!   table4             trust validation: ours vs baseline B
 //!   values             §IV.C value analysis
 //!   propagation        §V future work: derived vs explicit WoT
@@ -26,11 +28,12 @@ use wot_bench::{Scale, DEFAULT_SEED};
 use wot_community::stats::CommunityStats;
 use wot_core::DeriveConfig;
 use wot_eval::{
-    density, propagation_cmp, quartiles, rounding_cmp, sweep, validation, values, Workbench,
+    density, propagation_cmp, quartiles, rounding_cmp, streaming, sweep, validation, values,
+    Workbench,
 };
 
 const USAGE: &str = "usage: repro [--scale tiny|laptop|paper] [--seed N] <experiment>...
-experiments: stats table2 table3 fig3 table4 values propagation rounding \
+experiments: stats table2 table3 fig3 stream-fig3 table4 values propagation rounding \
 ablation-discount ablation-fixpoint sweep-noise sweep-trust-noise bench-summary all";
 
 fn main() -> ExitCode {
@@ -72,6 +75,7 @@ fn main() -> ExitCode {
             "table2",
             "table3",
             "fig3",
+            "stream-fig3",
             "table4",
             "values",
             "propagation",
@@ -130,6 +134,24 @@ fn run_experiment(
             .to_table("Table 3 — review writers' reputation model vs Top Reviewers")
             .to_string(),
         "fig3" => density::density_report(wb)?.to_table().to_string(),
+        "stream-fig3" => {
+            let agg = streaming::fig3_aggregates(&wb.derived, &wot_core::BlockConfig::default())?;
+            // The streaming scan and the bitmask counter must agree on
+            // the support — a live conformance check at any scale.
+            let bitmask = wb.derived.trust_support_count()?;
+            let mut out = agg.to_table().to_string();
+            out.push_str(&format!(
+                "\nsupport cross-check: streaming {} vs bitmask {} — {}\n",
+                agg.support,
+                bitmask,
+                if agg.support == bitmask {
+                    "ok"
+                } else {
+                    "MISMATCH"
+                }
+            ));
+            out
+        }
         "table4" => validation::table4(wb)?.to_table().to_string(),
         "values" => values::value_report(wb)?.to_table().to_string(),
         "propagation" => {
@@ -197,7 +219,7 @@ fn bench_summary(
     seed: u64,
 ) -> Result<String, Box<dyn std::error::Error>> {
     use std::hint::black_box;
-    use wot_core::{pipeline, trust, DeriveConfig, IncrementalDerived};
+    use wot_core::{pipeline, trust, BlockConfig, DeriveConfig, IncrementalDerived};
 
     let store = &wb.out.store;
     let derived = &wb.derived;
@@ -351,7 +373,9 @@ fn bench_summary(
             );
         }),
     ));
-    // The full dense T̂ only fits in memory away from paper scale.
+    // The full dense T̂ only fits in memory away from paper scale (and is
+    // refused there by the capacity budget); it is now a thin collector
+    // over the TrustBlocks streaming engine.
     if store.num_users() <= 10_000 {
         rows.push((
             "trust_dense_1t",
@@ -372,6 +396,26 @@ fn bench_summary(
             }),
         ));
     }
+    // Streaming reducers over the block engine (O(block) memory, any
+    // scale).
+    rows.push((
+        "streaming_fig3_aggregates_1t",
+        time_best_ms(3, || {
+            black_box(streaming::fig3_aggregates(derived, &BlockConfig::sequential()).unwrap());
+        }),
+    ));
+    rows.push((
+        "streaming_fig3_aggregates_mt",
+        time_best_ms(3, || {
+            black_box(streaming::fig3_aggregates(derived, &BlockConfig::default()).unwrap());
+        }),
+    ));
+    rows.push((
+        "top_k_trusted_k10_mt",
+        time_best_ms(3, || {
+            black_box(streaming::top_k_trusted(derived, 10, &BlockConfig::default()).unwrap());
+        }),
+    ));
 
     let get = |name: &str| {
         rows.iter()
@@ -380,6 +424,62 @@ fn bench_summary(
             .expect("row recorded above")
     };
     let derive_speedup = get("derive_baseline_hashmap_1t") / get("derive_index_dense_mt");
+
+    // Paper-scale streaming section: the 44k-user workload the dense T̂
+    // cannot serve (≈15.6 GB) but the block engine streams in O(block)
+    // memory. Reuses the workbench when it already is paper scale;
+    // set WOT_BENCH_SKIP_PAPER=1 to skip during quick local iterations.
+    let skip_paper = std::env::var("WOT_BENCH_SKIP_PAPER")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    let paper = if skip_paper {
+        None
+    } else {
+        let mut prows: Vec<(&str, f64)> = Vec::new();
+        let (pstore_users, pstore_ratings);
+        // Borrow the workbench's model when it is already paper scale;
+        // otherwise derive a local one (no clone — the numbers below are
+        // the streaming memory story).
+        let generated;
+        let pderived: &wot_core::Derived = if store.num_users() >= 40_000 {
+            pstore_users = store.num_users();
+            pstore_ratings = store.num_ratings();
+            derived
+        } else {
+            let t = std::time::Instant::now();
+            let out = wot_synth::generate(&Scale::Paper.synth_config(seed))?;
+            prows.push(("synth_generate", t.elapsed().as_secs_f64() * 1e3));
+            pstore_users = out.store.num_users();
+            pstore_ratings = out.store.num_ratings();
+            let t = std::time::Instant::now();
+            generated = pipeline::derive(&out.store, &DeriveConfig::default())?;
+            prows.push(("derive_index_dense_mt", t.elapsed().as_secs_f64() * 1e3));
+            &generated
+        };
+        let cfg = BlockConfig::default();
+        let blocks = pderived.trust_blocks(&cfg)?;
+        let (nblocks, block_rows, block_bytes) = (
+            blocks.num_blocks(),
+            blocks.block_rows(),
+            blocks.max_block_bytes(),
+        );
+        let t = std::time::Instant::now();
+        let agg = streaming::fig3_aggregates(pderived, &cfg)?;
+        prows.push(("streaming_fig3_aggregates", t.elapsed().as_secs_f64() * 1e3));
+        let t = std::time::Instant::now();
+        let top = streaming::top_k_trusted(pderived, 10, &cfg)?;
+        prows.push(("top_k_trusted_k10", t.elapsed().as_secs_f64() * 1e3));
+        assert_eq!(top.len(), pstore_users);
+        Some((
+            pstore_users,
+            pstore_ratings,
+            nblocks,
+            block_rows,
+            block_bytes,
+            agg,
+            prows,
+        ))
+    };
 
     let scale_name = match scale {
         Scale::Tiny => "tiny",
@@ -400,8 +500,37 @@ fn bench_summary(
     }
     json.push_str("  },\n");
     json.push_str(&format!(
-        "  \"derive_speedup_vs_hashmap_baseline\": {derive_speedup:.2}\n"
+        "  \"derive_speedup_vs_hashmap_baseline\": {derive_speedup:.2}"
     ));
+    if let Some((pusers, pratings, nblocks, block_rows, block_bytes, agg, prows)) = &paper {
+        json.push_str(",\n  \"paper_streaming\": {\n");
+        json.push_str(&format!("    \"users\": {pusers},\n"));
+        json.push_str(&format!("    \"ratings\": {pratings},\n"));
+        json.push_str(&format!(
+            "    \"dense_that_bytes\": {},\n",
+            (*pusers as u128) * (*pusers as u128) * 8
+        ));
+        json.push_str(&format!("    \"blocks\": {nblocks},\n"));
+        json.push_str(&format!("    \"block_rows\": {block_rows},\n"));
+        json.push_str(&format!("    \"max_block_bytes\": {block_bytes},\n"));
+        json.push_str(&format!("    \"that_support\": {},\n", agg.support));
+        json.push_str(&format!("    \"that_density\": {:.6},\n", agg.density()));
+        if let Some(rss) = streaming::peak_rss_bytes() {
+            json.push_str(&format!("    \"peak_rss_bytes\": {rss},\n"));
+            json.push_str(&format!(
+                "    \"within_2gb_budget\": {},\n",
+                rss < 2 * 1024 * 1024 * 1024
+            ));
+        }
+        json.push_str("    \"timings_ms\": {\n");
+        for (k, (name, ms)) in prows.iter().enumerate() {
+            let comma = if k + 1 < prows.len() { "," } else { "" };
+            json.push_str(&format!("      \"{name}\": {ms:.3}{comma}\n"));
+        }
+        json.push_str("    }\n  }\n");
+    } else {
+        json.push('\n');
+    }
     json.push_str("}\n");
     std::fs::write("BENCH_pipeline.json", &json)?;
 
@@ -412,6 +541,33 @@ fn bench_summary(
     out.push_str(&format!(
         "  derive speedup vs HashMap baseline: {derive_speedup:.2}x ({threads} threads)\n"
     ));
+    if let Some((pusers, _, nblocks, block_rows, block_bytes, agg, prows)) = &paper {
+        out.push_str(&format!(
+            "paper-scale streaming ({pusers} users; dense T-hat would be {:.1} GB; \
+             {nblocks} blocks x {block_rows} rows, peak block {:.1} MiB):\n",
+            (*pusers as f64) * (*pusers as f64) * 8.0 / 1e9,
+            *block_bytes as f64 / (1 << 20) as f64,
+        ));
+        for (name, ms) in prows {
+            out.push_str(&format!("  {name:<28} {ms:>10.3}\n"));
+        }
+        out.push_str(&format!(
+            "  T-hat support {} (density {:.4})\n",
+            agg.support,
+            agg.density()
+        ));
+        if let Some(rss) = streaming::peak_rss_bytes() {
+            out.push_str(&format!(
+                "  peak RSS {:.2} GB — {} the 2 GB streaming budget\n",
+                rss as f64 / 1e9,
+                if rss < 2 * 1024 * 1024 * 1024 {
+                    "within"
+                } else {
+                    "OVER"
+                }
+            ));
+        }
+    }
     out.push_str("  wrote BENCH_pipeline.json\n");
     Ok(out)
 }

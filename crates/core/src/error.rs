@@ -7,6 +7,14 @@ pub enum CoreError {
     InvalidConfig(String),
     /// A matrix operand had an unexpected shape.
     Shape(String),
+    /// A requested materialization would exceed its byte budget (e.g. the
+    /// full dense `T̂` at paper scale); stream row-blocks instead.
+    Capacity {
+        /// Bytes the materialization would allocate.
+        required_bytes: u128,
+        /// The budget it was checked against.
+        budget_bytes: usize,
+    },
     /// Propagated from the community layer.
     Community(wot_community::CommunityError),
     /// Propagated from the sparse-matrix layer.
@@ -18,6 +26,15 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::InvalidConfig(msg) => write!(f, "invalid derive config: {msg}"),
             CoreError::Shape(msg) => write!(f, "shape error: {msg}"),
+            CoreError::Capacity {
+                required_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "materializing this matrix needs {required_bytes} bytes, over the \
+                 {budget_bytes}-byte budget; stream row-blocks with trust_blocks::TrustBlocks \
+                 instead (or raise WOT_TRUST_DENSE_BUDGET_BYTES)"
+            ),
             CoreError::Community(e) => write!(f, "community error: {e}"),
             CoreError::Sparse(e) => write!(f, "sparse error: {e}"),
         }

@@ -7,7 +7,7 @@
 //! the batch layout: flat `Vec<f64>` quality/reputation buffers plus the
 //! grouped local-index incidence arrays (`ratings_by_review_local`,
 //! `ratings_by_rater_local`, `reviews_by_writer_local`) that
-//! [`riggs`](crate::riggs)'s one and only sweep loop consumes. There is no
+//! [`riggs`](crate::riggs#)'s one and only sweep loop consumes. There is no
 //! `HashMap` in the fixed-point state and no second solver:
 //!
 //! * [`add_review`](IncrementalDerived::add_review) /
@@ -349,7 +349,9 @@ impl IncrementalDerived {
         Ok(inc)
     }
 
-    /// Folds an event log into the canonical derived model.
+    /// Folds an event log into the canonical derived model — the full
+    /// Eq. 1–4 state (`E`, `A`, per-category reputations) from which
+    /// Eq. 5 trust is read off, built online instead of batch.
     ///
     /// Equivalent to constructing with [`new`](Self::new), applying every
     /// event, and taking [`to_derived`](Self::to_derived) — which is

@@ -57,7 +57,16 @@
 //!   order-independent, every worker writes a disjoint output range from
 //!   read-only input, and reductions are exactly associative. The
 //!   workspace's determinism tests assert this with `==` on `f64`.
-//! * **Streaming.** [`incremental::IncrementalDerived`] ingests review and
+//! * **Blocked / streaming Eq. 5.** The full `T̂` is quadratic in users
+//!   (~15.6 GB at the paper's 44,197), so [`trust_blocks::TrustBlocks`]
+//!   streams it as row-blocks — dense or mask-restricted — computed
+//!   straight from `A`/`E` in O(block) memory, with
+//!   [`trust::derive_dense`] and [`trust::derive_masked`] as thin
+//!   collectors over the same iterator (bit-identical for any block
+//!   height and thread count). [`trust::derive_dense`] refuses
+//!   over-budget materializations with [`CoreError::Capacity`] instead
+//!   of aborting the allocator.
+//! * **Streaming ingestion.** [`incremental::IncrementalDerived`] ingests review and
 //!   rating events online on the *same* index-dense layout, warm-starts
 //!   per-category refreshes through the same `riggs` sweep loop, and its
 //!   [`replay`](incremental::IncrementalDerived::replay) /
@@ -102,11 +111,13 @@ pub mod pipeline;
 pub mod reputation;
 pub mod riggs;
 pub mod trust;
+pub mod trust_blocks;
 
 pub use config::DeriveConfig;
 pub use error::CoreError;
 pub use incremental::{IncrementalDerived, ReplayEvent};
 pub use pipeline::{CategoryReputation, Derived};
+pub use trust_blocks::{BlockConfig, TrustBlock, TrustBlocks};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,7 +1,7 @@
 //! End-to-end driver: community in, expertise/affiliation/trust out.
 //!
 //! Categories are independent units of work (the paper computes every
-//! Step-1 quantity per category), so [`derive`] fans them out across
+//! Step-1 quantity per category), so [`derive()`] fans them out across
 //! worker threads when [`DeriveConfig::parallel`] is set, with dynamic
 //! scheduling to absorb the heavy skew of real category sizes. Results
 //! are assembled in category order and each category's fixed point is
@@ -44,7 +44,12 @@ pub struct Derived {
     pub per_category: Vec<CategoryReputation>,
 }
 
-/// Runs Steps 1 and 2 on the whole community.
+/// Runs Steps 1 and 2 on the whole community: per category, the Eq. 1 ⇄
+/// Eq. 2 quality/reputation fixed point ([`riggs::solve`]) and the Eq. 3
+/// writer aggregation assemble the expertise matrix `E`; Eq. 4's
+/// activity normalization assembles the affiliation matrix `A`. Step 3
+/// (Eq. 5, `T̂_ij = Σ_c A_ic·E_jc / Σ_c A_ic`) is exposed as methods on
+/// the returned [`Derived`].
 ///
 /// Per-category fixed points run on [`DeriveConfig::effective_threads`]
 /// workers; the output does not depend on the thread count.
@@ -99,7 +104,7 @@ fn derive_category(
     })
 }
 
-/// The pre-optimization formulation of [`derive`]: sequential over
+/// The pre-optimization formulation of [`derive()`]: sequential over
 /// categories, with `HashMap`-keyed fixed-point state
 /// ([`riggs::reference`]).
 ///
@@ -170,9 +175,29 @@ impl Derived {
         trust::derive_masked(&self.affiliation, &self.expertise, mask)
     }
 
-    /// Eq. 5 as a full dense U×U matrix (small communities only).
+    /// Eq. 5 as a full dense U×U matrix (small communities only: refused
+    /// with [`CoreError`](crate::CoreError)`::Capacity` beyond
+    /// [`trust::dense_budget_bytes`] — stream [`Self::trust_blocks`]
+    /// instead).
     pub fn trust_dense(&self) -> Result<Dense> {
         trust::derive_dense(&self.affiliation, &self.expertise)
+    }
+
+    /// Streaming row-block iterator over the full `T̂` (Eq. 5) in
+    /// O(block) memory — the paper-scale alternative to
+    /// [`Self::trust_dense`].
+    pub fn trust_blocks(&self, cfg: &crate::BlockConfig) -> Result<crate::TrustBlocks<'_>> {
+        crate::TrustBlocks::dense(&self.affiliation, &self.expertise, cfg)
+    }
+
+    /// Streaming row-block iterator over `T̂` restricted to `mask`'s
+    /// stored coordinates.
+    pub fn trust_blocks_on_mask<'a>(
+        &'a self,
+        mask: &'a Csr,
+        cfg: &crate::BlockConfig,
+    ) -> Result<crate::TrustBlocks<'a>> {
+        crate::TrustBlocks::masked(&self.affiliation, &self.expertise, mask, cfg)
     }
 
     /// Non-zero count of the full `T̂` without materializing it (Fig. 3).

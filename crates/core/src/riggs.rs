@@ -24,7 +24,7 @@
 //! array arithmetic with no hashing. On Epinions-scale categories this is
 //! the difference between a memory-bound hash walk and a cache-friendly
 //! linear scan (see `wot-bench`'s `bench_pipeline`). The original
-//! `HashMap`-keyed formulation is preserved in [`reference`] and proven
+//! `HashMap`-keyed formulation is preserved in [`reference`](mod@reference) and proven
 //! bit-identical by `wot-core`'s property tests — both iterate the same
 //! Jacobi sweeps in the same arithmetic order, so even floating-point
 //! rounding agrees.
@@ -196,7 +196,19 @@ pub(crate) fn solve_warm(
     (iterations, converged)
 }
 
-/// Runs the fixed point on one category slice over index-dense state.
+/// Solves the Eq. 1 ⇄ Eq. 2 fixed point on one category slice over
+/// index-dense state.
+///
+/// Starting from uniform reputations
+/// ([`DeriveConfig::initial_rater_reputation`]), alternates Jacobi
+/// sweeps of review quality `r̄_j` (Eq. 1: the rater-reputation-weighted
+/// mean of received ratings) and rater reputation `ū_i` (Eq. 2: Riggs'
+/// consensus consistency with the `1 − 1/(n_i+1)` experience discount)
+/// until no reputation moves by more than
+/// [`DeriveConfig::fixpoint_tolerance`] or the
+/// [`DeriveConfig::fixpoint_max_iters`] cap is reached. The result feeds
+/// Eq. 3's writer aggregation
+/// ([`reputation`](crate::reputation::writer_reputation_pairs)).
 pub fn solve(slice: &CategorySlice, cfg: &DeriveConfig) -> RiggsResult {
     let flat = FlatIncidence::from_slice(slice, cfg);
     let mut reputation = vec![cfg.initial_rater_reputation; slice.num_raters()];

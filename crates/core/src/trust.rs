@@ -10,34 +10,60 @@
 //! row trusts nobody (denominator zero ⇒ 0 by definition here).
 //!
 //! The full U×U matrix is dense in principle (Fig. 3's point is exactly
-//! that `T̂` is *much* denser than the explicit web of trust), so three
+//! that `T̂` is *much* denser than the explicit web of trust), so four
 //! evaluation shapes are provided:
 //!
 //! * [`pairwise`] — one `(i, j)` entry, O(C);
 //! * [`derive_masked`] — values on a sparse candidate pattern (the
 //!   evaluation region of Table 4), O(nnz·C);
-//! * [`derive_dense`] — the full matrix for small communities, O(U²·C);
+//! * [`derive_dense`] — the full matrix for small communities, O(U²·C),
+//!   refused with [`CoreError::Capacity`] beyond a configurable byte
+//!   budget ([`dense_budget_bytes`]);
+//! * [`TrustBlocks`] — the paper-scale
+//!   shape: a streaming iterator over row-blocks of `T̂` in O(block)
+//!   memory, of which the masked and dense collectors here are thin,
+//!   bit-identical specializations;
 //! * [`support_count`] — the *number* of non-zero entries of the full `T̂`
 //!   without materializing it (Fig. 3's density), via category-overlap
 //!   bitmask counting, O(U + U·distinct-masks) for C ≤ 64.
 //!
-//! The masked, dense and support-count forms are row-parallel: rows of
-//! `T̂` are independent (each reads the shared `A`/`E` matrices and writes
-//! its own output range), so they split across worker threads with
-//! bit-identical results for any thread count. Each function has a
-//! `*_threaded` variant taking an explicit count (`0` = auto,
-//! `1` = sequential). Explicit counts are honoured as given; in auto
-//! mode a size cutoff keeps small problems on the calling thread and
-//! large ones fan out to all hardware threads.
+//! Every multi-entry form is row-parallel: rows of `T̂` are independent
+//! (each reads the shared `A`/`E` matrices and writes its own output
+//! range), so they split across worker threads with bit-identical
+//! results for any thread count. Each function has a `*_threaded`
+//! variant taking an explicit count (`0` = auto, `1` = sequential).
+//! Explicit counts are honoured as given; in auto mode a size cutoff
+//! keeps small problems on the calling thread and large ones fan out to
+//! all hardware threads.
 
 use std::collections::HashMap;
 
-use wot_sparse::{masked_row_dot_threaded, Csr, Dense};
+use wot_sparse::{Csr, Dense};
 
+use crate::trust_blocks::{BlockConfig, TrustBlock, TrustBlocks, PAR_CELLS_THRESHOLD};
 use crate::{CoreError, Result};
 
-/// Below this many output cells (dense) the row loop stays sequential.
-const PAR_CELLS_THRESHOLD: usize = 1 << 16;
+/// Default byte budget for materializing the full dense `T̂`
+/// (4 GiB — comfortably above every laptop-scale analysis, far below the
+/// ~15.6 GB the paper's 44k users would need).
+pub const DEFAULT_DENSE_BUDGET_BYTES: usize = 4 << 30;
+
+/// The byte budget [`derive_dense`] enforces: the
+/// `WOT_TRUST_DENSE_BUDGET_BYTES` environment variable (plain bytes,
+/// e.g. `2147483648`) when set, otherwise
+/// [`DEFAULT_DENSE_BUDGET_BYTES`].
+///
+/// A set-but-unparseable value (`512MB`, `1e9`, …) **fails closed**: it
+/// resolves to a zero budget so every materialization is refused with a
+/// [`CoreError::Capacity`] naming the variable — an OOM guard must not
+/// silently ignore the operator's intent and fall back to a larger
+/// default.
+pub fn dense_budget_bytes() -> usize {
+    match std::env::var("WOT_TRUST_DENSE_BUDGET_BYTES") {
+        Ok(v) => v.parse().unwrap_or(0),
+        Err(_) => DEFAULT_DENSE_BUDGET_BYTES,
+    }
+}
 
 /// Eq. 5 for one ordered pair.
 pub fn pairwise(affiliation: &Dense, expertise: &Dense, i: usize, j: usize) -> f64 {
@@ -52,6 +78,10 @@ pub fn pairwise(affiliation: &Dense, expertise: &Dense, i: usize, j: usize) -> f
 
 /// Eq. 5 on every coordinate of `mask` (values of `mask` are ignored; its
 /// pattern defines the candidate set). Row-parallel on large masks.
+///
+/// A thin collector over [`TrustBlocks::masked`]: the streaming engine
+/// computes row-blocks, this function assembles them onto the mask's
+/// pattern. Output is bit-identical for any thread count or block height.
 pub fn derive_masked(affiliation: &Dense, expertise: &Dense, mask: &Csr) -> Result<Csr> {
     derive_masked_threaded(affiliation, expertise, mask, 0)
 }
@@ -63,24 +93,35 @@ pub fn derive_masked_threaded(
     mask: &Csr,
     threads: usize,
 ) -> Result<Csr> {
-    if affiliation.shape() != expertise.shape() {
-        return Err(CoreError::Shape(format!(
-            "affiliation {:?} vs expertise {:?}",
-            affiliation.shape(),
-            expertise.shape()
-        )));
-    }
-    let numerators = masked_row_dot_threaded(affiliation, expertise, mask, threads)?;
-    let row_mass: Vec<f64> = affiliation.row_sums();
-    let inv: Vec<f64> = row_mass
-        .iter()
-        .map(|&m| if m > 0.0 { 1.0 / m } else { 0.0 })
-        .collect();
-    Ok(numerators.scale_rows(&inv)?)
+    // One block spanning every row: the collector materializes the whole
+    // result anyway, so a single block costs no extra memory and the
+    // value buffer moves straight into the output (no copy).
+    let cfg = BlockConfig {
+        block_rows: mask.nrows().max(1),
+        threads,
+    };
+    let mut blocks = TrustBlocks::masked(affiliation, expertise, mask, &cfg)?;
+    let values = blocks
+        .next()
+        .map(TrustBlock::into_values)
+        .unwrap_or_default();
+    Ok(Csr::from_raw_parts(
+        mask.nrows(),
+        mask.ncols(),
+        mask.row_ptr().to_vec(),
+        mask.col_indices().to_vec(),
+        values,
+    )?)
 }
 
-/// Eq. 5 as a full dense matrix — O(U²·C); intended for examples, tests
-/// and laptop-scale analyses. Row-parallel on large communities.
+/// Eq. 5 as a full dense matrix — O(U²·C) time, O(U²) memory; intended
+/// for examples, tests and laptop-scale analyses. Row-parallel on large
+/// communities.
+///
+/// A thin collector over [`TrustBlocks::dense`], guarded by a byte
+/// budget ([`dense_budget_bytes`]): at the paper's 44k users the result
+/// would occupy ~15.6 GB, so instead of aborting the allocator this
+/// returns [`CoreError::Capacity`] pointing at the streaming engine.
 pub fn derive_dense(affiliation: &Dense, expertise: &Dense) -> Result<Dense> {
     derive_dense_threaded(affiliation, expertise, 0)
 }
@@ -91,6 +132,22 @@ pub fn derive_dense_threaded(
     expertise: &Dense,
     threads: usize,
 ) -> Result<Dense> {
+    derive_dense_budgeted(affiliation, expertise, threads, dense_budget_bytes())
+}
+
+/// [`derive_dense`] with an explicit worker-thread count and byte budget.
+///
+/// Fails with [`CoreError::Capacity`] — instead of attempting a doomed
+/// `U² × 8` byte allocation — when the output would exceed
+/// `budget_bytes`; callers at that scale should stream row-blocks via
+/// [`TrustBlocks`] (`wot-eval`'s streaming reducers consume them in
+/// O(block) memory).
+pub fn derive_dense_budgeted(
+    affiliation: &Dense,
+    expertise: &Dense,
+    threads: usize,
+    budget_bytes: usize,
+) -> Result<Dense> {
     if affiliation.shape() != expertise.shape() {
         return Err(CoreError::Shape(format!(
             "affiliation {:?} vs expertise {:?}",
@@ -99,47 +156,26 @@ pub fn derive_dense_threaded(
         )));
     }
     let u = affiliation.nrows();
-    let mut out = Dense::zeros(u, u);
-
-    // Fills output rows `rows`, given the flat slice holding exactly those
-    // rows (`chunk[0]` is cell `(rows.start, 0)`).
-    let fill = |rows: core::ops::Range<usize>, chunk: &mut [f64]| {
-        for i in rows.clone() {
-            let a_row = affiliation.row(i);
-            let den: f64 = a_row.iter().sum();
-            if den <= 0.0 {
-                continue;
-            }
-            let out_row = &mut chunk[(i - rows.start) * u..(i - rows.start + 1) * u];
-            for (j, out_cell) in out_row.iter_mut().enumerate() {
-                *out_cell = wot_sparse::dot(a_row, expertise.row(j)) / den;
-            }
-        }
-    };
-
-    // Explicit counts are authoritative; the size cutoff only governs
-    // auto mode (threads == 0).
-    let threads = if threads == 0 {
-        if u * u < PAR_CELLS_THRESHOLD {
-            1
-        } else {
-            wot_par::max_threads()
-        }
-    } else {
-        threads
-    };
-    if threads <= 1 {
-        fill(0..u, out.as_mut_slice());
-    } else {
-        let row_ranges = wot_par::even_ranges(u, threads);
-        let bounds: Vec<usize> = std::iter::once(0)
-            .chain(row_ranges.iter().map(|r| r.end * u))
-            .collect();
-        wot_par::par_chunks_mut(out.as_mut_slice(), &bounds, |k, chunk| {
-            fill(row_ranges[k].clone(), chunk);
+    let required_bytes = (u as u128) * (u as u128) * std::mem::size_of::<f64>() as u128;
+    if required_bytes > budget_bytes as u128 {
+        return Err(CoreError::Capacity {
+            required_bytes,
+            budget_bytes,
         });
     }
-    Ok(out)
+    // One block spanning every row (see `derive_masked_threaded`): the
+    // buffer is the budgeted U×U allocation itself and moves into the
+    // output without a copy.
+    let cfg = BlockConfig {
+        block_rows: u.max(1),
+        threads,
+    };
+    let mut blocks = TrustBlocks::dense(affiliation, expertise, &cfg)?;
+    let values = blocks
+        .next()
+        .map(TrustBlock::into_values)
+        .unwrap_or_default();
+    Ok(Dense::from_vec(u, u, values)?)
 }
 
 /// Number of strictly positive entries the full `T̂` would have (including
@@ -378,5 +414,40 @@ mod tests {
         assert!(derive_dense(&a, &e).is_err());
         let mask = Csr::empty(2, 3);
         assert!(derive_masked(&a, &e, &mask).is_err());
+    }
+
+    #[test]
+    fn dense_over_budget_returns_capacity_error() {
+        let (a, e) = small();
+        // 3×3×8 = 72 bytes; a 71-byte budget must refuse before allocating.
+        let err = derive_dense_budgeted(&a, &e, 1, 71).unwrap_err();
+        match &err {
+            CoreError::Capacity {
+                required_bytes,
+                budget_bytes,
+            } => {
+                assert_eq!(*required_bytes, 72);
+                assert_eq!(*budget_bytes, 71);
+            }
+            other => panic!("expected Capacity error, got {other:?}"),
+        }
+        // The message points callers at the streaming engine.
+        assert!(err.to_string().contains("TrustBlocks"), "{err}");
+        assert!(derive_dense_budgeted(&a, &e, 1, 72).is_ok());
+    }
+
+    #[test]
+    fn paper_scale_dense_is_rejected_by_default_budget() {
+        // 44k users would need ~15.6 GB — the default budget refuses
+        // without touching the allocator (construction of the matrices
+        // here is cheap; only the U×U output is over budget). The budget
+        // is pinned explicitly so an ambient WOT_TRUST_DENSE_BUDGET_BYTES
+        // cannot turn this refusal test into a 15.6 GB allocation.
+        let a = Dense::zeros(44_197, 1);
+        let e = Dense::zeros(44_197, 1);
+        assert!(matches!(
+            derive_dense_budgeted(&a, &e, 1, DEFAULT_DENSE_BUDGET_BYTES),
+            Err(CoreError::Capacity { .. })
+        ));
     }
 }

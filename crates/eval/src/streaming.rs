@@ -1,0 +1,386 @@
+//! Paper-scale streaming analyses of the full derived-trust view `T̂`.
+//!
+//! Fig. 3-style analyses need *every* pair `(i, j)` of Eq. 5, but the
+//! dense `T̂` at the paper's 44k users is a ~15.6 GB allocation. The
+//! reducers here consume [`wot_core::TrustBlocks`] row-block by row-block
+//! — O(block) transient memory plus O(U) reducer state — so the full
+//! pairwise analyses run at paper scale inside a 2 GB budget:
+//!
+//! * [`fig3_aggregates`] — global Fig. 3 aggregates: support (non-zero
+//!   count, cross-checkable against the bitmask
+//!   [`support_count`](wot_core::trust::support_count)), density, value
+//!   sum / mean / max, per-user out-support, and a value histogram;
+//! * [`top_k_trusted`] — each user's `k` most-trusted peers (the
+//!   recommendation surface a trust-aware recommender serves);
+//! * [`per_user_histograms`] — per-user distribution of outgoing trust
+//!   values.
+//!
+//! Every reducer folds **per row**: a row of `T̂` is never split across
+//! workers and row results are combined in ascending row order, so all
+//! outputs are bit-identical for any block height and any thread count
+//! (proven by the workspace's `block_streaming` suite).
+
+use wot_core::{BlockConfig, Derived};
+
+use crate::report::{f3, Table};
+use crate::{EvalError, Result};
+
+/// Global aggregates of the full `T̂` — the streaming Fig. 3 numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Aggregates {
+    /// Number of users `U` (`T̂` is `U×U`).
+    pub users: usize,
+    /// Strictly positive entries of `T̂` (its support, as in Fig. 3).
+    pub support: u64,
+    /// Sum of all entries (row sums folded in ascending row order).
+    pub sum: f64,
+    /// Largest entry.
+    pub max: f64,
+    /// Strictly positive entries per row — user `i`'s derived
+    /// out-degree.
+    pub row_support: Vec<u32>,
+    /// Histogram of positive values over `(0, 1]`:
+    /// `histogram[b]` counts `v` with `b/N < v ≤ (b+1)/N` for `N` bins
+    /// (values above 1 clamp into the last bin).
+    pub histogram: Vec<u64>,
+    /// Blocks the scan yielded.
+    pub blocks: usize,
+    /// Resolved rows per block.
+    pub block_rows: usize,
+    /// Largest transient block buffer of the scan, in bytes.
+    pub max_block_bytes: usize,
+}
+
+impl Fig3Aggregates {
+    /// Support density over `U²` — Fig. 3's headline number for `T̂`.
+    pub fn density(&self) -> f64 {
+        let cells = (self.users as f64) * (self.users as f64);
+        if cells > 0.0 {
+            self.support as f64 / cells
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean of the strictly positive entries.
+    pub fn mean_positive(&self) -> f64 {
+        if self.support == 0 {
+            0.0
+        } else {
+            self.sum / self.support as f64
+        }
+    }
+
+    /// Renders the aggregates as a report table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Fig. 3 (streaming) — full T-hat over {0}x{0} users, O(block) memory",
+                self.users
+            ),
+            &["quantity", "value"],
+        );
+        t.push_row(vec![
+            "support (entries > 0)".into(),
+            self.support.to_string(),
+        ]);
+        t.push_row(vec!["density".into(), format!("{:.6}", self.density())]);
+        t.push_row(vec!["mean positive trust".into(), f3(self.mean_positive())]);
+        t.push_row(vec!["max trust".into(), f3(self.max)]);
+        t.push_row(vec![
+            "blocks × rows/block".into(),
+            format!("{} × {}", self.blocks, self.block_rows),
+        ]);
+        t.push_row(vec![
+            "peak block buffer".into(),
+            format!("{:.1} MiB", self.max_block_bytes as f64 / (1 << 20) as f64),
+        ]);
+        for (b, &n) in self.histogram.iter().enumerate() {
+            let nbins = self.histogram.len();
+            t.push_row(vec![
+                format!(
+                    "values in ({:.2}, {:.2}]",
+                    b as f64 / nbins as f64,
+                    (b + 1) as f64 / nbins as f64
+                ),
+                n.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Histogram bins used by [`fig3_aggregates`].
+pub const FIG3_HIST_BINS: usize = 10;
+
+/// Streams the full `T̂` once and reduces it to [`Fig3Aggregates`].
+///
+/// Memory: one block buffer (≈ [`wot_core::trust_blocks::DEFAULT_BLOCK_BYTES`]
+/// in auto mode) plus the O(U) `row_support` vector — at the paper's 44k
+/// users, tens of megabytes instead of the ~15.6 GB dense matrix.
+pub fn fig3_aggregates(derived: &Derived, cfg: &BlockConfig) -> Result<Fig3Aggregates> {
+    let blocks = derived.trust_blocks(cfg)?;
+    let users = blocks.num_users();
+    let block_rows = blocks.block_rows();
+    let max_block_bytes = blocks.max_block_bytes();
+    let mut agg = Fig3Aggregates {
+        users,
+        support: 0,
+        sum: 0.0,
+        max: 0.0,
+        row_support: vec![0u32; users],
+        histogram: vec![0u64; FIG3_HIST_BINS],
+        blocks: 0,
+        block_rows,
+        max_block_bytes,
+    };
+    for block in blocks {
+        agg.blocks += 1;
+        for i in block.rows() {
+            let row = block.dense_row(i).expect("dense scan yields dense blocks");
+            // Per-row fold, rows combined in ascending order: the f64
+            // summation order is fixed regardless of blocks/threads.
+            let mut row_sum = 0.0;
+            let mut row_support = 0u32;
+            for &v in row {
+                if v > 0.0 {
+                    row_support += 1;
+                    row_sum += v;
+                    if v > agg.max {
+                        agg.max = v;
+                    }
+                    let bin =
+                        ((v * FIG3_HIST_BINS as f64).ceil() as usize).clamp(1, FIG3_HIST_BINS) - 1;
+                    agg.histogram[bin] += 1;
+                }
+            }
+            agg.row_support[i] = row_support;
+            agg.support += row_support as u64;
+            agg.sum += row_sum;
+        }
+    }
+    Ok(agg)
+}
+
+/// Each user's `k` most-trusted peers, streamed in O(block + U·k) memory.
+///
+/// Returns, per user `i`, up to `k` pairs `(j, T̂_ij)` with `v > 0` and
+/// `j ≠ i` (self-trust is not a recommendation), sorted by descending
+/// trust with ascending `j` breaking ties — a deterministic order for
+/// any block height or thread count.
+pub fn top_k_trusted(
+    derived: &Derived,
+    k: usize,
+    cfg: &BlockConfig,
+) -> Result<Vec<Vec<(usize, f64)>>> {
+    if k == 0 {
+        return Err(EvalError::InvalidParameter(
+            "top_k_trusted needs k ≥ 1".into(),
+        ));
+    }
+    let blocks = derived.trust_blocks(cfg)?;
+    let users = blocks.num_users();
+    let mut top: Vec<Vec<(usize, f64)>> = vec![Vec::new(); users];
+    for block in blocks {
+        for i in block.rows() {
+            let row = block.dense_row(i).expect("dense scan yields dense blocks");
+            let best = &mut top[i];
+            for (j, &v) in row.iter().enumerate() {
+                if v <= 0.0 || j == i {
+                    continue;
+                }
+                // `best` is kept sorted: highest trust first, ties by
+                // ascending j. A candidate must beat the current worst
+                // (or fill a free slot) to enter.
+                if best.len() == k {
+                    let &(wj, wv) = best.last().expect("k ≥ 1");
+                    if v < wv || (v == wv && j > wj) {
+                        continue;
+                    }
+                    best.pop();
+                }
+                let pos = best.partition_point(|&(bj, bv)| bv > v || (bv == v && bj < j));
+                best.insert(pos, (j, v));
+            }
+        }
+    }
+    Ok(top)
+}
+
+/// Per-user histograms of outgoing trust values, streamed in
+/// O(block + U·bins) memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerUserHistograms {
+    /// Bins over `(0, 1]` (uniform width `1/nbins`).
+    pub nbins: usize,
+    /// Row-major `U × nbins` counts: `counts[i * nbins + b]` is how many
+    /// of user `i`'s outgoing entries fall in bin `b`.
+    pub counts: Vec<u64>,
+}
+
+impl PerUserHistograms {
+    /// User `i`'s histogram row.
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.counts[i * self.nbins..(i + 1) * self.nbins]
+    }
+}
+
+/// Streams the full `T̂` and bins each user's positive outgoing values.
+pub fn per_user_histograms(
+    derived: &Derived,
+    nbins: usize,
+    cfg: &BlockConfig,
+) -> Result<PerUserHistograms> {
+    if nbins == 0 {
+        return Err(EvalError::InvalidParameter(
+            "per_user_histograms needs nbins ≥ 1".into(),
+        ));
+    }
+    let blocks = derived.trust_blocks(cfg)?;
+    let users = blocks.num_users();
+    let mut counts = vec![0u64; users * nbins];
+    for block in blocks {
+        for i in block.rows() {
+            let row = block.dense_row(i).expect("dense scan yields dense blocks");
+            let hist = &mut counts[i * nbins..(i + 1) * nbins];
+            for &v in row {
+                if v > 0.0 {
+                    let bin = ((v * nbins as f64).ceil() as usize).clamp(1, nbins) - 1;
+                    hist[bin] += 1;
+                }
+            }
+        }
+    }
+    Ok(PerUserHistograms { nbins, counts })
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`), or
+/// `None` where `/proc` is unavailable — how the paper-scale streaming
+/// runs measure their 2 GB memory budget (the `repro` bench summary and
+/// the `block_streaming` acceptance test both report it).
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use wot_core::DeriveConfig;
+    use wot_synth::SynthConfig;
+
+    use super::*;
+    use crate::Workbench;
+
+    fn bench() -> Workbench {
+        Workbench::new(&SynthConfig::tiny(31), &DeriveConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn aggregates_match_dense_reference() {
+        let wb = bench();
+        let dense = wb.derived.trust_dense().unwrap();
+        let agg = fig3_aggregates(&wb.derived, &BlockConfig::sequential()).unwrap();
+        let u = wb.derived.num_users();
+        // Reference fold in the exact same per-row order.
+        let mut support = 0u64;
+        let mut sum = 0.0;
+        let mut max = 0.0f64;
+        for i in 0..u {
+            let mut row_sum = 0.0;
+            let mut row_support = 0u32;
+            for &v in dense.row(i) {
+                if v > 0.0 {
+                    row_support += 1;
+                    row_sum += v;
+                    max = max.max(v);
+                }
+            }
+            assert_eq!(agg.row_support[i], row_support, "row {i}");
+            support += row_support as u64;
+            sum += row_sum;
+        }
+        assert_eq!(agg.support, support);
+        assert_eq!(agg.sum, sum);
+        assert_eq!(agg.max, max);
+        // Cross-check against the bitmask counter of Fig. 3.
+        assert_eq!(agg.support, wb.derived.trust_support_count().unwrap());
+        // The histogram partitions the support.
+        assert_eq!(agg.histogram.iter().sum::<u64>(), agg.support);
+        assert!(agg.density() > 0.0 && agg.density() <= 1.0);
+        assert!(agg.mean_positive() > 0.0 && agg.mean_positive() <= agg.max);
+    }
+
+    #[test]
+    fn aggregates_invariant_to_blocks_and_threads() {
+        let wb = bench();
+        let reference = fig3_aggregates(&wb.derived, &BlockConfig::sequential()).unwrap();
+        for (block_rows, threads) in [(1usize, 1usize), (7, 2), (64, 0), (0, 3)] {
+            let cfg = BlockConfig {
+                block_rows,
+                threads,
+            };
+            let agg = fig3_aggregates(&wb.derived, &cfg).unwrap();
+            assert_eq!(agg.support, reference.support);
+            assert_eq!(agg.sum, reference.sum, "bit-identical sum");
+            assert_eq!(agg.max, reference.max);
+            assert_eq!(agg.row_support, reference.row_support);
+            assert_eq!(agg.histogram, reference.histogram);
+        }
+    }
+
+    #[test]
+    fn top_k_matches_brute_force() {
+        let wb = bench();
+        let k = 5;
+        let top = top_k_trusted(&wb.derived, k, &BlockConfig::default()).unwrap();
+        let dense = wb.derived.trust_dense().unwrap();
+        for (i, best) in top.iter().enumerate() {
+            let mut brute: Vec<(usize, f64)> = dense
+                .row(i)
+                .iter()
+                .enumerate()
+                .filter(|&(j, &v)| j != i && v > 0.0)
+                .map(|(j, &v)| (j, v))
+                .collect();
+            brute.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            brute.truncate(k);
+            assert_eq!(best, &brute, "user {i}");
+        }
+    }
+
+    #[test]
+    fn per_user_histograms_partition_support() {
+        let wb = bench();
+        let hists = per_user_histograms(&wb.derived, 4, &BlockConfig::default()).unwrap();
+        let agg = fig3_aggregates(&wb.derived, &BlockConfig::default()).unwrap();
+        let u = wb.derived.num_users();
+        for i in 0..u {
+            assert_eq!(
+                hists.row(i).iter().sum::<u64>(),
+                agg.row_support[i] as u64,
+                "user {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let wb = bench();
+        assert!(top_k_trusted(&wb.derived, 0, &BlockConfig::default()).is_err());
+        assert!(per_user_histograms(&wb.derived, 0, &BlockConfig::default()).is_err());
+    }
+
+    #[test]
+    fn table_renders() {
+        let wb = bench();
+        let s = fig3_aggregates(&wb.derived, &BlockConfig::default())
+            .unwrap()
+            .to_table()
+            .to_string();
+        for needle in ["support", "density", "peak block buffer", "values in"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+}

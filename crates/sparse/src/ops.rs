@@ -53,20 +53,7 @@ pub fn masked_row_dot_threaded(a: &Dense, b: &Dense, mask: &Csr, threads: usize)
         });
     }
     let row_ptr = mask.row_ptr();
-    let col_idx = mask.col_indices();
     let mut values = vec![0.0f64; mask.nnz()];
-
-    // One row's worth of output: values[row_ptr[i]..row_ptr[i+1]].
-    let fill_rows = |first_row: usize, rows: core::ops::Range<usize>, out: &mut [f64]| {
-        let base = row_ptr[first_row];
-        for i in rows {
-            let a_row = a.row(i);
-            for k in row_ptr[i]..row_ptr[i + 1] {
-                let j = col_idx[k] as usize;
-                out[k - base] = crate::vector::dot(a_row, b.row(j));
-            }
-        }
-    };
 
     // An explicit count is authoritative; the size cutoff only governs
     // auto mode (threads == 0), so benchmarks pinning a count really
@@ -80,8 +67,12 @@ pub fn masked_row_dot_threaded(a: &Dense, b: &Dense, mask: &Csr, threads: usize)
     } else {
         threads
     };
+    // Exactly one kernel exists: every path (sequential, each parallel
+    // chunk, and the streaming block iterator) goes through
+    // [`masked_row_dot_block`], so the bit-identity guarantee cannot
+    // drift between copies.
     if threads <= 1 {
-        fill_rows(0, 0..mask.nrows(), &mut values);
+        masked_row_dot_block(a, b, mask, 0..mask.nrows(), &mut values)?;
     } else {
         // Split rows so each worker carries a near-equal non-zero count
         // (mask rows can be heavily skewed), then hand each worker its
@@ -89,11 +80,8 @@ pub fn masked_row_dot_threaded(a: &Dense, b: &Dense, mask: &Csr, threads: usize)
         let row_bounds = wot_par::weighted_boundaries(row_ptr, threads);
         let elem_bounds: Vec<usize> = row_bounds.iter().map(|&r| row_ptr[r]).collect();
         wot_par::par_chunks_mut(&mut values, &elem_bounds, |chunk, out| {
-            fill_rows(
-                row_bounds[chunk],
-                row_bounds[chunk]..row_bounds[chunk + 1],
-                out,
-            );
+            masked_row_dot_block(a, b, mask, row_bounds[chunk]..row_bounds[chunk + 1], out)
+                .expect("shapes validated above; chunk bounds from the mask's own row_ptr");
         });
     }
 
@@ -101,9 +89,68 @@ pub fn masked_row_dot_threaded(a: &Dense, b: &Dense, mask: &Csr, threads: usize)
         mask.nrows(),
         mask.ncols(),
         row_ptr.to_vec(),
-        col_idx.to_vec(),
+        mask.col_indices().to_vec(),
         values,
     )
+}
+
+/// [`masked_row_dot`] restricted to the mask rows `rows`, writing the
+/// values straight into `out` — the row-block primitive of the streaming
+/// Eq. 5 engine (`wot-core`'s `TrustBlocks`).
+///
+/// `out` must hold exactly the stored entries of the block, i.e.
+/// `mask.row_ptr()[rows.end] - mask.row_ptr()[rows.start]` slots;
+/// `out[k - mask.row_ptr()[rows.start]]` receives the value of the mask's
+/// `k`-th stored coordinate. Entry values are computed by the same kernel
+/// as the full product, so a block scan concatenates bit-identically to
+/// [`masked_row_dot`]'s value array.
+pub fn masked_row_dot_block(
+    a: &Dense,
+    b: &Dense,
+    mask: &Csr,
+    rows: core::ops::Range<usize>,
+    out: &mut [f64],
+) -> Result<()> {
+    if a.ncols() != b.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "masked_row_dot_block (inner dim)",
+        });
+    }
+    if mask.nrows() != a.nrows() || mask.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            left: (a.nrows(), b.nrows()),
+            right: mask.shape(),
+            op: "masked_row_dot_block (mask shape)",
+        });
+    }
+    let row_ptr = mask.row_ptr();
+    if rows.start > rows.end || rows.end > mask.nrows() {
+        return Err(SparseError::IndexOutOfBounds {
+            row: rows.end,
+            col: 0,
+            nrows: mask.nrows(),
+            ncols: mask.ncols(),
+        });
+    }
+    let base = row_ptr[rows.start];
+    let expected = row_ptr[rows.end] - base;
+    if out.len() != expected {
+        return Err(SparseError::VectorLengthMismatch {
+            expected,
+            actual: out.len(),
+        });
+    }
+    let col_idx = mask.col_indices();
+    for i in rows {
+        let a_row = a.row(i);
+        for k in row_ptr[i]..row_ptr[i + 1] {
+            let j = col_idx[k] as usize;
+            out[k - base] = crate::vector::dot(a_row, b.row(j));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -173,6 +220,43 @@ mod tests {
             let par = masked_row_dot_threaded(&a, &b, &mask, threads).unwrap();
             assert_eq!(par, seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn block_scan_concatenates_to_full_product() {
+        let (a, b, mask) = large_instance();
+        let full = masked_row_dot_threaded(&a, &b, &mask, 1).unwrap();
+        for block_rows in [1usize, 13, 64, 1000] {
+            let mut flat: Vec<f64> = Vec::new();
+            let row_ptr = mask.row_ptr();
+            let mut start = 0;
+            while start < mask.nrows() {
+                let end = (start + block_rows).min(mask.nrows());
+                let mut out = vec![0.0; row_ptr[end] - row_ptr[start]];
+                masked_row_dot_block(&a, &b, &mask, start..end, &mut out).unwrap();
+                flat.extend_from_slice(&out);
+                start = end;
+            }
+            assert_eq!(flat, full.values(), "block_rows={block_rows}");
+        }
+    }
+
+    #[test]
+    fn block_validates_range_and_buffer() {
+        let (a, b, mask) = large_instance();
+        let row_ptr = mask.row_ptr();
+        // Out-of-range rows.
+        let mut out = vec![0.0; 1];
+        assert!(masked_row_dot_block(&a, &b, &mask, 0..mask.nrows() + 1, &mut out).is_err());
+        // Wrong buffer length.
+        let mut out = vec![0.0; row_ptr[3] - row_ptr[0] + 1];
+        assert!(masked_row_dot_block(&a, &b, &mask, 0..3, &mut out).is_err());
+        // Empty range is fine.
+        assert!(masked_row_dot_block(&a, &b, &mask, 5..5, &mut []).is_ok());
+        // Shape mismatches are rejected like the full kernel.
+        let wrong = Dense::zeros(a.nrows(), a.ncols() + 1);
+        let mut out = vec![0.0; row_ptr[1]];
+        assert!(masked_row_dot_block(&a, &wrong, &mask, 0..1, &mut out).is_err());
     }
 
     #[test]

@@ -32,29 +32,77 @@
 //!
 //! ## Quickstart
 //!
+//! The `examples/quickstart.rs` scenario as a tested doc example: a
+//! six-user community with **no explicit trust statements anywhere**,
+//! from which the framework derives who should trust whom. Expertise in
+//! the *right category* wins the trust decision.
+//!
 //! ```
 //! use webtrust::community::{CommunityBuilder, RatingScale};
 //! use webtrust::core::{pipeline, DeriveConfig};
 //!
-//! // A two-user community: bob writes a movie review, alice rates it.
+//! // A community about movies and cameras.
 //! let mut b = CommunityBuilder::new(RatingScale::five_step());
-//! let alice = b.add_user("alice");
-//! let bob = b.add_user("bob");
+//! let ana = b.add_user("ana"); // film buff, rates a lot
+//! let raj = b.add_user("raj"); // writes stellar movie reviews
+//! let mei = b.add_user("mei"); // writes solid camera reviews
+//! let tom = b.add_user("tom"); // writes sloppy movie reviews
+//! let zoe = b.add_user("zoe"); // camera shopper
+//! let kim = b.add_user("kim"); // rates both topics
 //! let movies = b.add_category("movies");
-//! let film = b.add_object("heat-1995", movies).unwrap();
-//! let review = b.add_review(bob, film).unwrap();
-//! b.add_rating(alice, review, 0.8).unwrap();
-//! let store = b.build();
+//! let cameras = b.add_category("cameras");
 //!
-//! // Derive expertise + affiliation, then read off pairwise trust.
+//! // raj: three movie reviews, consistently rated helpful.
+//! for film in ["heat", "ran", "alien"] {
+//!     let o = b.add_object(format!("film-{film}"), movies).unwrap();
+//!     let r = b.add_review(raj, o).unwrap();
+//!     b.add_rating(ana, r, 1.0).unwrap();
+//!     b.add_rating(kim, r, 0.8).unwrap();
+//! }
+//! // tom: two movie reviews the crowd finds unhelpful.
+//! for film in ["heat", "ran"] {
+//!     let o = b.add_object(format!("film-{film}-tom"), movies).unwrap();
+//!     let r = b.add_review(tom, o).unwrap();
+//!     b.add_rating(ana, r, 0.2).unwrap();
+//!     b.add_rating(kim, r, 0.4).unwrap();
+//! }
+//! // mei: two camera reviews, well received.
+//! for cam in ["x100", "om-1"] {
+//!     let o = b.add_object(format!("cam-{cam}"), cameras).unwrap();
+//!     let r = b.add_review(mei, o).unwrap();
+//!     b.add_rating(zoe, r, 1.0).unwrap();
+//!     b.add_rating(kim, r, 0.8).unwrap();
+//! }
+//! let store = b.build();
+//! assert_eq!(store.num_trust(), 0); // not one explicit trust edge
+//!
+//! // Steps 1–2: derive expertise E and affiliation A; Step 3: Eq. 5.
 //! let derived = pipeline::derive(&store, &DeriveConfig::default()).unwrap();
-//! assert!(derived.pairwise_trust(alice, bob) > 0.0);
+//!
+//! // ana trusts the good movie reviewer over the sloppy one…
+//! assert!(derived.pairwise_trust(ana, raj) > derived.pairwise_trust(ana, tom));
+//! // …and zoe the camera shopper trusts the camera expert more.
+//! assert!(derived.pairwise_trust(zoe, mei) > derived.pairwise_trust(zoe, raj));
+//!
+//! // The same Eq. 5 view streams as row-blocks for paper-scale
+//! // communities where the dense U×U matrix would not fit in memory.
+//! use webtrust::core::BlockConfig;
+//! let agg = webtrust::eval::streaming::fig3_aggregates(
+//!     &derived,
+//!     &BlockConfig::default(),
+//! ).unwrap();
+//! assert_eq!(agg.support, derived.trust_support_count().unwrap());
 //! ```
 //!
-//! See `examples/` for end-to-end scenarios and `crates/bench`'s `repro`
-//! binary for the paper reproduction.
+//! See `examples/` for end-to-end scenarios (`quickstart`,
+//! `paper_scale_trust`, `incremental_updates`, …) and `crates/bench`'s
+//! `repro` binary for the paper reproduction. `README.md` maps Eq. 1–5
+//! to modules; `docs/ARCHITECTURE.md` explains the index-dense layout,
+//! the batch ⇄ incremental unification, the threading model, and the
+//! block-streaming trust path.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use wot_community as community;
 pub use wot_core as core;
