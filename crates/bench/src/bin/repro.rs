@@ -19,7 +19,11 @@
 //!   sweep-noise        A3: rating-noise sweep
 //!   sweep-trust-noise  A3b: trust-mechanism noise sweep (crossover)
 //!   bench-summary      time the derivation hot paths, write BENCH_pipeline.json
-//!   all                everything above (except bench-summary)
+//!   bench-compare      diff BENCH_pipeline.json against BENCH_baseline.json and
+//!                      fail on a >25% regression of any tracked metric
+//!                      (--baseline/--current/--max-regress override the
+//!                      defaults; WOT_BENCH_MAX_REGRESS_PCT also works)
+//!   all                everything above (except bench-summary/bench-compare)
 //! ```
 
 use std::process::ExitCode;
@@ -34,12 +38,19 @@ use wot_eval::{
 
 const USAGE: &str = "usage: repro [--scale tiny|laptop|paper] [--seed N] <experiment>...
 experiments: stats table2 table3 fig3 stream-fig3 table4 values propagation rounding \
-ablation-discount ablation-fixpoint sweep-noise sweep-trust-noise bench-summary all";
+ablation-discount ablation-fixpoint sweep-noise sweep-trust-noise bench-summary \
+bench-compare all";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Laptop;
     let mut seed = DEFAULT_SEED;
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut current_path = "BENCH_pipeline.json".to_string();
+    let mut max_regress_pct: f64 = std::env::var("WOT_BENCH_MAX_REGRESS_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(wot_bench::compare::DEFAULT_MAX_REGRESS_PCT);
     let mut experiments: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -58,6 +69,27 @@ fn main() -> ExitCode {
                 };
                 seed = v;
             }
+            "--baseline" => {
+                let Some(v) = it.next() else {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                baseline_path = v.clone();
+            }
+            "--current" => {
+                let Some(v) = it.next() else {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                current_path = v.clone();
+            }
+            "--max-regress" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                max_regress_pct = v;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -68,6 +100,15 @@ fn main() -> ExitCode {
     if experiments.is_empty() {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
+    }
+    // bench-compare is a pure file diff — no workbench, no generation —
+    // so it short-circuits before the (expensive) setup below.
+    if experiments.iter().any(|e| e == "bench-compare") {
+        if experiments.len() != 1 {
+            eprintln!("bench-compare cannot be combined with other experiments");
+            return ExitCode::FAILURE;
+        }
+        return bench_compare(&baseline_path, &current_path, max_regress_pct);
     }
     if experiments.iter().any(|e| e == "all") {
         experiments = [
@@ -198,6 +239,41 @@ fn run_experiment(
     })
 }
 
+/// The CI bench gate: diff the current bench summary against the
+/// committed baseline over the tracked metrics and fail the process on
+/// a regression beyond `max_regress_pct` (see
+/// [`wot_bench::compare`]).
+fn bench_compare(baseline_path: &str, current_path: &str, max_regress_pct: f64) -> ExitCode {
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench-compare: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::FAILURE;
+    };
+    match wot_bench::compare::compare(&baseline, &current, max_regress_pct) {
+        Ok(report) => {
+            println!("{}", report.render());
+            if report.failed() {
+                eprintln!(
+                    "bench-compare: tracked metric regressed beyond {max_regress_pct:.0}% \
+                     (baseline {baseline_path}, current {current_path})"
+                );
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("bench-compare: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Best-of-`reps` wall time in milliseconds.
 fn time_best_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
@@ -251,6 +327,33 @@ fn bench_summary(
         "derive_index_dense_mt",
         time_best_ms(3, || {
             black_box(pipeline::derive(store, &par_cfg).unwrap());
+        }),
+    ));
+    // Sharded path: partition build, then the same derivation reading
+    // per-category shards instead of the flat store (bit-identical
+    // output; the row pair keeps flat-vs-sharded parity visible and
+    // bench-compare gates both).
+    let assignment = wot_community::ShardAssignment::round_robin(
+        store.num_categories(),
+        threads.min(store.num_categories().max(1)),
+    );
+    rows.push((
+        "sharded_store_build",
+        time_best_ms(3, || {
+            black_box(store.to_sharded(&assignment).unwrap());
+        }),
+    ));
+    let sharded_store = store.to_sharded(&assignment)?;
+    rows.push((
+        "derive_sharded_1t",
+        time_best_ms(3, || {
+            black_box(pipeline::derive_sharded(&sharded_store, &seq_cfg).unwrap());
+        }),
+    ));
+    rows.push((
+        "derive_sharded_mt",
+        time_best_ms(3, || {
+            black_box(pipeline::derive_sharded(&sharded_store, &par_cfg).unwrap());
         }),
     ));
     // Incremental (online) path: bootstrap, a warm one-rating refresh of

@@ -1,0 +1,358 @@
+//! The bench-regression comparator behind `repro bench-compare` and
+//! CI's `bench-guard` job.
+//!
+//! `repro bench-summary` writes `BENCH_pipeline.json`; the repository
+//! commits a `BENCH_baseline.json` snapshot of the same shape. This
+//! module diffs the two on a fixed set of **tracked metrics** — the
+//! hot paths whose speedups previous PRs banked — and fails when any of
+//! them regresses beyond a tolerance (25% by default), so a PR cannot
+//! silently give the performance back. The comparison runs in CI and
+//! locally (`cargo run -p wot-bench --bin repro -- bench-compare`) with
+//! identical logic.
+//!
+//! The parser reads exactly the summary's own format: the first
+//! `"timings_ms"` object, a flat map of `"name": milliseconds` pairs
+//! (the paper-scale section nests a second `timings_ms`, which is
+//! deliberately out of scope — CI benches with `WOT_BENCH_SKIP_PAPER=1`
+//! and the laptop rows are the budget). No external JSON crate is
+//! needed for that much grammar.
+
+/// The tracked metrics: every entry must be present in both the
+/// baseline and the current summary, and `current <= baseline × (1 +
+/// tolerance)` must hold for each.
+///
+/// * `derive_index_dense_mt` — the end-to-end batch derivation (PR 1's
+///   3× speedup);
+/// * `derive_sharded_mt` — the same derivation over the sharded store
+///   (this PR: must stay at parity with the flat path);
+/// * `sharded_store_build` — partitioning a finished store into shards;
+/// * `trust_dense_mt` — the Eq. 5 dense kernel (block engine + unrolled
+///   dot);
+/// * `masked_row_dot_mt` / `top_k_trusted_k10_mt` — the masked Eq. 5
+///   kernel and the streaming top-k reducer (both ride the unrolled
+///   `wot_sparse::dot`);
+/// * `incremental_refresh_one_rating_1t` — PR 2's warm one-rating
+///   refresh.
+pub const TRACKED_METRICS: &[&str] = &[
+    "derive_index_dense_mt",
+    "derive_sharded_mt",
+    "sharded_store_build",
+    "trust_dense_mt",
+    "masked_row_dot_mt",
+    "top_k_trusted_k10_mt",
+    "incremental_refresh_one_rating_1t",
+];
+
+/// Default regression tolerance, in percent.
+pub const DEFAULT_MAX_REGRESS_PCT: f64 = 25.0;
+
+/// Absolute slack under which a relative regression is not trusted:
+/// shared-runner jitter on sub-millisecond rows (a warm refresh is
+/// ~0.35 ms) routinely exceeds any percentage budget, so a metric only
+/// fails the gate when it is slower by **both** more than the relative
+/// tolerance *and* more than this many milliseconds. Real regressions
+/// of fast paths still trip it (an 0.35 ms refresh that becomes 1 ms is
+/// +0.65 ms, over the slack); timer noise does not.
+pub const ABS_SLACK_MS: f64 = 0.2;
+
+/// One tracked metric's baseline/current pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Row name in `timings_ms`.
+    pub name: String,
+    /// Baseline milliseconds.
+    pub baseline_ms: f64,
+    /// Current milliseconds.
+    pub current_ms: f64,
+}
+
+impl MetricDelta {
+    /// Percent change vs baseline (positive = slower).
+    pub fn delta_pct(&self) -> f64 {
+        (self.current_ms - self.baseline_ms) / self.baseline_ms * 100.0
+    }
+
+    /// Whether this metric fails the gate at `max_regress_pct`: slower
+    /// by more than the relative tolerance **and** by more than
+    /// [`ABS_SLACK_MS`].
+    pub fn regressed(&self, max_regress_pct: f64) -> bool {
+        self.delta_pct() > max_regress_pct && self.current_ms - self.baseline_ms > ABS_SLACK_MS
+    }
+}
+
+/// The comparison verdict over every tracked metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Tracked metrics present in both summaries.
+    pub deltas: Vec<MetricDelta>,
+    /// Tracked metrics missing from the current summary — always a
+    /// failure (a silently dropped bench row must not pass the gate).
+    pub missing_current: Vec<String>,
+    /// Tracked metrics missing from the baseline — reported but not
+    /// fatal, so a new metric can land one PR before its baseline does.
+    pub missing_baseline: Vec<String>,
+    /// The tolerance the verdict used, in percent.
+    pub max_regress_pct: f64,
+}
+
+impl CompareReport {
+    /// Tracked metrics that regressed beyond the tolerance (relative
+    /// budget plus [`ABS_SLACK_MS`] of absolute slack).
+    pub fn regressions(&self) -> Vec<&MetricDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.regressed(self.max_regress_pct))
+            .collect()
+    }
+
+    /// Whether the gate fails.
+    pub fn failed(&self) -> bool {
+        !self.regressions().is_empty() || !self.missing_current.is_empty()
+    }
+
+    /// Human-readable table, one row per tracked metric.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "bench-compare — tracked hot paths vs committed baseline\n\
+             metric                               baseline    current     delta\n",
+        );
+        for d in &self.deltas {
+            let flag = if d.regressed(self.max_regress_pct) {
+                "  REGRESSION"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "  {:<33} {:>8.3}ms {:>8.3}ms {:>+8.1}%{}\n",
+                d.name,
+                d.baseline_ms,
+                d.current_ms,
+                d.delta_pct(),
+                flag
+            ));
+        }
+        for name in &self.missing_baseline {
+            out.push_str(&format!(
+                "  {name:<33} (not in baseline — skipped; re-baseline to track)\n"
+            ));
+        }
+        for name in &self.missing_current {
+            out.push_str(&format!(
+                "  {name:<33} MISSING from current summary — gate fails\n"
+            ));
+        }
+        out.push_str(&format!(
+            "  verdict: {} (tolerance {:.0}%)\n",
+            if self.failed() { "FAIL" } else { "ok" },
+            self.max_regress_pct
+        ));
+        out
+    }
+}
+
+/// Extracts the first `"timings_ms"` object of a bench summary as
+/// `(name, milliseconds)` pairs, in document order.
+///
+/// Accepts exactly the flat shape `repro bench-summary` emits; anything
+/// else (missing section, nested values, malformed numbers) is an
+/// error naming the problem.
+pub fn parse_timings_ms(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let start = json
+        .find("\"timings_ms\"")
+        .ok_or("no \"timings_ms\" section found")?;
+    let rest = &json[start..];
+    let open = rest.find('{').ok_or("no '{' after \"timings_ms\"")?;
+    let body = &rest[open + 1..];
+    let close = body.find('}').ok_or("unterminated timings_ms object")?;
+    let mut out = Vec::new();
+    for entry in body[..close].split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (name, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("malformed timings entry {entry:?}"))?;
+        let name = name.trim().trim_matches('"');
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("malformed timing value in {entry:?}"))?;
+        if name.is_empty() {
+            return Err(format!("empty metric name in {entry:?}"));
+        }
+        out.push((name.to_string(), value));
+    }
+    if out.is_empty() {
+        return Err("timings_ms object is empty".into());
+    }
+    Ok(out)
+}
+
+/// The summary's `"scale"` field (`tiny` / `laptop` / `paper`), if
+/// present.
+pub fn parse_scale(json: &str) -> Option<String> {
+    let start = json.find("\"scale\"")?;
+    let rest = json[start + "\"scale\"".len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Diffs two bench summaries over [`TRACKED_METRICS`].
+///
+/// Summaries taken at different `--scale` presets are not comparable —
+/// a `tiny` run would sail under any `laptop` baseline — so a scale
+/// mismatch is an error, not a pass.
+pub fn compare(
+    baseline_json: &str,
+    current_json: &str,
+    max_regress_pct: f64,
+) -> Result<CompareReport, String> {
+    if let (Some(b), Some(c)) = (parse_scale(baseline_json), parse_scale(current_json)) {
+        if b != c {
+            return Err(format!(
+                "scale mismatch: baseline is {b:?} but current is {c:?} — \
+                 re-run bench-summary at --scale {b} (or re-baseline)"
+            ));
+        }
+    }
+    let baseline = parse_timings_ms(baseline_json).map_err(|e| format!("baseline: {e}"))?;
+    let current = parse_timings_ms(current_json).map_err(|e| format!("current: {e}"))?;
+    let find = |rows: &[(String, f64)], name: &str| {
+        rows.iter().find(|(n, _)| n == name).map(|&(_, ms)| ms)
+    };
+    let mut report = CompareReport {
+        deltas: Vec::new(),
+        missing_current: Vec::new(),
+        missing_baseline: Vec::new(),
+        max_regress_pct,
+    };
+    for &name in TRACKED_METRICS {
+        match (find(&baseline, name), find(&current, name)) {
+            (Some(baseline_ms), Some(current_ms)) => report.deltas.push(MetricDelta {
+                name: name.to_string(),
+                baseline_ms,
+                current_ms,
+            }),
+            (None, _) => report.missing_baseline.push(name.to_string()),
+            (Some(_), None) => report.missing_current.push(name.to_string()),
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary_at(scale: &str, rows: &[(&str, f64)]) -> String {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(n, v)| format!("    \"{n}\": {v:.3}"))
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"pipeline\",\n  \"scale\": \"{scale}\",\n  \
+             \"timings_ms\": {{\n{}\n  }},\n  \"x\": 1\n}}\n",
+            body.join(",\n")
+        )
+    }
+
+    fn summary(rows: &[(&str, f64)]) -> String {
+        summary_at("laptop", rows)
+    }
+
+    fn all_tracked(ms: f64) -> Vec<(&'static str, f64)> {
+        TRACKED_METRICS.iter().map(|&n| (n, ms)).collect()
+    }
+
+    #[test]
+    fn parses_own_format() {
+        let rows = parse_timings_ms(&summary(&[("a", 1.5), ("b", 20.0)])).unwrap();
+        assert_eq!(rows, vec![("a".into(), 1.5), ("b".into(), 20.0)]);
+        assert!(parse_timings_ms("{}").is_err());
+        assert!(parse_timings_ms("{\"timings_ms\": {}}").is_err());
+        assert!(parse_timings_ms("{\"timings_ms\": {\"a\": nope}}").is_err());
+    }
+
+    #[test]
+    fn parses_only_the_first_timings_section() {
+        let json = format!(
+            "{}, \"paper_streaming\": {{\"timings_ms\": {{\"slow\": 9999.0}}}}",
+            summary(&[("a", 1.0)])
+        );
+        let rows = parse_timings_ms(&json).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "a");
+    }
+
+    #[test]
+    fn scale_mismatch_is_an_error_not_a_pass() {
+        assert_eq!(
+            parse_scale(&summary(&[("a", 1.0)])).as_deref(),
+            Some("laptop")
+        );
+        assert_eq!(parse_scale("{}"), None);
+        let base = summary(&all_tracked(10.0));
+        let tiny = summary_at("tiny", &all_tracked(0.1));
+        let err = compare(&base, &tiny, 25.0).unwrap_err();
+        assert!(err.contains("scale mismatch"), "{err}");
+        // Summaries without a scale field still compare (older files).
+        let bare = "{\"timings_ms\": {\"derive_index_dense_mt\": 1.0}}";
+        assert!(compare(bare, bare, 25.0).is_ok());
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = summary(&all_tracked(10.0));
+        let cur = summary(&all_tracked(12.0)); // +20%
+        let report = compare(&base, &cur, DEFAULT_MAX_REGRESS_PCT).unwrap();
+        assert!(!report.failed(), "{}", report.render());
+        assert_eq!(report.deltas.len(), TRACKED_METRICS.len());
+        assert!((report.deltas[0].delta_pct() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn over_tolerance_fails_and_names_the_metric() {
+        let base = summary(&all_tracked(10.0));
+        let mut rows = all_tracked(10.0);
+        rows[1].1 = 12.6; // +26% on derive_sharded_mt
+        let report = compare(&base, &summary(&rows), 25.0).unwrap();
+        assert!(report.failed());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, TRACKED_METRICS[1]);
+        assert!(report.render().contains("REGRESSION"));
+        // Speedups never fail, however large.
+        let fast = summary(&all_tracked(0.5));
+        assert!(!compare(&base, &fast, 25.0).unwrap().failed());
+    }
+
+    #[test]
+    fn sub_millisecond_jitter_is_not_a_regression() {
+        // +41% relative but only +0.145 ms absolute — inside the slack,
+        // so timer noise on a sub-ms row cannot fail the gate…
+        let mut rows = all_tracked(10.0);
+        let last = rows.len() - 1;
+        rows[last].1 = 0.355;
+        let base = summary(&rows);
+        rows[last].1 = 0.5;
+        assert!(!compare(&base, &summary(&rows), 25.0).unwrap().failed());
+        // …while a real fast-path regression still does (+0.645 ms).
+        rows[last].1 = 1.0;
+        let report = compare(&base, &summary(&rows), 25.0).unwrap();
+        assert!(report.failed());
+        assert_eq!(report.regressions()[0].name, TRACKED_METRICS[last]);
+    }
+
+    #[test]
+    fn missing_current_metric_fails_missing_baseline_does_not() {
+        let full = summary(&all_tracked(10.0));
+        let partial = summary(&all_tracked(10.0)[..2]);
+        let report = compare(&full, &partial, 25.0).unwrap();
+        assert!(report.failed());
+        assert_eq!(report.missing_current.len(), TRACKED_METRICS.len() - 2);
+        let report = compare(&partial, &full, 25.0).unwrap();
+        assert!(!report.failed());
+        assert_eq!(report.missing_baseline.len(), TRACKED_METRICS.len() - 2);
+    }
+}

@@ -5,11 +5,15 @@
 //! `cargo bench -p wot-bench` times each experiment and the substrate hot
 //! paths with Criterion.
 //!
-//! This library half hosts the setup shared by both: preset parsing and
-//! memoized workbench construction.
+//! This library half hosts the setup shared by both — preset parsing
+//! and memoized workbench construction — plus the [`compare`] module
+//! behind `repro bench-compare`, the regression gate CI's `bench-guard`
+//! job enforces against the committed `BENCH_baseline.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod compare;
 
 use wot_core::DeriveConfig;
 use wot_eval::Workbench;

@@ -129,6 +129,20 @@ pub fn replay_into_store(
     Ok(b.build())
 }
 
+/// Folds a causally valid event log straight into per-category shards —
+/// the sharded counterpart of [`replay_into_store`], with the same
+/// validation but **no flat store in the middle**. See
+/// [`ShardedStore::from_events`](crate::ShardedStore::from_events).
+pub fn replay_into_shards(
+    scale: RatingScale,
+    num_users: usize,
+    num_categories: usize,
+    events: &[StoreEvent],
+    assignment: &crate::ShardAssignment,
+) -> Result<crate::ShardedStore> {
+    crate::ShardedStore::from_events(scale, num_users, num_categories, events, assignment)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,6 +14,10 @@
 //! * [`CommunityBuilder`] — referential-integrity-checked construction,
 //! * [`CategorySlice`] — the per-category compact projection the
 //!   reputation algorithms iterate over,
+//! * [`ShardedStore`] — the same community partitioned by category into
+//!   per-shard stores: slices project in O(shard), shards carry stable
+//!   ids, stats and mergeable event logs (the unit of distribution; see
+//!   [`shard`]),
 //! * [`tsv`] — a greppable on-disk interchange format (one TSV per entity),
 //! * [`stats`] — dataset descriptive statistics,
 //! * matrix extraction: the direct-connection matrix `R`, the baseline
@@ -47,6 +51,7 @@ mod error;
 pub mod events;
 mod ids;
 mod model;
+pub mod shard;
 mod slice;
 pub mod stats;
 mod store;
@@ -57,6 +62,7 @@ pub use error::CommunityError;
 pub use events::StoreEvent;
 pub use ids::{CategoryId, ObjectId, ReviewId, UserId};
 pub use model::{Category, Object, Rating, RatingScale, Review, TrustStatement, User};
+pub use shard::{Shard, ShardAssignment, ShardCategoryData, ShardId, ShardStats, ShardedStore};
 pub use slice::CategorySlice;
 pub use store::CommunityStore;
 

@@ -71,7 +71,9 @@ pub use dok::Dok;
 pub use error::SparseError;
 pub use ops::{masked_row_dot, masked_row_dot_block, masked_row_dot_threaded};
 pub use stats::{MatrixSummary, Quantiles};
-pub use vector::{argmax, dot, l1_norm, l1_normalize, l2_norm, linf_distance, max, mean, min, sum};
+pub use vector::{
+    argmax, dot, dot_scalar, l1_norm, l1_normalize, l2_norm, linf_distance, max, mean, min, sum,
+};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, SparseError>;

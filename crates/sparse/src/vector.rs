@@ -6,8 +6,57 @@
 
 /// Dot product. Panics in debug builds if lengths differ; in release the
 /// shorter length wins (callers validate shapes at the matrix level).
+///
+/// This is the inner kernel of every Eq. 5 form (`pairwise`,
+/// `masked_row_dot`, the `TrustBlocks` streaming engine), always over
+/// the category dimension (`C ≤ 64` in practice), so it is unrolled
+/// SIMD-style: **four independent f64 accumulators** over the
+/// `chunks_exact(4)` body — breaking the sequential add dependency so
+/// the CPU keeps 4 FMAs-worth of adds in flight (and autovectorizes to
+/// packed doubles where available) — then a **fixed reduction tree**
+/// `(s0 + s1) + (s2 + s3)` and a sequential tail for the `len % 4`
+/// remainder.
+///
+/// The reduction tree is part of the function's contract: the result is
+/// a *deterministic* reassociation of the scalar left-to-right sum
+/// ([`dot_scalar`]), identical on every platform and thread count, and
+/// bit-identical to a plain-scalar evaluation of the same tree (the
+/// crate's bit-compat tests pin exactly that — no fast-math, no FMA
+/// contraction). For lengths < 4 the unrolled body is empty and the
+/// result equals [`dot_scalar`] (`==`; the one representational nuance
+/// is a `-0.0` that `sum()`'s folding can surface where the tree's
+/// `+0.0` seed cannot — numerically identical).
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let chunks_a = a.chunks_exact(4);
+    let chunks_b = b.chunks_exact(4);
+    let (tail_a, tail_b) = (chunks_a.remainder(), chunks_b.remainder());
+    let mut s0 = 0.0f64;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    let mut s3 = 0.0f64;
+    for (x, y) in chunks_a.zip(chunks_b) {
+        s0 += x[0] * y[0];
+        s1 += x[1] * y[1];
+        s2 += x[2] * y[2];
+        s3 += x[3] * y[3];
+    }
+    let mut acc = (s0 + s1) + (s2 + s3);
+    for (x, y) in tail_a.iter().zip(tail_b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// The scalar reference dot product: a plain left-to-right
+/// multiply-accumulate. Kept as the semantic baseline the unrolled
+/// [`dot`] is validated against (equal within rounding reassociation for
+/// any input; bit-equal for lengths < 4, where the 4-wide body is
+/// empty).
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot_scalar: length mismatch");
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
@@ -98,6 +147,104 @@ mod tests {
         assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
         assert_eq!(l1_norm(&[-1.0, 2.0]), 3.0);
         assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    /// Deterministic pseudo-random vectors spanning several magnitudes,
+    /// so reassociation differences would show if the tolerance were
+    /// wrong.
+    fn random_pair(len: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let mantissa = ((state >> 33) % 2000) as f64 / 1000.0 - 1.0;
+            let exp = [(1.0, 0), (1e-3, 1), (1e3, 2)][((state >> 20) % 3) as usize].0;
+            mantissa * exp
+        };
+        let a = (0..len).map(|_| next()).collect();
+        let b = (0..len).map(|_| next()).collect();
+        (a, b)
+    }
+
+    /// A literal scalar transcription of `dot`'s documented reduction
+    /// tree: 4 lane sums in index steps of 4, `(s0+s1)+(s2+s3)`, then
+    /// the sequential tail.
+    fn dot_tree_reference(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let body = n / 4 * 4;
+        let mut lanes = [0.0f64; 4];
+        for k in (0..body).step_by(4) {
+            for l in 0..4 {
+                lanes[l] += a[k + l] * b[k + l];
+            }
+        }
+        let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for k in body..n {
+            acc += a[k] * b[k];
+        }
+        acc
+    }
+
+    /// The unrolled kernel is a pure reordering: bit-identical to a
+    /// plain-scalar evaluation of the same reduction tree for every
+    /// length through and beyond the ≤64-category regime (no fast-math,
+    /// no FMA contraction sneaking in).
+    #[test]
+    fn unrolled_dot_is_bit_identical_to_scalar_tree() {
+        for len in 0..=67 {
+            for seed in 1..=5u64 {
+                let (a, b) = random_pair(len, seed * 77 + len as u64);
+                assert_eq!(
+                    dot(&a, &b).to_bits(),
+                    dot_tree_reference(&a, &b).to_bits(),
+                    "len={len} seed={seed}"
+                );
+            }
+        }
+    }
+
+    /// Below the unroll width the 4-wide body is empty, so the kernel
+    /// evaluates the same sequential sum as the scalar path: `==`-equal
+    /// always, and bit-equal whenever the result is non-zero (a zero
+    /// result may differ only in sign, from `sum()`'s folding seed).
+    #[test]
+    fn unrolled_dot_equals_scalar_below_unroll_width() {
+        for len in 0..4 {
+            for seed in 1..=5u64 {
+                let (a, b) = random_pair(len, seed * 131 + len as u64);
+                let (fast, slow) = (dot(&a, &b), dot_scalar(&a, &b));
+                assert_eq!(fast, slow, "len={len} seed={seed}");
+                if fast != 0.0 {
+                    assert_eq!(fast.to_bits(), slow.to_bits(), "len={len} seed={seed}");
+                }
+            }
+        }
+    }
+
+    /// Against the sequential scalar sum the unrolled kernel may differ
+    /// only by summation-order rounding: relative error at the level of
+    /// a few ulps-per-term, nowhere near the fixed point's 1e-x
+    /// tolerances.
+    #[test]
+    fn unrolled_dot_matches_scalar_within_reassociation_error() {
+        for len in [1usize, 4, 7, 16, 33, 64] {
+            for seed in 1..=8u64 {
+                let (a, b) = random_pair(len, seed * 31 + len as u64);
+                let fast = dot(&a, &b);
+                let slow = dot_scalar(&a, &b);
+                let scale: f64 = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(x, y)| (x * y).abs())
+                    .sum::<f64>()
+                    .max(1e-300);
+                assert!(
+                    (fast - slow).abs() <= 1e-12 * scale,
+                    "len={len} seed={seed}: {fast} vs {slow}"
+                );
+            }
+        }
     }
 
     #[test]

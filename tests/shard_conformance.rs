@@ -1,0 +1,204 @@
+//! Shard invariance: for **any** category→shard assignment (including
+//! random permutations), **any** causal interleaving of the event
+//! history, and **any** thread count, sharded derivation lands
+//! **bit-identically** (`==` on `f64`) on the flat-store pipeline's
+//! output.
+//!
+//! This is the acceptance contract of the sharded store: shards are a
+//! *layout*, never a semantics. Four paths are pinned against batch
+//! `pipeline::derive` over the flat store:
+//!
+//! 1. `pipeline::derive_sharded` over `ShardedStore::from_store`;
+//! 2. `pipeline::derive_sharded` over `ShardedStore::from_events`
+//!    (ingest-sharding — the flat store never exists on this path);
+//! 3. `IncrementalDerived::from_sharded(...).to_derived()` (per-shard
+//!    online bootstrap);
+//! 4. `IncrementalDerived::replay_sharded` over `wot-synth`'s
+//!    shard-local event logs (distributed logs, merged by sequence tag).
+
+use proptest::prelude::*;
+use webtrust::community::events::replay_into_store;
+use webtrust::community::{Shard, ShardAssignment, ShardedStore};
+use webtrust::core::{pipeline, DeriveConfig, IncrementalDerived};
+use webtrust::synth::{generate, sharded_event_logs, shuffled_event_log, SynthConfig};
+
+fn cfg_with(threads: usize) -> DeriveConfig {
+    DeriveConfig {
+        parallel: threads != 1,
+        threads,
+        ..DeriveConfig::default()
+    }
+}
+
+/// 1, 2, all-hardware (0), plus whatever `WOT_REPLAY_THREADS` pins (the
+/// CI conformance matrix sets it to 1 and 4).
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 0];
+    if let Some(n) = std::env::var("WOT_REPLAY_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        if !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    counts
+}
+
+/// A seeded random permutation assignment: categories shuffled over
+/// `num_shards` shards via a tiny LCG (deterministic per seed).
+fn permuted_assignment(num_categories: usize, num_shards: usize, seed: u64) -> ShardAssignment {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    // Random shard per category, then a Fisher–Yates pass over the
+    // category order so ownership patterns vary beyond round-robin.
+    let mut shards: Vec<u32> = (0..num_categories)
+        .map(|c| ((c + next()) % num_shards) as u32)
+        .collect();
+    for i in (1..shards.len()).rev() {
+        shards.swap(i, next() % (i + 1));
+    }
+    ShardAssignment::from_shards(shards)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline property: random community × random permutation
+    /// assignment × random interleaving × several thread counts, all
+    /// four sharded paths bit-equal to flat batch derivation.
+    #[test]
+    fn any_assignment_and_interleaving_is_bit_identical(
+        synth_seed in 1u64..50,
+        shuffle_seed in 1u64..1000,
+        num_shards in 1usize..7,
+        perm_seed in 0u64..1000,
+    ) {
+        let base = generate(&SynthConfig::tiny(synth_seed)).unwrap().store;
+        let log = shuffled_event_log(&base, shuffle_seed);
+        // The flat ground truth: the store the interleaving folds into,
+        // batch-derived.
+        let store = replay_into_store(
+            base.scale().clone(),
+            base.num_users(),
+            base.num_categories(),
+            &log,
+        )
+        .unwrap();
+        let batch = pipeline::derive(&store, &cfg_with(1)).unwrap();
+        let assignment = permuted_assignment(store.num_categories(), num_shards, perm_seed);
+
+        // Path 1: partition the finished store.
+        let from_store = store.to_sharded(&assignment).unwrap();
+        // Path 2: fold the interleaving directly into shards.
+        let from_events = ShardedStore::from_events(
+            base.scale().clone(),
+            base.num_users(),
+            base.num_categories(),
+            &log,
+            &assignment,
+        )
+        .unwrap();
+        for threads in thread_counts() {
+            let cfg = cfg_with(threads);
+            prop_assert_eq!(&pipeline::derive_sharded(&from_store, &cfg).unwrap(), &batch);
+            prop_assert_eq!(&pipeline::derive_sharded(&from_events, &cfg).unwrap(), &batch);
+        }
+
+        // Path 3: per-shard online bootstrap, canonical snapshot.
+        let inc = IncrementalDerived::from_sharded(&from_events, &cfg_with(2)).unwrap();
+        prop_assert_eq!(&inc.to_derived(), &batch);
+
+        // Path 4: shard-local logs from the generator, merged and
+        // replayed — and the merge itself reproduces the interleaving.
+        let logs = sharded_event_logs(&store, &assignment, shuffle_seed);
+        let replayed = IncrementalDerived::replay_sharded(
+            store.num_users(),
+            store.num_categories(),
+            &cfg_with(2),
+            &logs,
+        )
+        .unwrap();
+        let canonical_store = replay_into_store(
+            store.scale().clone(),
+            store.num_users(),
+            store.num_categories(),
+            &webtrust::community::shard::merge_shard_logs(&logs),
+        )
+        .unwrap();
+        prop_assert_eq!(
+            &replayed,
+            &pipeline::derive(&canonical_store, &cfg_with(1)).unwrap()
+        );
+    }
+}
+
+/// Belt and braces outside the proptest macro: the f64 payloads of the
+/// sharded and flat deriveds, compared bit for bit, on a fixed instance
+/// with a deliberately lopsided hand-written assignment.
+#[test]
+fn lopsided_assignment_bits_match_exactly() {
+    let store = generate(&SynthConfig::tiny(8)).unwrap().store;
+    let batch = pipeline::derive(&store, &cfg_with(0)).unwrap();
+    // Everything on one shard except category 0, plus two empty shards.
+    let mut shards = vec![3u32; store.num_categories()];
+    shards[0] = 1;
+    let assignment = ShardAssignment::from_shards(shards);
+    let sharded_store = store.to_sharded(&assignment).unwrap();
+    assert_eq!(sharded_store.num_shards(), 4);
+    let sharded = pipeline::derive_sharded(&sharded_store, &cfg_with(0)).unwrap();
+    for (a, b) in sharded
+        .expertise
+        .as_slice()
+        .iter()
+        .zip(batch.expertise.as_slice())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "expertise bits");
+    }
+    for (a, b) in sharded
+        .affiliation
+        .as_slice()
+        .iter()
+        .zip(batch.affiliation.as_slice())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "affiliation bits");
+    }
+    assert_eq!(sharded, batch);
+    // Per-shard stats cover the whole community exactly once.
+    let stats = sharded_store.shard_stats();
+    assert_eq!(
+        stats.iter().map(|s| s.reviews).sum::<usize>(),
+        store.num_reviews()
+    );
+    assert_eq!(
+        stats.iter().map(|s| s.ratings).sum::<usize>(),
+        store.num_ratings()
+    );
+    assert_eq!(stats[0].reviews, 0); // empty shard reports empty
+}
+
+/// The shard logs of a partitioned store merge back to the flat store's
+/// canonical event log, shard count notwithstanding — replay conformance
+/// then rides on the existing `replay_conformance` suite.
+#[test]
+fn shard_logs_reproduce_canonical_history() {
+    let store = generate(&SynthConfig::tiny(13)).unwrap().store;
+    for num_shards in [1usize, 3, 16] {
+        let assignment = ShardAssignment::round_robin(store.num_categories(), num_shards);
+        let sharded = store.to_sharded(&assignment).unwrap();
+        assert_eq!(
+            sharded.event_log(),
+            webtrust::community::events::event_log(&store)
+        );
+        let logs: Vec<_> = sharded.shards().iter().map(Shard::event_log).collect();
+        assert_eq!(
+            webtrust::community::shard::merge_shard_logs(&logs),
+            webtrust::community::events::event_log(&store)
+        );
+    }
+}
