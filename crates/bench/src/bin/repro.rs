@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of Kim et al. (ICDEW 2008).
 //!
 //! ```text
-//! repro [--scale tiny|laptop|paper] [--seed N] <experiment>...
+//! repro [--scale tiny|laptop|paper] [--seed N] [--wal-dir DIR] <experiment>...
 //!
 //! experiments:
 //!   stats              dataset summary (the paper's §IV.A numbers)
@@ -18,6 +18,12 @@
 //!   ablation-fixpoint  A2: fixed-point iteration budget
 //!   sweep-noise        A3: rating-noise sweep
 //!   sweep-trust-noise  A3b: trust-mechanism noise sweep (crossover)
+//!   wal-write          write the community's event history durably: binary WAL,
+//!                      per-shard logs, a 90% state snapshot, a derived snapshot
+//!                      (into --wal-dir, default target/wal-demo)
+//!   wal-recover        crash-recover from --wal-dir (snapshot + log tail, and the
+//!                      sharded consistent-cut path) and prove the recovered state
+//!                      bit-identical to a cold full-log replay
 //!   bench-summary      time the derivation hot paths, write BENCH_pipeline.json
 //!   bench-compare      diff BENCH_pipeline.json against BENCH_baseline.json and
 //!                      fail on a >25% regression of any tracked metric
@@ -36,10 +42,11 @@ use wot_eval::{
     Workbench,
 };
 
-const USAGE: &str = "usage: repro [--scale tiny|laptop|paper] [--seed N] <experiment>...
+const USAGE: &str =
+    "usage: repro [--scale tiny|laptop|paper] [--seed N] [--wal-dir DIR] <experiment>...
 experiments: stats table2 table3 fig3 stream-fig3 table4 values propagation rounding \
-ablation-discount ablation-fixpoint sweep-noise sweep-trust-noise bench-summary \
-bench-compare all";
+ablation-discount ablation-fixpoint sweep-noise sweep-trust-noise wal-write wal-recover \
+bench-summary bench-compare all";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +54,7 @@ fn main() -> ExitCode {
     let mut seed = DEFAULT_SEED;
     let mut baseline_path = "BENCH_baseline.json".to_string();
     let mut current_path = "BENCH_pipeline.json".to_string();
+    let mut wal_dir = "target/wal-demo".to_string();
     let mut max_regress_pct: f64 = std::env::var("WOT_BENCH_MAX_REGRESS_PCT")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -82,6 +90,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 current_path = v.clone();
+            }
+            "--wal-dir" => {
+                let Some(v) = it.next() else {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                wal_dir = v.clone();
             }
             "--max-regress" => {
                 let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
@@ -145,7 +160,7 @@ fn main() -> ExitCode {
 
     for exp in &experiments {
         let t = std::time::Instant::now();
-        let result = run_experiment(exp, &wb, scale, seed);
+        let result = run_experiment(exp, &wb, scale, seed, &wal_dir);
         match result {
             Ok(output) => {
                 println!("{output}");
@@ -165,6 +180,7 @@ fn run_experiment(
     wb: &Workbench,
     scale: Scale,
     seed: u64,
+    wal_dir: &str,
 ) -> Result<String, Box<dyn std::error::Error>> {
     Ok(match exp {
         "stats" => CommunityStats::of(&wb.out.store).to_string(),
@@ -234,9 +250,142 @@ fn run_experiment(
             table.title = "A3b — trust-mechanism noise sweep (x = rewired fraction)".into();
             table.to_string()
         }
+        "wal-write" => wal_write(wb, seed, wal_dir)?,
+        "wal-recover" => wal_recover(wb, wal_dir)?,
         "bench-summary" => bench_summary(wb, scale, seed)?,
         other => return Err(format!("unknown experiment {other:?}\n{USAGE}").into()),
     })
+}
+
+/// `wal-write`: persist the workbench community's event history into
+/// `wal_dir` in every durable shape the crate supports — one global
+/// binary WAL, per-shard sequence-tagged logs, a state snapshot at 90%
+/// of the history, and a derived-model snapshot — so `wal-recover` can
+/// demonstrate crash recovery against them.
+fn wal_write(
+    wb: &Workbench,
+    seed: u64,
+    wal_dir: &str,
+) -> Result<String, Box<dyn std::error::Error>> {
+    use wot_core::{IncrementalDerived, ReplayEvent};
+    use wot_wal::{write_derived_snapshot, write_shard_logs, write_state_snapshot};
+    use wot_wal::{FsyncPolicy, LogKind, WalWriter};
+
+    let store = &wb.out.store;
+    let dir = std::path::Path::new(wal_dir);
+    std::fs::create_dir_all(dir)?;
+    let log = wot_synth::shuffled_event_log(store, seed);
+
+    // The global WAL, fsync batched every 1024 appends.
+    let wal_path = dir.join("events.wal");
+    let t = std::time::Instant::now();
+    let mut w = WalWriter::create(&wal_path, LogKind::Events, FsyncPolicy::EveryN(1024))?;
+    for e in &log {
+        w.append(e)?;
+    }
+    w.sync()?;
+    let wal_ms = t.elapsed().as_secs_f64() * 1e3;
+    let wal_bytes = w.len();
+
+    // Per-shard tagged logs of the same history.
+    let shards = wot_par::max_threads().min(store.num_categories().max(1));
+    let assignment = wot_community::ShardAssignment::round_robin(store.num_categories(), shards);
+    let shard_logs = wot_synth::sharded_event_logs(store, &assignment, seed);
+    let shard_dir = dir.join("shards");
+    write_shard_logs(&shard_dir, &shard_logs, FsyncPolicy::EveryN(1024))?;
+
+    // State snapshot at 90% of the history + derived snapshot at 100%.
+    let cfg = wot_core::DeriveConfig::default();
+    let covered = log.len() * 9 / 10;
+    let mut inc = IncrementalDerived::new(store.num_users(), store.num_categories(), &cfg)?;
+    for e in &log[..covered] {
+        inc.apply(&ReplayEvent::from(*e))?;
+    }
+    let snap_path = dir.join("state.snap");
+    let t = std::time::Instant::now();
+    write_state_snapshot(&snap_path, covered as u64, &inc.snapshot())?;
+    let snap_ms = t.elapsed().as_secs_f64() * 1e3;
+    for e in &log[covered..] {
+        inc.apply(&ReplayEvent::from(*e))?;
+    }
+    write_derived_snapshot(&dir.join("derived.snap"), &inc.to_derived())?;
+
+    Ok(format!(
+        "wal-write — durable history in {wal_dir}\n\
+         \x20 events appended            {:>10}  ({:.1} ms, {:.2} MiB)\n\
+         \x20 shard logs                 {:>10}  (shards/shard-NNNN.wal)\n\
+         \x20 state snapshot covers      {:>10}  of {} events ({:.1} ms)\n\
+         \x20 derived snapshot           {:>10}\n",
+        log.len(),
+        wal_ms,
+        wal_bytes as f64 / (1 << 20) as f64,
+        shards,
+        covered,
+        log.len(),
+        snap_ms,
+        "written",
+    ))
+}
+
+/// `wal-recover`: crash-recover from what `wal-write` left behind and
+/// prove every recovery path lands on the same bits — snapshot + tail
+/// vs. cold full-log replay vs. the sharded consistent-cut merge vs.
+/// the cached derived snapshot.
+fn wal_recover(wb: &Workbench, wal_dir: &str) -> Result<String, Box<dyn std::error::Error>> {
+    use wot_wal::{read_derived_snapshot, read_log, recover_sharded_events, recover_state};
+
+    let store = &wb.out.store;
+    let cfg = wot_core::DeriveConfig::default();
+    let dir = std::path::Path::new(wal_dir);
+    let wal_path = dir.join("events.wal");
+    let snap_path = dir.join("state.snap");
+    let (num_users, num_categories) = (store.num_users(), store.num_categories());
+
+    let t = std::time::Instant::now();
+    let (warm, report) =
+        recover_state(Some(&snap_path), &wal_path, num_users, num_categories, &cfg)?;
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = std::time::Instant::now();
+    let (cold, _) = recover_state(None, &wal_path, num_users, num_categories, &cfg)?;
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let warm_derived = warm.to_derived();
+    let identical = warm_derived == cold.to_derived();
+
+    let t = std::time::Instant::now();
+    let sharded = recover_sharded_events(&dir.join("shards"))?;
+    let shard_ms = t.elapsed().as_secs_f64() * 1e3;
+    let global = read_log(&wal_path)?;
+    let shards_match = sharded.events == global.events;
+
+    let derived_match = read_derived_snapshot(&dir.join("derived.snap"))? == warm_derived;
+
+    let verdict = |ok: bool| if ok { "ok" } else { "MISMATCH" };
+    let out = format!(
+        "wal-recover — crash recovery from {wal_dir}\n\
+         \x20 snapshot + tail replay       {warm_ms:>9.1} ms  \
+         (snapshot covers {}, tail {} of {} events)\n\
+         \x20 cold full-log replay         {cold_ms:>9.1} ms\n\
+         \x20 sharded consistent-cut merge {shard_ms:>9.1} ms  \
+         ({} events, {} torn shards, {} dropped)\n\
+         \x20 warm == cold (bitwise)       {}\n\
+         \x20 sharded merge == global log  {}\n\
+         \x20 derived snapshot == warm     {}\n",
+        report.snapshot_covered,
+        report.tail_events,
+        report.log_events,
+        sharded.events.len(),
+        sharded.torn_shards.len(),
+        sharded.dropped_events,
+        verdict(identical),
+        verdict(shards_match),
+        verdict(derived_match),
+    );
+    if !(identical && shards_match && derived_match) {
+        return Err(format!("recovery conformance failed:\n{out}").into());
+    }
+    Ok(out)
 }
 
 /// The CI bench gate: diff the current bench summary against the
@@ -432,6 +581,53 @@ fn bench_summary(
             ));
         }
     }
+    // Durability: appending the full event history to the binary WAL
+    // (fsync batched every 1024 frames), and crash recovery from a 90%
+    // state snapshot plus log-tail replay — the restart path that
+    // replaces regenerating and re-deriving the community from scratch.
+    {
+        use wot_core::ReplayEvent;
+        use wot_wal::{recover_state, write_state_snapshot, FsyncPolicy, LogKind, WalWriter};
+        let dir = std::env::temp_dir().join(format!("wot-bench-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir)?;
+        let log = wot_synth::shuffled_event_log(store, seed);
+        let wal_path = dir.join("events.wal");
+        rows.push((
+            "wal_append_throughput",
+            time_best_ms(3, || {
+                let mut w =
+                    WalWriter::create(&wal_path, LogKind::Events, FsyncPolicy::EveryN(1024))
+                        .unwrap();
+                for e in &log {
+                    w.append(e).unwrap();
+                }
+                w.sync().unwrap();
+            }),
+        ));
+        let covered = log.len() * 9 / 10;
+        let mut inc = IncrementalDerived::new(store.num_users(), store.num_categories(), &seq_cfg)?;
+        for e in &log[..covered] {
+            inc.apply(&ReplayEvent::from(*e))?;
+        }
+        let snap_path = dir.join("state.snap");
+        write_state_snapshot(&snap_path, covered as u64, &inc.snapshot())?;
+        rows.push((
+            "recover_snapshot_tail",
+            time_best_ms(3, || {
+                black_box(
+                    recover_state(
+                        Some(&snap_path),
+                        &wal_path,
+                        store.num_users(),
+                        store.num_categories(),
+                        &seq_cfg,
+                    )
+                    .unwrap(),
+                );
+            }),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
     rows.push((
         "masked_row_dot_1t",
         time_best_ms(5, || {
@@ -539,26 +735,24 @@ fn bench_summary(
         None
     } else {
         let mut prows: Vec<(&str, f64)> = Vec::new();
-        let (pstore_users, pstore_ratings);
         // Borrow the workbench's model when it is already paper scale;
         // otherwise derive a local one (no clone — the numbers below are
         // the streaming memory story).
         let generated;
-        let pderived: &wot_core::Derived = if store.num_users() >= 40_000 {
-            pstore_users = store.num_users();
-            pstore_ratings = store.num_ratings();
-            derived
-        } else {
-            let t = std::time::Instant::now();
-            let out = wot_synth::generate(&Scale::Paper.synth_config(seed))?;
-            prows.push(("synth_generate", t.elapsed().as_secs_f64() * 1e3));
-            pstore_users = out.store.num_users();
-            pstore_ratings = out.store.num_ratings();
-            let t = std::time::Instant::now();
-            generated = pipeline::derive(&out.store, &DeriveConfig::default())?;
-            prows.push(("derive_index_dense_mt", t.elapsed().as_secs_f64() * 1e3));
-            &generated
-        };
+        let synth_out;
+        let (pstore, pderived): (&wot_community::CommunityStore, &wot_core::Derived) =
+            if store.num_users() >= 40_000 {
+                (store, derived)
+            } else {
+                let t = std::time::Instant::now();
+                synth_out = wot_synth::generate(&Scale::Paper.synth_config(seed))?;
+                prows.push(("synth_generate", t.elapsed().as_secs_f64() * 1e3));
+                let t = std::time::Instant::now();
+                generated = pipeline::derive(&synth_out.store, &DeriveConfig::default())?;
+                prows.push(("derive_index_dense_mt", t.elapsed().as_secs_f64() * 1e3));
+                (&synth_out.store, &generated)
+            };
+        let (pstore_users, pstore_ratings) = (pstore.num_users(), pstore.num_ratings());
         let cfg = BlockConfig::default();
         let blocks = pderived.trust_blocks(&cfg)?;
         let (nblocks, block_rows, block_bytes) = (
@@ -573,6 +767,47 @@ fn bench_summary(
         let top = streaming::top_k_trusted(pderived, 10, &cfg)?;
         prows.push(("top_k_trusted_k10", t.elapsed().as_secs_f64() * 1e3));
         assert_eq!(top.len(), pstore_users);
+        // Durability at paper scale: append the full 44k-user history,
+        // snapshot at 90%, then time snapshot+tail recovery — the
+        // crash-restart path whose whole point is being much cheaper
+        // than the synth_generate + derive cold start timed above.
+        {
+            use wot_core::ReplayEvent;
+            use wot_wal::{recover_state, write_state_snapshot, FsyncPolicy, LogKind, WalWriter};
+            let dir = std::env::temp_dir().join(format!("wot-bench-pwal-{}", std::process::id()));
+            std::fs::create_dir_all(&dir)?;
+            let log = wot_community::events::event_log(pstore);
+            let wal_path = dir.join("events.wal");
+            let t = std::time::Instant::now();
+            let mut w = WalWriter::create(&wal_path, LogKind::Events, FsyncPolicy::EveryN(4096))?;
+            for e in &log {
+                w.append(e)?;
+            }
+            w.sync()?;
+            prows.push(("wal_append", t.elapsed().as_secs_f64() * 1e3));
+            let dcfg = DeriveConfig::default();
+            let covered = log.len() * 9 / 10;
+            let mut inc =
+                IncrementalDerived::new(pstore.num_users(), pstore.num_categories(), &dcfg)?;
+            for e in &log[..covered] {
+                inc.apply(&ReplayEvent::from(*e))?;
+            }
+            let snap_path = dir.join("state.snap");
+            let t = std::time::Instant::now();
+            write_state_snapshot(&snap_path, covered as u64, &inc.snapshot())?;
+            prows.push(("snapshot_write", t.elapsed().as_secs_f64() * 1e3));
+            let t = std::time::Instant::now();
+            let (rec, _) = recover_state(
+                Some(&snap_path),
+                &wal_path,
+                pstore.num_users(),
+                pstore.num_categories(),
+                &dcfg,
+            )?;
+            black_box(rec.num_users());
+            prows.push(("recover_snapshot_tail", t.elapsed().as_secs_f64() * 1e3));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
         Some((
             pstore_users,
             pstore_ratings,

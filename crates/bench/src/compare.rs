@@ -32,7 +32,11 @@
 ///   kernel and the streaming top-k reducer (both ride the unrolled
 ///   `wot_sparse::dot`);
 /// * `incremental_refresh_one_rating_1t` — PR 2's warm one-rating
-///   refresh.
+///   refresh;
+/// * `wal_append_throughput` — appending the full event history to the
+///   durable log (fsync batched), in ms;
+/// * `recover_snapshot_tail` — crash recovery from a 90% snapshot plus
+///   log-tail replay (this PR: the restart path must stay cheap).
 pub const TRACKED_METRICS: &[&str] = &[
     "derive_index_dense_mt",
     "derive_sharded_mt",
@@ -41,6 +45,8 @@ pub const TRACKED_METRICS: &[&str] = &[
     "masked_row_dot_mt",
     "top_k_trusted_k10_mt",
     "incremental_refresh_one_rating_1t",
+    "wal_append_throughput",
+    "recover_snapshot_tail",
 ];
 
 /// Default regression tolerance, in percent.

@@ -73,6 +73,25 @@ pub enum CommunityError {
         /// OS error message.
         message: String,
     },
+    /// A shard-local event log's sequence tags were not strictly
+    /// ascending — the log is not a cut of any single global history
+    /// (a recovered log with this defect is corrupt, not merely stale).
+    NonMonotonicSequence {
+        /// Shard (input-log index) the violation was found in.
+        shard: usize,
+        /// The tag preceding the violation.
+        prev: u64,
+        /// The offending tag (`<= prev`).
+        seq: u64,
+    },
+    /// The same sequence tag appeared in more than one shard-local log,
+    /// so the merged interleaving would be ambiguous. Logs cut from one
+    /// history have disjoint tags; a collision means mismatched or
+    /// corrupted logs.
+    DuplicateSequence {
+        /// The colliding tag.
+        seq: u64,
+    },
 }
 
 impl fmt::Display for CommunityError {
@@ -108,6 +127,16 @@ impl fmt::Display for CommunityError {
                 message,
             } => write!(f, "{file}:{line}: {message}"),
             CommunityError::Io { path, message } => write!(f, "io error at {path}: {message}"),
+            CommunityError::NonMonotonicSequence { shard, prev, seq } => write!(
+                f,
+                "shard log {shard}: sequence tag {seq} follows {prev} (tags must be strictly \
+                 ascending within a shard-local log)"
+            ),
+            CommunityError::DuplicateSequence { seq } => write!(
+                f,
+                "sequence tag {seq} appears in more than one shard-local log (tags of one \
+                 history are disjoint across shards)"
+            ),
         }
     }
 }
@@ -167,6 +196,12 @@ mod tests {
                 path: "/tmp/x".into(),
                 message: "denied".into(),
             },
+            CommunityError::NonMonotonicSequence {
+                shard: 1,
+                prev: 7,
+                seq: 7,
+            },
+            CommunityError::DuplicateSequence { seq: 3 },
         ];
         for e in samples {
             assert!(!e.to_string().is_empty());

@@ -298,13 +298,36 @@ impl std::fmt::Display for ShardStats {
 
 /// Merges shard-local event logs (as produced by [`Shard::event_log`] or
 /// `wot-synth`'s `sharded_event_logs`) back into one global log, ordered
-/// by the global sequence tags. Tags must be unique across the input
-/// logs — true for any set of logs cut from one history — making the
-/// merge deterministic regardless of how the logs are listed.
-pub fn merge_shard_logs(logs: &[Vec<(u64, StoreEvent)>]) -> Vec<StoreEvent> {
+/// by the global sequence tags. The merge is deterministic regardless of
+/// how the logs are listed, and it **fails closed** on logs that cannot
+/// be cuts of one history: tags must be strictly ascending within each
+/// input log ([`CommunityError::NonMonotonicSequence`]) and disjoint
+/// across logs ([`CommunityError::DuplicateSequence`]). Empty logs — and
+/// an empty set of logs — merge to an empty history.
+///
+/// This is the trust boundary WAL recovery crosses: shard logs read back
+/// from disk may be corrupt, and a corrupt interleaving must surface as
+/// a typed `Err`, never as a silently wrong merge order.
+pub fn merge_shard_logs(logs: &[Vec<(u64, StoreEvent)>]) -> Result<Vec<StoreEvent>> {
+    for (shard, log) in logs.iter().enumerate() {
+        for w in log.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(CommunityError::NonMonotonicSequence {
+                    shard,
+                    prev: w[0].0,
+                    seq: w[1].0,
+                });
+            }
+        }
+    }
     let mut merged: Vec<(u64, StoreEvent)> = logs.iter().flatten().copied().collect();
     merged.sort_unstable_by_key(|&(seq, _)| seq);
-    merged.into_iter().map(|(_, e)| e).collect()
+    for w in merged.windows(2) {
+        if w[0].0 == w[1].0 {
+            return Err(CommunityError::DuplicateSequence { seq: w[0].0 });
+        }
+    }
+    Ok(merged.into_iter().map(|(_, e)| e).collect())
 }
 
 /// A community partitioned by category into per-shard stores — the
@@ -617,7 +640,7 @@ impl ShardedStore {
     /// concatenation-by-tag of every shard's local log.
     pub fn event_log(&self) -> Vec<StoreEvent> {
         let logs: Vec<Vec<(u64, StoreEvent)>> = self.shards.iter().map(Shard::event_log).collect();
-        merge_shard_logs(&logs)
+        merge_shard_logs(&logs).expect("a store's own shard logs carry valid disjoint tags")
     }
 
     // ---- projection ------------------------------------------------------
@@ -843,6 +866,52 @@ mod tests {
         let log = ok.shard(ShardId(0)).unwrap().event_log();
         assert_eq!(log[0].0, 0);
         assert_eq!(log[1].0, 1);
+    }
+
+    #[test]
+    fn merge_edge_cases() {
+        let ev = |id: u32| StoreEvent::Review {
+            writer: UserId(0),
+            review: ReviewId(id),
+            category: CategoryId(0),
+        };
+        // No logs at all, and logs that are all empty, merge to nothing.
+        assert_eq!(merge_shard_logs(&[]).unwrap(), Vec::<StoreEvent>::new());
+        assert_eq!(
+            merge_shard_logs(&[Vec::new(), Vec::new()]).unwrap(),
+            Vec::<StoreEvent>::new()
+        );
+        // A single shard's log passes through in tag order.
+        let single = vec![vec![(0, ev(0)), (3, ev(1)), (9, ev(2))]];
+        assert_eq!(
+            merge_shard_logs(&single).unwrap(),
+            vec![ev(0), ev(1), ev(2)]
+        );
+        // Empty logs interleaved with a populated one are fine.
+        let with_empties = vec![Vec::new(), vec![(1, ev(0))], Vec::new()];
+        assert_eq!(merge_shard_logs(&with_empties).unwrap(), vec![ev(0)]);
+        // Tags out of order within one log: corrupt, typed error.
+        let non_monotonic = vec![vec![(5, ev(0)), (5, ev(1))]];
+        assert_eq!(
+            merge_shard_logs(&non_monotonic).unwrap_err(),
+            CommunityError::NonMonotonicSequence {
+                shard: 0,
+                prev: 5,
+                seq: 5
+            }
+        );
+        let descending = vec![Vec::new(), vec![(8, ev(0)), (2, ev(1))]];
+        assert!(matches!(
+            merge_shard_logs(&descending).unwrap_err(),
+            CommunityError::NonMonotonicSequence { shard: 1, .. }
+        ));
+        // The same tag in two shards: the interleaving is ambiguous, so
+        // the merge must error rather than pick an order.
+        let colliding = vec![vec![(0, ev(0)), (4, ev(1))], vec![(4, ev(2))]];
+        assert_eq!(
+            merge_shard_logs(&colliding).unwrap_err(),
+            CommunityError::DuplicateSequence { seq: 4 }
+        );
     }
 
     #[test]

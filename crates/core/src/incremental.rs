@@ -302,6 +302,64 @@ impl CategoryState {
     }
 }
 
+/// One category's state in an [`IncrementalSnapshot`] — the minimal set
+/// of arrays from which the live per-category state is reconstructed
+/// **exactly**.
+///
+/// Only arrival-order-bearing data and the warm `f64` state are carried:
+/// the per-rater grouped ratings, the per-writer review lists, and both
+/// scatter tables are derivable (bit-for-bit, because the live structures
+/// are themselves maintained in the derived order) and are rebuilt on
+/// restore. Everything here is plain old data so any byte-level codec can
+/// persist it; validation happens in
+/// [`IncrementalDerived::from_snapshot`], which fails closed on state
+/// that no event sequence could have produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategorySnapshot {
+    /// Global review ids, by local index (arrival order).
+    pub reviews: Vec<ReviewId>,
+    /// Local writer index of each local review.
+    pub review_writer_local: Vec<u32>,
+    /// Ratings received per local review: `(local rater, value)` in
+    /// ingestion order.
+    pub ratings_by_review_local: Vec<Vec<(u32, f64)>>,
+    /// Global user id of each local rater (arrival order — this ordering
+    /// is load-bearing: it fixes the summation order of the fixed point,
+    /// and with it the output bits).
+    pub rater_of_local: Vec<UserId>,
+    /// Global user id of each local writer (arrival order).
+    pub writer_of_local: Vec<UserId>,
+    /// Review-quality estimates as of the last refresh.
+    pub quality: Vec<f64>,
+    /// Warm rater reputations, by local rater.
+    pub reputation: Vec<f64>,
+    /// Total ratings ingested (an integrity cross-check on restore).
+    pub num_ratings: usize,
+    /// Whether data changed since the last refresh.
+    pub stale: bool,
+}
+
+/// A complete, restorable image of an [`IncrementalDerived`] — what a
+/// durability layer (e.g. the `wot-wal` crate) persists so recovery is
+/// *snapshot + log-tail replay* instead of full-history replay.
+///
+/// [`IncrementalDerived::snapshot`] and
+/// [`IncrementalDerived::from_snapshot`] round-trip the model **exactly**:
+/// the restored instance is state-equal to the one snapshotted (same
+/// index tables, same warm `f64` bits, same staleness), so applying the
+/// same log tail to either yields bit-identical [`Derived`] output. The
+/// [`DeriveConfig`] is *not* part of the image — like
+/// [`replay`](IncrementalDerived::replay), restore takes the config from
+/// the caller, and the bit-identity contract assumes it matches the one
+/// the snapshot was built under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalSnapshot {
+    /// Community user count (fixed over the model's lifetime).
+    pub num_users: usize,
+    /// Per-category state, indexed by `CategoryId`.
+    pub categories: Vec<CategorySnapshot>,
+}
+
 /// Online derived model: append events, refresh stale categories, read
 /// trust — all on the batch pipeline's index-dense layout. See the module
 /// docs for the conformance contract.
@@ -392,6 +450,7 @@ impl IncrementalDerived {
         shard_logs: &[Vec<(u64, StoreEvent)>],
     ) -> Result<Derived> {
         let events: Vec<ReplayEvent> = merge_shard_logs(shard_logs)
+            .map_err(CoreError::Community)?
             .into_iter()
             .map(ReplayEvent::from)
             .collect();
@@ -462,6 +521,182 @@ impl IncrementalDerived {
                 Ok(())
             }
         }
+    }
+
+    /// Captures the restorable image of the current state — see
+    /// [`IncrementalSnapshot`]. Read-only; O(total state).
+    pub fn snapshot(&self) -> IncrementalSnapshot {
+        IncrementalSnapshot {
+            num_users: self.num_users,
+            categories: self
+                .categories
+                .iter()
+                .map(|s| CategorySnapshot {
+                    reviews: s.reviews.clone(),
+                    review_writer_local: s.review_writer_local.clone(),
+                    ratings_by_review_local: s.ratings_by_review_local.clone(),
+                    rater_of_local: s.rater_of_local.clone(),
+                    writer_of_local: s.writer_of_local.clone(),
+                    quality: s.quality.clone(),
+                    reputation: s.reputation.clone(),
+                    num_ratings: s.num_ratings,
+                    stale: s.stale,
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructs a model from a snapshot, **failing closed**: every
+    /// invariant an event sequence would have established is re-checked,
+    /// and a snapshot that violates any of them (truncated arrays,
+    /// dangling local indexes, duplicate users or review ids, non-finite
+    /// warm state, self-ratings, rating-count mismatches) is rejected
+    /// with a typed [`CoreError::Shape`] rather than materialized into a
+    /// silently wrong model.
+    ///
+    /// On success the result is state-equal to the snapshotted instance:
+    /// replaying a log tail on it and calling
+    /// [`to_derived`](Self::to_derived) is bit-identical to a cold replay
+    /// of the full log (given the same `cfg` — see
+    /// [`IncrementalSnapshot`]).
+    pub fn from_snapshot(snap: IncrementalSnapshot, cfg: &DeriveConfig) -> Result<Self> {
+        cfg.validate()?;
+        let num_users = snap.num_users;
+        let num_categories = snap.categories.len();
+        let corrupt = |c: usize, what: &str| -> CoreError {
+            CoreError::Shape(format!("snapshot category {c}: {what}"))
+        };
+        let mut inc = Self::new(num_users, num_categories, cfg)?;
+        let Self {
+            categories,
+            review_index,
+            rating_counts,
+            review_counts,
+            ..
+        } = &mut inc;
+        let mut total_reviews = 0usize;
+        for (c, cat) in snap.categories.into_iter().enumerate() {
+            let n_reviews = cat.reviews.len();
+            let n_raters = cat.rater_of_local.len();
+            let n_writers = cat.writer_of_local.len();
+            if cat.review_writer_local.len() != n_reviews
+                || cat.ratings_by_review_local.len() != n_reviews
+                || cat.quality.len() != n_reviews
+            {
+                return Err(corrupt(c, "per-review arrays disagree on length"));
+            }
+            if cat.reputation.len() != n_raters {
+                return Err(corrupt(c, "reputation length != rater count"));
+            }
+            if cat
+                .quality
+                .iter()
+                .chain(&cat.reputation)
+                .any(|v| !v.is_finite())
+            {
+                return Err(corrupt(c, "non-finite warm state"));
+            }
+            let state = &mut categories[c];
+            // Rebuild the scatter tables; a duplicate or out-of-range user
+            // in either arrival list is state no event stream produces.
+            for (lw, &u) in cat.writer_of_local.iter().enumerate() {
+                if u.index() >= num_users {
+                    return Err(corrupt(c, "writer user id out of range"));
+                }
+                if state.writer_slot[u.index()] != u32::MAX {
+                    return Err(corrupt(c, "duplicate user in writer arrival list"));
+                }
+                state.writer_slot[u.index()] = lw as u32;
+            }
+            for (lr, &u) in cat.rater_of_local.iter().enumerate() {
+                if u.index() >= num_users {
+                    return Err(corrupt(c, "rater user id out of range"));
+                }
+                if state.rater_slot[u.index()] != u32::MAX {
+                    return Err(corrupt(c, "duplicate user in rater arrival list"));
+                }
+                state.rater_slot[u.index()] = lr as u32;
+            }
+            // Rebuild reviews-by-writer (ascending local review — exactly
+            // the order live appends produce) and the review counts.
+            state.reviews_by_writer_local = vec![Vec::new(); n_writers];
+            for (local, &lw) in cat.review_writer_local.iter().enumerate() {
+                if lw as usize >= n_writers {
+                    return Err(corrupt(c, "review's writer index out of range"));
+                }
+                state.reviews_by_writer_local[lw as usize].push(local as u32);
+                let w = cat.writer_of_local[lw as usize].index();
+                review_counts.set(w, c, review_counts.get(w, c) + 1.0);
+            }
+            // Rebuild ratings-by-rater from the review-grouped lists:
+            // iterating reviews ascending appends each rater's entries in
+            // ascending local-review order — the exact sorted order
+            // `CategoryState::add_rating` maintains. Stamps catch a rater
+            // appearing twice on one review; writers rating themselves are
+            // rejected as the live path would.
+            state.ratings_by_rater_local = vec![Vec::new(); n_raters];
+            let mut stamp = vec![u32::MAX; n_raters];
+            let mut n_ratings = 0usize;
+            for (local, received) in cat.ratings_by_review_local.iter().enumerate() {
+                let writer = cat.writer_of_local[cat.review_writer_local[local] as usize];
+                for &(lr, value) in received {
+                    if lr as usize >= n_raters {
+                        return Err(corrupt(c, "rating's rater index out of range"));
+                    }
+                    if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                        return Err(corrupt(c, "rating value outside [0, 1]"));
+                    }
+                    if stamp[lr as usize] == local as u32 {
+                        return Err(corrupt(c, "duplicate (rater, review) pair"));
+                    }
+                    if cat.rater_of_local[lr as usize] == writer {
+                        return Err(corrupt(c, "writer rates their own review"));
+                    }
+                    stamp[lr as usize] = local as u32;
+                    state.ratings_by_rater_local[lr as usize].push((local as u32, value));
+                    let r = cat.rater_of_local[lr as usize].index();
+                    rating_counts.set(r, c, rating_counts.get(r, c) + 1.0);
+                    n_ratings += 1;
+                }
+            }
+            if n_ratings != cat.num_ratings {
+                return Err(corrupt(c, "rating count does not match the grouped lists"));
+            }
+            // Raters with no ratings at all never arise from events.
+            if state.ratings_by_rater_local.iter().any(Vec::is_empty) {
+                return Err(corrupt(
+                    c,
+                    "rater arrival list names a user with no ratings",
+                ));
+            }
+            // Register the global review ids; duplicates across (or
+            // within) categories are corruption.
+            for (local, &rid) in cat.reviews.iter().enumerate() {
+                if review_index.insert(rid, (c as u32, local as u32)).is_some() {
+                    return Err(CoreError::Shape(format!(
+                        "snapshot: review {rid} appears twice"
+                    )));
+                }
+            }
+            total_reviews += n_reviews;
+            state.reviews = cat.reviews;
+            state.review_writer_local = cat.review_writer_local;
+            state.ratings_by_review_local = cat.ratings_by_review_local;
+            state.rater_of_local = cat.rater_of_local;
+            state.writer_of_local = cat.writer_of_local;
+            state.quality = cat.quality;
+            state.reputation = cat.reputation;
+            state.num_ratings = cat.num_ratings;
+            state.stale = cat.stale;
+        }
+        // Dense review ids (unique + all below the total) keep the replay
+        // contract intact, so a recovered tail folds on top seamlessly.
+        if review_index.keys().any(|r| r.index() >= total_reviews) {
+            return Err(CoreError::Shape(
+                "snapshot: review ids are not dense in 0..num_reviews".into(),
+            ));
+        }
+        Ok(inc)
     }
 
     /// Number of users.
@@ -940,6 +1175,144 @@ mod tests {
         assert!(inc.rater_reputation(CategoryId(0), UserId(1)).is_some());
         assert!(inc.rater_reputation(CategoryId(0), UserId(0)).is_none());
         assert!(inc.rater_reputation(CategoryId(9), UserId(0)).is_none());
+    }
+
+    /// Snapshot → restore is state-exact: the restored model refreshes,
+    /// snapshots and derives exactly like the original, and applying the
+    /// same tail events to both stays bit-identical.
+    #[test]
+    fn snapshot_restore_roundtrip_is_state_exact() {
+        let store = sample_store();
+        let cfg = DeriveConfig::default();
+        let log = wot_community::events::event_log(&store);
+        // Fold a prefix, leave a category stale on purpose.
+        let mut inc =
+            IncrementalDerived::new(store.num_users(), store.num_categories(), &cfg).unwrap();
+        let cut = log.len() - 2;
+        for e in &log[..cut] {
+            inc.apply(&ReplayEvent::from(*e)).unwrap();
+        }
+        inc.refresh(CategoryId(0));
+        let snap = inc.snapshot();
+        let mut restored = IncrementalDerived::from_snapshot(snap.clone(), &cfg).unwrap();
+        // The image itself round-trips…
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.is_stale(), inc.is_stale());
+        assert_eq!(restored.expertise().as_slice(), inc.expertise().as_slice());
+        assert_eq!(
+            restored.affiliation().as_slice(),
+            inc.affiliation().as_slice()
+        );
+        assert_eq!(restored.to_derived(), inc.to_derived());
+        // …and stays on the original's trajectory through the tail.
+        for e in &log[cut..] {
+            inc.apply(&ReplayEvent::from(*e)).unwrap();
+            restored.apply(&ReplayEvent::from(*e)).unwrap();
+        }
+        inc.refresh_all();
+        restored.refresh_all();
+        assert_eq!(restored.snapshot(), inc.snapshot());
+        let batch = pipeline::derive(&store, &cfg).unwrap();
+        assert_eq!(restored.to_derived(), batch);
+    }
+
+    /// Corrupted snapshots are rejected with typed errors — never
+    /// restored into a silently wrong model.
+    #[test]
+    fn corrupt_snapshots_fail_closed() {
+        let store = sample_store();
+        let cfg = DeriveConfig::default();
+        let inc = IncrementalDerived::from_store(&store, &cfg).unwrap();
+        let good = inc.snapshot();
+        assert!(IncrementalDerived::from_snapshot(good.clone(), &cfg).is_ok());
+        type Corruption = Box<dyn Fn(&mut IncrementalSnapshot)>;
+        let cases: Vec<(&str, Corruption)> = vec![
+            (
+                "truncated quality",
+                Box::new(|s| {
+                    s.categories[0].quality.pop();
+                }),
+            ),
+            (
+                "truncated reputation",
+                Box::new(|s| {
+                    s.categories[0].reputation.pop();
+                }),
+            ),
+            (
+                "nan warm state",
+                Box::new(|s| s.categories[0].quality[0] = f64::NAN),
+            ),
+            (
+                "rater index out of range",
+                Box::new(|s| {
+                    s.categories[0].ratings_by_review_local[0][0].0 = 999;
+                }),
+            ),
+            (
+                "off-scale rating",
+                Box::new(|s| {
+                    s.categories[0].ratings_by_review_local[0][0].1 = 1.5;
+                }),
+            ),
+            (
+                "duplicate (rater, review)",
+                Box::new(|s| {
+                    let first = s.categories[0].ratings_by_review_local[0][0];
+                    s.categories[0].ratings_by_review_local[0].push(first);
+                    s.categories[0].num_ratings += 1;
+                }),
+            ),
+            (
+                "rating count mismatch",
+                Box::new(|s| s.categories[0].num_ratings += 1),
+            ),
+            (
+                "duplicate rater arrival",
+                Box::new(|s| {
+                    let u = s.categories[0].rater_of_local[0];
+                    s.categories[0].rater_of_local.push(u);
+                    s.categories[0].reputation.push(1.0);
+                }),
+            ),
+            (
+                "writer user out of range",
+                Box::new(|s| {
+                    s.categories[0].writer_of_local[0] = UserId(9_999);
+                }),
+            ),
+            (
+                "self-rating",
+                Box::new(|s| {
+                    // Make rater 0 the writer of review 0.
+                    let lw = s.categories[0].review_writer_local[0] as usize;
+                    let rater = s.categories[0].rater_of_local[0];
+                    s.categories[0].writer_of_local[lw] = rater;
+                }),
+            ),
+            (
+                "duplicate review id",
+                Box::new(|s| {
+                    let rid = s.categories[0].reviews[0];
+                    s.categories[1].reviews[0] = rid;
+                }),
+            ),
+            (
+                "non-dense review ids",
+                Box::new(|s| {
+                    s.categories[0].reviews[0] = ReviewId(40_000);
+                }),
+            ),
+        ];
+        for (what, mutate) in cases {
+            let mut bad = good.clone();
+            mutate(&mut bad);
+            let err = IncrementalDerived::from_snapshot(bad, &cfg);
+            assert!(
+                matches!(err, Err(CoreError::Shape(_))),
+                "{what}: expected Shape error, got {err:?}"
+            );
+        }
     }
 
     #[test]

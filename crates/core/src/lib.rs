@@ -115,7 +115,7 @@ pub mod trust_blocks;
 
 pub use config::DeriveConfig;
 pub use error::CoreError;
-pub use incremental::{IncrementalDerived, ReplayEvent};
+pub use incremental::{CategorySnapshot, IncrementalDerived, IncrementalSnapshot, ReplayEvent};
 pub use pipeline::{CategoryReputation, Derived};
 pub use trust_blocks::{BlockConfig, TrustBlock, TrustBlocks};
 

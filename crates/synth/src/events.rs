@@ -79,6 +79,18 @@ pub fn shuffled_event_log(store: &CommunityStore, seed: u64) -> Vec<StoreEvent> 
     log
 }
 
+/// [`shuffled_event_log`] with each event tagged by its log position —
+/// the sequence-tagged shape shard-local logs and the `wot-wal` durable
+/// log carry, so a synthetic history can be written straight to disk and
+/// recovered through the tag-validating replay paths.
+pub fn tagged_event_log(store: &CommunityStore, seed: u64) -> Vec<(u64, StoreEvent)> {
+    shuffled_event_log(store, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(k, e)| (k as u64, e))
+        .collect()
+}
+
 /// Emits a seeded random causal interleaving of the store's history
 /// **already cut into shard-local logs**: shard `s` receives exactly the
 /// events of its categories, each tagged with its position in the global
@@ -177,7 +189,7 @@ mod tests {
                 }
             }
             // And the merge reproduces the exact global interleaving.
-            assert_eq!(merge_shard_logs(&logs), global);
+            assert_eq!(merge_shard_logs(&logs).unwrap(), global);
         }
     }
 

@@ -1,0 +1,165 @@
+//! Reading a WAL back: frame scan, torn-tail classification, decode.
+//!
+//! The scan is strict about the difference between **short** and
+//! **wrong** (see the crate docs): a frame cut off by end-of-file is a
+//! crash artifact and truncates gracefully into a [`TornTail`] report; a
+//! complete frame whose CRC fails is corruption and aborts the read with
+//! [`WalError::CrcMismatch`]. A frame whose *length field* was corrupted
+//! upward past end-of-file classifies as torn — indistinguishable, from
+//! the bytes alone, from a genuinely torn append of a large record — so
+//! the dropped-byte count in the report is what lets an operator notice
+//! "torn tail of 4 GB" is implausible for a 17-byte event log.
+
+use std::path::Path;
+
+use wot_community::StoreEvent;
+
+use crate::codec::{decode_event, decode_tagged_event};
+use crate::crc32::crc32;
+use crate::format::{parse_header, FRAME_HEADER_LEN, HEADER_LEN, MAGIC_WAL};
+use crate::writer::LogKind;
+use crate::{io_err, Result, WalError};
+
+/// An incomplete final record, dropped during recovery.
+///
+/// Torn tails are *expected* after a crash mid-append; recovery reports
+/// them instead of failing so the caller can log what was lost (at most
+/// one record — appends are single `write` calls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset where the incomplete frame starts.
+    pub offset: u64,
+    /// Bytes from that offset to end-of-file, all dropped.
+    pub bytes_dropped: u64,
+}
+
+/// The outcome of reading a log: every decodable event, plus the torn
+/// tail (if any) that was skipped to get them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredLog<T> {
+    /// Events of every complete, CRC-valid frame, in file order.
+    pub events: Vec<T>,
+    /// Present iff the file ended mid-frame.
+    pub torn: Option<TornTail>,
+}
+
+/// A scanned log file: header kind, the byte ranges of each valid
+/// frame's payload, and the torn tail if the file ends mid-frame.
+pub(crate) struct ScannedLog {
+    pub(crate) kind: u8,
+    /// `(frame_offset, payload_start, payload_end)` per complete frame.
+    pub(crate) frames: Vec<(u64, usize, usize)>,
+    pub(crate) torn: Option<TornTail>,
+    pub(crate) buf: Vec<u8>,
+}
+
+impl ScannedLog {
+    /// Offset one past the last valid frame — where the next append
+    /// belongs, and where [`WalWriter::open_append`] truncates to.
+    ///
+    /// [`WalWriter::open_append`]: crate::writer::WalWriter::open_append
+    pub(crate) fn valid_end(&self) -> u64 {
+        match self.torn {
+            Some(t) => t.offset,
+            None => self.buf.len() as u64,
+        }
+    }
+}
+
+/// Reads and frame-scans a log file without decoding payloads.
+pub(crate) fn scan_log(path: &Path) -> Result<ScannedLog> {
+    let buf = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    let kind = parse_header(&buf, MAGIC_WAL, path)?;
+    let mut frames = Vec::new();
+    let mut torn = None;
+    let mut pos = HEADER_LEN;
+    while pos < buf.len() {
+        let remaining = buf.len() - pos;
+        if remaining < FRAME_HEADER_LEN {
+            torn = Some(TornTail {
+                offset: pos as u64,
+                bytes_dropped: remaining as u64,
+            });
+            break;
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        let recorded = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        if remaining - FRAME_HEADER_LEN < len {
+            torn = Some(TornTail {
+                offset: pos as u64,
+                bytes_dropped: remaining as u64,
+            });
+            break;
+        }
+        let start = pos + FRAME_HEADER_LEN;
+        let end = start + len;
+        let actual = crc32(&buf[start..end]);
+        if actual != recorded {
+            return Err(WalError::CrcMismatch {
+                offset: pos as u64,
+                expected: recorded,
+                actual,
+            });
+        }
+        frames.push((pos as u64, start, end));
+        pos = end;
+    }
+    Ok(ScannedLog {
+        kind,
+        frames,
+        torn,
+        buf,
+    })
+}
+
+fn expect_kind(scanned: &ScannedLog, want: LogKind, path: &Path) -> Result<()> {
+    let found = LogKind::from_code(scanned.kind);
+    if found != Some(want) {
+        return Err(WalError::BadHeader {
+            path: path.display().to_string(),
+            reason: format!(
+                "log kind byte {} is not the expected {want:?}",
+                scanned.kind
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Reads an **untagged** event log ([`LogKind::Events`]).
+///
+/// Fails closed on mid-log corruption; reports (and skips) a torn tail.
+pub fn read_log(path: &Path) -> Result<RecoveredLog<StoreEvent>> {
+    let scanned = scan_log(path)?;
+    expect_kind(&scanned, LogKind::Events, path)?;
+    let mut events = Vec::with_capacity(scanned.frames.len());
+    for &(offset, start, end) in &scanned.frames {
+        events.push(
+            decode_event(&scanned.buf[start..end])
+                .map_err(|reason| WalError::Decode { offset, reason })?,
+        );
+    }
+    Ok(RecoveredLog {
+        events,
+        torn: scanned.torn,
+    })
+}
+
+/// Reads a **sequence-tagged** event log ([`LogKind::TaggedEvents`]) —
+/// the shard-local shape. Tag ordering is *not* validated here; the
+/// merge/replay layers own that contract and their typed errors.
+pub fn read_tagged_log(path: &Path) -> Result<RecoveredLog<(u64, StoreEvent)>> {
+    let scanned = scan_log(path)?;
+    expect_kind(&scanned, LogKind::TaggedEvents, path)?;
+    let mut events = Vec::with_capacity(scanned.frames.len());
+    for &(offset, start, end) in &scanned.frames {
+        events.push(
+            decode_tagged_event(&scanned.buf[start..end])
+                .map_err(|reason| WalError::Decode { offset, reason })?,
+        );
+    }
+    Ok(RecoveredLog {
+        events,
+        torn: scanned.torn,
+    })
+}

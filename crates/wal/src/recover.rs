@@ -1,0 +1,239 @@
+//! Recovery: snapshot + log-tail replay, and per-shard log files with
+//! consistent-cut merge.
+//!
+//! ## Single-process recovery
+//!
+//! [`recover_state`] restores the newest state snapshot (if one is
+//! given) and replays only the log events past the count the snapshot
+//! covers. The result is **bit-identical** (`==` on every `f64`) to a
+//! cold replay of the whole log, because the snapshot round-trip is
+//! state-exact and the incremental fold is deterministic — the same
+//! conformance contract the replay suites enforce, now extended across
+//! a process death.
+//!
+//! ## Sharded recovery and the consistent cut
+//!
+//! A sharded deployment keeps one tagged log per shard
+//! (`shard-0000.wal`, `shard-0001.wal`, …; tags are positions in the
+//! global causal history). Each file can be torn *independently* by a
+//! crash, and the torn points need not agree: shard 0 may have durably
+//! logged tag 41 while shard 1 lost tag 37. Replaying that union would
+//! fabricate a history in which event 41 happened but its causal
+//! predecessor 37 did not — a state no actual execution ever passed
+//! through.
+//!
+//! [`recover_sharded_events`] therefore recovers to the **consistent
+//! cut**: the largest prefix `0..=cut` of the global history such that
+//! every event in it survives in some shard log. `cut` is the minimum,
+//! over torn shards, of each shard's last durable tag (untorn shards
+//! lost nothing and impose no bound). Events above the cut are dropped
+//! — they are the un-fsynced suffix, recoverable from upstream — and
+//! the surviving tags are then required to be *exactly* `0..=cut`: a
+//! gap below the cut cannot be produced by torn tails and fails closed
+//! as [`WalError::ShardGap`].
+
+use std::path::{Path, PathBuf};
+
+use wot_community::shard::merge_shard_logs;
+use wot_community::StoreEvent;
+use wot_core::{DeriveConfig, IncrementalDerived, ReplayEvent};
+
+use crate::reader::{read_log, read_tagged_log, RecoveredLog, TornTail};
+use crate::snapshot::read_state_snapshot;
+use crate::writer::{FsyncPolicy, LogKind, WalWriter};
+use crate::{io_err, Result, WalError};
+
+/// What [`recover_state`] did to get back to a live state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a snapshot was restored (vs. a cold full-log replay).
+    pub used_snapshot: bool,
+    /// Events the snapshot covered (0 without one).
+    pub snapshot_covered: u64,
+    /// Log events replayed on top of the snapshot.
+    pub tail_events: u64,
+    /// Total durable events in the log.
+    pub log_events: u64,
+    /// The log's torn tail, if the scan dropped one.
+    pub torn: Option<TornTail>,
+}
+
+/// Restores an [`IncrementalDerived`] from a state snapshot (optional)
+/// plus the event log's tail: the durable half of the incremental
+/// pipeline's crash story.
+///
+/// With `snapshot = None` this is a cold replay of the full log. Either
+/// way the returned state is bit-identical to one that processed the
+/// log live — and the report says how much replay the snapshot saved.
+pub fn recover_state(
+    snapshot: Option<&Path>,
+    wal: &Path,
+    num_users: usize,
+    num_categories: usize,
+    cfg: &DeriveConfig,
+) -> Result<(IncrementalDerived, RecoveryReport)> {
+    let RecoveredLog { events, torn } = read_log(wal)?;
+    let log_events = events.len() as u64;
+    let (mut inc, covered, used_snapshot) = match snapshot {
+        Some(snap_path) => {
+            let (covered, image) = read_state_snapshot(snap_path)?;
+            if covered > log_events {
+                return Err(WalError::SnapshotAheadOfLog {
+                    covered,
+                    log_len: log_events,
+                });
+            }
+            let inc = IncrementalDerived::from_snapshot(image, cfg)?;
+            (inc, covered, true)
+        }
+        None => (
+            IncrementalDerived::new(num_users, num_categories, cfg)?,
+            0,
+            false,
+        ),
+    };
+    let tail = &events[covered as usize..];
+    for event in tail {
+        inc.apply(&ReplayEvent::from(*event))?;
+    }
+    Ok((
+        inc,
+        RecoveryReport {
+            used_snapshot,
+            snapshot_covered: covered,
+            tail_events: tail.len() as u64,
+            log_events,
+            torn,
+        },
+    ))
+}
+
+/// The per-shard log file name for shard `s`.
+fn shard_file(dir: &Path, s: usize) -> PathBuf {
+    dir.join(format!("shard-{s:04}.wal"))
+}
+
+/// Writes one tagged WAL per shard into `dir` (created if absent):
+/// `shard-0000.wal`, `shard-0001.wal`, … Empty shard logs still get a
+/// file — an *absent* file is indistinguishable from a lost one, and
+/// recovery should never have to guess the shard count.
+///
+/// Returns the paths written. Each file is fully synced before return.
+pub fn write_shard_logs(
+    dir: &Path,
+    logs: &[Vec<(u64, StoreEvent)>],
+    policy: FsyncPolicy,
+) -> Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let mut paths = Vec::with_capacity(logs.len());
+    for (s, log) in logs.iter().enumerate() {
+        let path = shard_file(dir, s);
+        let mut w = WalWriter::create(&path, LogKind::TaggedEvents, policy)?;
+        for &(seq, event) in log {
+            w.append_tagged(seq, &event)?;
+        }
+        w.sync()?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Reads every `shard-NNNN.wal` in `dir`, in shard order. Shard `s`
+/// must exist for every `s` below the highest found — a missing middle
+/// file is a lost log and fails closed (as an `Io` error on its path).
+pub fn read_shard_logs(dir: &Path) -> Result<Vec<RecoveredLog<(u64, StoreEvent)>>> {
+    let mut max_shard: Option<usize> = None;
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(num) = name
+            .strip_prefix("shard-")
+            .and_then(|rest| rest.strip_suffix(".wal"))
+        {
+            if let Ok(s) = num.parse::<usize>() {
+                max_shard = Some(max_shard.map_or(s, |m| m.max(s)));
+            }
+        }
+    }
+    let Some(max_shard) = max_shard else {
+        return Ok(Vec::new());
+    };
+    (0..=max_shard)
+        .map(|s| read_tagged_log(&shard_file(dir, s)))
+        .collect()
+}
+
+/// What [`recover_sharded_events`] recovered and what it had to drop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRecovery {
+    /// The recovered global history, in causal (tag) order — ready for
+    /// `IncrementalDerived::replay` or `replay_into_store`.
+    pub events: Vec<StoreEvent>,
+    /// Shards whose logs were torn (these forced the cut).
+    pub torn_shards: Vec<usize>,
+    /// Highest global tag that survived recovery; `None` when nothing
+    /// did. Equals `events.len() - 1` whenever events is non-empty.
+    pub last_kept_seq: Option<u64>,
+    /// Durable events *above* the cut that had to be dropped to keep
+    /// the history causal (0 when no shard was torn).
+    pub dropped_events: u64,
+}
+
+/// Recovers the global event history from a directory of per-shard
+/// tagged logs, cutting independently-torn tails back to a consistent
+/// prefix (see the module docs for why the cut is necessary).
+pub fn recover_sharded_events(dir: &Path) -> Result<ShardRecovery> {
+    let recovered = read_shard_logs(dir)?;
+    let torn_shards: Vec<usize> = recovered
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.torn.is_some())
+        .map(|(s, _)| s)
+        .collect();
+    // The cut: min over torn shards of the shard's last durable tag.
+    // Outer None = no torn shard, nothing to cut. Inner None = some
+    // torn shard kept *no* events, so every tag it might have owned is
+    // suspect — recover nothing rather than guess.
+    let mut cut: Option<Option<u64>> = None;
+    for &s in &torn_shards {
+        let last = recovered[s].events.last().map(|&(seq, _)| seq);
+        cut = Some(match cut {
+            None => last,
+            Some(prev) => match (prev, last) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                _ => None,
+            },
+        });
+    }
+    let mut logs: Vec<Vec<(u64, StoreEvent)>> = recovered.into_iter().map(|r| r.events).collect();
+    let mut dropped = 0u64;
+    if let Some(cut) = cut {
+        for log in &mut logs {
+            let keep = cut.map_or(0, |c| log.partition_point(|&(seq, _)| seq <= c));
+            dropped += (log.len() - keep) as u64;
+            log.truncate(keep);
+        }
+    }
+    // Surviving tags must be exactly the dense prefix 0..n: torn tails
+    // only ever remove suffixes, so a gap means an interior event is
+    // gone — unmergeable, fail closed.
+    let mut tags: Vec<u64> = logs.iter().flatten().map(|&(seq, _)| seq).collect();
+    tags.sort_unstable();
+    for (i, &t) in tags.iter().enumerate() {
+        if t != i as u64 {
+            return Err(WalError::ShardGap {
+                missing_seq: i as u64,
+            });
+        }
+    }
+    let last_kept_seq = tags.last().copied();
+    let events = merge_shard_logs(&logs)?;
+    Ok(ShardRecovery {
+        events,
+        torn_shards,
+        last_kept_seq,
+        dropped_events: dropped,
+    })
+}

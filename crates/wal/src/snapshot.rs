@@ -1,0 +1,179 @@
+//! Atomic, self-checking snapshots.
+//!
+//! A snapshot bounds recovery time: restore it, replay only the log
+//! tail past the event count it covers. Two kinds share one container
+//! format (header kind byte):
+//!
+//! * **state** (kind 0) — `covered: u64` (events of the log the image
+//!   reflects) + an encoded `IncrementalSnapshot`. Restoring yields an
+//!   `IncrementalDerived` bit-identical to one that replayed those
+//!   events live.
+//! * **derived** (kind 1) — an encoded `Derived` model, for caching a
+//!   finished derivation output.
+//!
+//! The body is a single jumbo frame: `payload_len: u64 | crc32: u32 |
+//! payload`. Unlike log tails, a short or damaged snapshot is **never**
+//! tolerated — snapshots are written atomically (temp file, fsync,
+//! `rename`, directory fsync), so a torn one cannot result from a crash,
+//! only from corruption, and reads fail closed.
+//!
+//! The atomicity protocol means a crash at any instant leaves either the
+//! old snapshot or the new one at `path`, never a hybrid and never
+//! nothing (if one existed before). `fail_before_rename` is a test
+//! failpoint that injects a crash at the most revealing instant: after
+//! the temp file is fully written, before the rename.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use wot_core::{Derived, IncrementalSnapshot};
+
+use crate::codec::{
+    decode_derived, decode_incremental, encode_derived, encode_incremental, put_u64,
+};
+use crate::crc32::crc32;
+use crate::format::{header_bytes, parse_header, HEADER_LEN, MAGIC_SNAP};
+use crate::{io_err, Result, WalError};
+
+/// Snapshot kind byte: incremental state.
+const KIND_STATE: u8 = 0;
+/// Snapshot kind byte: derived model.
+const KIND_DERIVED: u8 = 1;
+
+/// One-shot failpoint: the next snapshot write dies after fully writing
+/// its temp file, before the rename — simulating a crash at the
+/// atomicity protocol's critical instant. Self-resets when it fires.
+static FAIL_BEFORE_RENAME: AtomicBool = AtomicBool::new(false);
+
+/// Arms (or disarms) the pre-rename crash failpoint. Test-only.
+#[doc(hidden)]
+pub fn fail_before_rename(armed: bool) {
+    FAIL_BEFORE_RENAME.store(armed, Ordering::SeqCst);
+}
+
+/// Writes `header + len + crc + payload` to `path` atomically: the
+/// bytes land in `<path>.tmp`, are fsynced, and only then renamed over
+/// `path` (followed by a best-effort directory fsync so the rename
+/// itself is durable). No observer ever sees a partial file at `path`.
+fn write_snapshot_file(path: &Path, kind: u8, payload: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| io_err(&tmp, e))?;
+    let mut head = Vec::with_capacity(HEADER_LEN + 12);
+    head.extend_from_slice(&header_bytes(MAGIC_SNAP, kind));
+    put_u64(&mut head, payload.len() as u64);
+    head.extend_from_slice(&crc32(payload).to_le_bytes());
+    file.write_all(&head).map_err(|e| io_err(&tmp, e))?;
+    file.write_all(payload).map_err(|e| io_err(&tmp, e))?;
+    file.sync_all().map_err(|e| io_err(&tmp, e))?;
+    drop(file);
+    if FAIL_BEFORE_RENAME.swap(false, Ordering::SeqCst) {
+        // Simulated crash: the temp file is complete but the publish
+        // rename never happens. Leave the temp file exactly as a real
+        // crash would — the caller's recovery path must ignore it.
+        return Err(WalError::Io {
+            path: tmp.display().to_string(),
+            message: "injected crash before rename".into(),
+        });
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    // Durability of the rename itself: fsync the containing directory.
+    // Best-effort — not every platform lets you open a directory.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and validates a snapshot container, returning its payload.
+fn read_snapshot_file(path: &Path, want_kind: u8) -> Result<Vec<u8>> {
+    let buf = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    let kind = parse_header(&buf, MAGIC_SNAP, path)?;
+    if kind != want_kind {
+        return Err(WalError::BadHeader {
+            path: path.display().to_string(),
+            reason: format!("snapshot kind byte {kind} is not the expected {want_kind}"),
+        });
+    }
+    let frame_off = HEADER_LEN as u64;
+    if buf.len() < HEADER_LEN + 12 {
+        return Err(WalError::Decode {
+            offset: frame_off,
+            reason: "snapshot body shorter than its length+crc prefix".into(),
+        });
+    }
+    let len = u64::from_le_bytes(buf[HEADER_LEN..HEADER_LEN + 8].try_into().unwrap());
+    let recorded = u32::from_le_bytes(buf[HEADER_LEN + 8..HEADER_LEN + 12].try_into().unwrap());
+    let body = &buf[HEADER_LEN + 12..];
+    if body.len() as u64 != len {
+        return Err(WalError::Decode {
+            offset: frame_off,
+            reason: format!(
+                "snapshot payload is {} bytes but the header records {len} — snapshots \
+                 are written atomically, so this is corruption, not a crash artifact",
+                body.len()
+            ),
+        });
+    }
+    let actual = crc32(body);
+    if actual != recorded {
+        return Err(WalError::CrcMismatch {
+            offset: frame_off,
+            expected: recorded,
+            actual,
+        });
+    }
+    Ok(buf[HEADER_LEN + 12..].to_vec())
+}
+
+/// Atomically writes a **state** snapshot: the incremental image plus
+/// the count of log events it covers (recovery replays the tail past
+/// that count).
+pub fn write_state_snapshot(path: &Path, covered: u64, snap: &IncrementalSnapshot) -> Result<()> {
+    let mut payload = Vec::new();
+    put_u64(&mut payload, covered);
+    encode_incremental(&mut payload, snap);
+    write_snapshot_file(path, KIND_STATE, &payload)
+}
+
+/// Reads a state snapshot back as `(covered, image)`. Fails closed on
+/// any header, length, CRC, or decode problem.
+pub fn read_state_snapshot(path: &Path) -> Result<(u64, IncrementalSnapshot)> {
+    let payload = read_snapshot_file(path, KIND_STATE)?;
+    let offset = HEADER_LEN as u64;
+    if payload.len() < 8 {
+        return Err(WalError::Decode {
+            offset,
+            reason: "state snapshot payload shorter than its covered-count".into(),
+        });
+    }
+    let covered = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let snap =
+        decode_incremental(&payload[8..]).map_err(|reason| WalError::Decode { offset, reason })?;
+    Ok((covered, snap))
+}
+
+/// Atomically writes a **derived-model** snapshot.
+pub fn write_derived_snapshot(path: &Path, derived: &Derived) -> Result<()> {
+    let mut payload = Vec::new();
+    encode_derived(&mut payload, derived);
+    write_snapshot_file(path, KIND_DERIVED, &payload)
+}
+
+/// Reads a derived-model snapshot back, bit-identical to what was
+/// written.
+pub fn read_derived_snapshot(path: &Path) -> Result<Derived> {
+    let payload = read_snapshot_file(path, KIND_DERIVED)?;
+    decode_derived(&payload).map_err(|reason| WalError::Decode {
+        offset: HEADER_LEN as u64,
+        reason,
+    })
+}

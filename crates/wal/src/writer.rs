@@ -1,0 +1,231 @@
+//! Appending to a WAL: frame assembly and fsync batching.
+//!
+//! Each append is a **single** `write(2)` of one complete frame, so the
+//! only states a crash can leave on disk are "frame absent", "frame
+//! torn" (partial write), and "frame complete" — exactly the states the
+//! reader's torn-tail scan distinguishes. Durability is a separate knob:
+//! [`FsyncPolicy`] trades the per-event fsync cost (hundreds of µs on
+//! real disks) against the bounded suffix of acknowledged-but-volatile
+//! events a power loss may drop. The replay contract makes any dropped
+//! *suffix* recoverable from upstream; what it cannot tolerate is a
+//! dropped *interior* event, which single-write framing rules out.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use wot_community::StoreEvent;
+
+use crate::codec::{encode_event, encode_tagged_event};
+use crate::crc32::crc32;
+use crate::format::{header_bytes, FRAME_HEADER_LEN, HEADER_LEN, MAGIC_WAL};
+use crate::reader::{scan_log, TornTail};
+use crate::{io_err, Result, WalError};
+
+/// What a log file's frames contain (the header kind byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogKind {
+    /// Plain [`StoreEvent`]s — a single process's total order.
+    Events,
+    /// `(sequence_tag, StoreEvent)` pairs — shard-local logs carrying
+    /// their position in the global causal history, mergeable across
+    /// shards by [`merge_shard_logs`](wot_community::shard::merge_shard_logs).
+    TaggedEvents,
+}
+
+impl LogKind {
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            LogKind::Events => 0,
+            LogKind::TaggedEvents => 1,
+        }
+    }
+
+    pub(crate) fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(LogKind::Events),
+            1 => Some(LogKind::TaggedEvents),
+            _ => None,
+        }
+    }
+}
+
+/// When the writer calls `fdatasync`, bounding the events a power loss
+/// can drop from the acknowledged suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every append. Zero-loss, slowest — the fsync dominates
+    /// the append cost by orders of magnitude.
+    Always,
+    /// Sync after every `n` appends: at most `n - 1` acknowledged events
+    /// are volatile at any moment.
+    EveryN(u64),
+    /// Sync when at least this many milliseconds have passed since the
+    /// last sync (checked at append time): bounds loss by wall-clock
+    /// time instead of event count.
+    EveryMs(u64),
+}
+
+/// An append handle on a WAL file.
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    kind: LogKind,
+    policy: FsyncPolicy,
+    /// Frames appended since the last sync.
+    unsynced: u64,
+    last_sync: Instant,
+    /// Current file length = offset of the next frame.
+    len: u64,
+    /// Reusable frame-assembly buffer.
+    frame: Vec<u8>,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) a log file of the given kind, writes its
+    /// header, and syncs so the header itself is durable.
+    pub fn create(path: &Path, kind: LogKind, policy: FsyncPolicy) -> Result<Self> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        file.write_all(&header_bytes(MAGIC_WAL, kind.code()))
+            .map_err(|e| io_err(path, e))?;
+        file.sync_data().map_err(|e| io_err(path, e))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            kind,
+            policy,
+            unsynced: 0,
+            last_sync: Instant::now(),
+            len: HEADER_LEN as u64,
+            frame: Vec::new(),
+        })
+    }
+
+    /// Reopens an existing log for appending.
+    ///
+    /// The file is frame-scanned first: a torn tail is **physically
+    /// truncated** (and reported) so the new append starts on a clean
+    /// frame boundary, while mid-log corruption refuses the open with
+    /// [`WalError::CrcMismatch`] — appending after damaged history would
+    /// launder it into a "valid" log.
+    pub fn open_append(path: &Path, policy: FsyncPolicy) -> Result<(Self, Option<TornTail>)> {
+        let scanned = scan_log(path)?;
+        let kind = LogKind::from_code(scanned.kind).ok_or_else(|| WalError::BadHeader {
+            path: path.display().to_string(),
+            reason: format!("unknown log kind byte {}", scanned.kind),
+        })?;
+        let end = scanned.valid_end();
+        let torn = scanned.torn;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        if torn.is_some() {
+            file.set_len(end).map_err(|e| io_err(path, e))?;
+            file.sync_data().map_err(|e| io_err(path, e))?;
+        }
+        file.seek(SeekFrom::Start(end))
+            .map_err(|e| io_err(path, e))?;
+        Ok((
+            WalWriter {
+                file,
+                path: path.to_path_buf(),
+                kind,
+                policy,
+                unsynced: 0,
+                last_sync: Instant::now(),
+                len: end,
+                frame: Vec::new(),
+            },
+            torn,
+        ))
+    }
+
+    /// Appends one untagged event ([`LogKind::Events`] logs only).
+    /// Returns the frame's byte offset.
+    pub fn append(&mut self, event: &StoreEvent) -> Result<u64> {
+        self.expect_kind(LogKind::Events)?;
+        self.frame.clear();
+        let mut payload = std::mem::take(&mut self.frame);
+        encode_event(&mut payload, event);
+        let off = self.write_frame(&payload);
+        self.frame = payload;
+        off
+    }
+
+    /// Appends one sequence-tagged event ([`LogKind::TaggedEvents`] logs
+    /// only). Returns the frame's byte offset.
+    pub fn append_tagged(&mut self, seq: u64, event: &StoreEvent) -> Result<u64> {
+        self.expect_kind(LogKind::TaggedEvents)?;
+        self.frame.clear();
+        let mut payload = std::mem::take(&mut self.frame);
+        encode_tagged_event(&mut payload, seq, event);
+        let off = self.write_frame(&payload);
+        self.frame = payload;
+        off
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
+        self.unsynced = 0;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Current file length (= offset of the next frame).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no frames (header only).
+    pub fn is_empty(&self) -> bool {
+        self.len == HEADER_LEN as u64
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn expect_kind(&self, want: LogKind) -> Result<()> {
+        if self.kind != want {
+            return Err(WalError::BadHeader {
+                path: self.path.display().to_string(),
+                reason: format!("log is {:?}, cannot append {want:?} records", self.kind),
+            });
+        }
+        Ok(())
+    }
+
+    /// Assembles `len | crc | payload` and writes it with one `write`
+    /// call, then applies the fsync policy.
+    fn write_frame(&mut self, payload: &[u8]) -> Result<u64> {
+        let offset = self.len;
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err(&self.path, e))?;
+        self.len += frame.len() as u64;
+        self.unsynced += 1;
+        let due = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
+            FsyncPolicy::EveryMs(ms) => self.last_sync.elapsed().as_millis() >= ms as u128,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(offset)
+    }
+}

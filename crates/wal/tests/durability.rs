@@ -1,0 +1,319 @@
+//! Crate-level durability tests: log round-trips, torn-tail handling,
+//! snapshot atomicity, and single/sharded recovery on synthetic
+//! communities. The exhaustive fault-injection matrix (every-byte
+//! truncation sweeps, bit flips, kill-mid-append) lives at the
+//! workspace root in `tests/crash_recovery.rs`; this file proves the
+//! crate's own contracts in isolation.
+
+use std::path::{Path, PathBuf};
+
+use wot_community::events::event_log;
+use wot_community::{ShardAssignment, StoreEvent};
+use wot_core::{DeriveConfig, IncrementalDerived, ReplayEvent};
+use wot_synth::{generate, sharded_event_logs, shuffled_event_log, SynthConfig};
+use wot_wal::{
+    read_log, read_state_snapshot, read_tagged_log, recover_sharded_events, recover_state,
+    write_shard_logs, write_state_snapshot, FsyncPolicy, LogKind, WalError, WalWriter,
+};
+
+/// A self-cleaning scratch directory, unique per test.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("wot-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn tiny_log(seed: u64) -> (usize, usize, Vec<StoreEvent>) {
+    let store = generate(&SynthConfig::tiny(seed)).unwrap().store;
+    let log = shuffled_event_log(&store, seed ^ 0x5eed);
+    (store.num_users(), store.num_categories(), log)
+}
+
+#[test]
+fn log_round_trips_untagged_and_tagged() {
+    let dir = TempDir::new("roundtrip");
+    let (_, _, log) = tiny_log(1);
+
+    let path = dir.file("events.wal");
+    let mut w = WalWriter::create(&path, LogKind::Events, FsyncPolicy::EveryN(64)).unwrap();
+    for e in &log {
+        w.append(e).unwrap();
+    }
+    w.sync().unwrap();
+    let back = read_log(&path).unwrap();
+    assert_eq!(back.events, log);
+    assert_eq!(back.torn, None);
+
+    let tagged_path = dir.file("tagged.wal");
+    let mut w = WalWriter::create(
+        &tagged_path,
+        LogKind::TaggedEvents,
+        FsyncPolicy::EveryMs(1000),
+    )
+    .unwrap();
+    for (k, e) in log.iter().enumerate() {
+        w.append_tagged(k as u64 * 3, e).unwrap();
+    }
+    w.sync().unwrap();
+    let back = read_tagged_log(&tagged_path).unwrap();
+    assert_eq!(back.events.len(), log.len());
+    assert!(back
+        .events
+        .iter()
+        .enumerate()
+        .all(|(k, &(seq, e))| seq == k as u64 * 3 && e == log[k]));
+
+    // Kind confusion is a typed refusal in both directions.
+    assert!(matches!(
+        read_tagged_log(&path),
+        Err(WalError::BadHeader { .. })
+    ));
+    let (mut w, _) = WalWriter::open_append(&path, FsyncPolicy::Always).unwrap();
+    assert!(matches!(
+        w.append_tagged(0, &log[0]),
+        Err(WalError::BadHeader { .. })
+    ));
+}
+
+#[test]
+fn open_append_continues_where_the_log_ended() {
+    let dir = TempDir::new("append");
+    let (_, _, log) = tiny_log(2);
+    let path = dir.file("events.wal");
+    let (head, tail) = log.split_at(log.len() / 2);
+
+    let mut w = WalWriter::create(&path, LogKind::Events, FsyncPolicy::EveryN(32)).unwrap();
+    for e in head {
+        w.append(e).unwrap();
+    }
+    w.sync().unwrap();
+    drop(w);
+
+    let (mut w, torn) = WalWriter::open_append(&path, FsyncPolicy::EveryN(32)).unwrap();
+    assert_eq!(torn, None);
+    for e in tail {
+        w.append(e).unwrap();
+    }
+    w.sync().unwrap();
+    assert_eq!(read_log(&path).unwrap().events, log);
+}
+
+#[test]
+fn torn_tail_is_reported_and_truncated_but_corruption_fails_closed() {
+    let dir = TempDir::new("torn");
+    let (_, _, log) = tiny_log(3);
+    let path = dir.file("events.wal");
+    let mut w = WalWriter::create(&path, LogKind::Events, FsyncPolicy::EveryN(64)).unwrap();
+    for e in &log {
+        w.append(e).unwrap();
+    }
+    w.sync().unwrap();
+    let clean_len = w.len();
+    drop(w);
+
+    // A partial frame at the tail: reported, events intact.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(&[17, 0, 0, 0, 0xAB]); // len=17 but only 1 more byte
+    std::fs::write(&path, &bytes).unwrap();
+    let back = read_log(&path).unwrap();
+    assert_eq!(back.events, log);
+    let torn = back.torn.unwrap();
+    assert_eq!(torn.offset, clean_len);
+    assert_eq!(torn.bytes_dropped, 5);
+
+    // Reopening for append physically truncates the torn bytes.
+    let (w, reported) = WalWriter::open_append(&path, FsyncPolicy::Always).unwrap();
+    assert_eq!(reported, Some(torn));
+    assert_eq!(w.len(), clean_len);
+    drop(w);
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+    assert_eq!(read_log(&path).unwrap().torn, None);
+
+    // A flipped byte inside a complete interior frame is corruption:
+    // typed error naming the frame offset, not a silent skip.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[16 + 8] ^= 0x01; // first frame's payload, first byte
+    std::fs::write(&path, &bytes).unwrap();
+    match read_log(&path) {
+        Err(WalError::CrcMismatch { offset, .. }) => assert_eq!(offset, 16),
+        other => panic!("expected CrcMismatch, got {other:?}"),
+    }
+    // ... and open_append refuses to extend damaged history.
+    assert!(matches!(
+        WalWriter::open_append(&path, FsyncPolicy::Always),
+        Err(WalError::CrcMismatch { .. })
+    ));
+}
+
+#[test]
+fn recovery_with_and_without_snapshot_is_bit_identical_to_cold_replay() {
+    let dir = TempDir::new("recover");
+    let (num_users, num_categories, log) = tiny_log(4);
+    let cfg = DeriveConfig::default();
+    let path = dir.file("events.wal");
+    let snap_path = dir.file("state.snap");
+
+    let mut w = WalWriter::create(&path, LogKind::Events, FsyncPolicy::EveryN(128)).unwrap();
+    let mut live = IncrementalDerived::new(num_users, num_categories, &cfg).unwrap();
+    let snap_at = log.len() * 2 / 3;
+    for (k, e) in log.iter().enumerate() {
+        w.append(e).unwrap();
+        live.apply(&ReplayEvent::from(*e)).unwrap();
+        if k + 1 == snap_at {
+            write_state_snapshot(&snap_path, (k + 1) as u64, &live.snapshot()).unwrap();
+        }
+    }
+    w.sync().unwrap();
+
+    // Cold replay (no snapshot).
+    let (cold, report) = recover_state(None, &path, num_users, num_categories, &cfg).unwrap();
+    assert!(!report.used_snapshot);
+    assert_eq!(report.tail_events, log.len() as u64);
+    assert_eq!(cold.to_derived(), live.to_derived());
+
+    // Snapshot + tail replay: same bits, shorter tail.
+    let (warm, report) =
+        recover_state(Some(&snap_path), &path, num_users, num_categories, &cfg).unwrap();
+    assert!(report.used_snapshot);
+    assert_eq!(report.snapshot_covered, snap_at as u64);
+    assert_eq!(report.tail_events, (log.len() - snap_at) as u64);
+    assert_eq!(warm.to_derived(), cold.to_derived());
+
+    // A snapshot claiming more events than the log holds is typed.
+    write_state_snapshot(&snap_path, log.len() as u64 + 7, &live.snapshot()).unwrap();
+    assert!(matches!(
+        recover_state(Some(&snap_path), &path, num_users, num_categories, &cfg),
+        Err(WalError::SnapshotAheadOfLog { covered, log_len })
+            if covered == log.len() as u64 + 7 && log_len == log.len() as u64
+    ));
+}
+
+#[test]
+fn snapshot_writes_are_atomic_under_an_injected_pre_rename_crash() {
+    let dir = TempDir::new("atomic");
+    let (num_users, num_categories, log) = tiny_log(5);
+    let cfg = DeriveConfig::default();
+    let snap_path = dir.file("state.snap");
+
+    let mut live = IncrementalDerived::new(num_users, num_categories, &cfg).unwrap();
+    let half = log.len() / 2;
+    for e in &log[..half] {
+        live.apply(&ReplayEvent::from(*e)).unwrap();
+    }
+    write_state_snapshot(&snap_path, half as u64, &live.snapshot()).unwrap();
+    let published = std::fs::read(&snap_path).unwrap();
+
+    // Crash between temp-file write and rename: the published snapshot
+    // must be byte-identical to before, with the orphan temp visible.
+    for e in &log[half..] {
+        live.apply(&ReplayEvent::from(*e)).unwrap();
+    }
+    wot_wal::snapshot::fail_before_rename(true);
+    let err = write_state_snapshot(&snap_path, log.len() as u64, &live.snapshot()).unwrap_err();
+    assert!(matches!(err, WalError::Io { .. }), "{err:?}");
+    assert_eq!(std::fs::read(&snap_path).unwrap(), published);
+    assert!(snap_path.with_extension("tmp").exists());
+    let (covered, _) = read_state_snapshot(&snap_path).unwrap();
+    assert_eq!(covered, half as u64);
+
+    // The failpoint self-resets: the retry publishes the new snapshot.
+    write_state_snapshot(&snap_path, log.len() as u64, &live.snapshot()).unwrap();
+    let (covered, image) = read_state_snapshot(&snap_path).unwrap();
+    assert_eq!(covered, log.len() as u64);
+    let restored = IncrementalDerived::from_snapshot(image, &cfg).unwrap();
+    assert_eq!(restored.to_derived(), live.to_derived());
+}
+
+#[test]
+fn sharded_logs_recover_to_a_consistent_cut() {
+    let dir = TempDir::new("shards");
+    let store = generate(&SynthConfig::tiny(6)).unwrap().store;
+    let assignment = ShardAssignment::round_robin(store.num_categories(), 3);
+    let logs = sharded_event_logs(&store, &assignment, 66);
+    let global = shuffled_event_log(&store, 66);
+
+    // Clean recovery: the whole history, no cut.
+    let paths = write_shard_logs(dir.path(), &logs, FsyncPolicy::EveryN(256)).unwrap();
+    assert_eq!(paths.len(), logs.len());
+    let rec = recover_sharded_events(dir.path()).unwrap();
+    assert_eq!(rec.events, global);
+    assert!(rec.torn_shards.is_empty());
+    assert_eq!(rec.dropped_events, 0);
+    assert_eq!(rec.last_kept_seq, Some(global.len() as u64 - 1));
+
+    // Tear one shard's tail: the cut drops every shard's events above
+    // the torn shard's last durable tag, and what survives is exactly
+    // the global prefix up to the cut.
+    let victim = logs
+        .iter()
+        .position(|l| l.len() >= 2)
+        .expect("some shard has two events");
+    let bytes = std::fs::read(&paths[victim]).unwrap();
+    std::fs::write(&paths[victim], &bytes[..bytes.len() - 3]).unwrap();
+    let rec = recover_sharded_events(dir.path()).unwrap();
+    assert_eq!(rec.torn_shards, vec![victim]);
+    let cut = rec.last_kept_seq.unwrap();
+    assert_eq!(cut, logs[victim][logs[victim].len() - 2].0);
+    assert_eq!(rec.events, global[..=cut as usize]);
+    // Tags above the cut number `global.len() - 1 - cut`; one of them
+    // (the victim's torn record) was never durable, the rest were
+    // durable-but-dropped by the cut.
+    assert_eq!(rec.dropped_events as usize, global.len() - 2 - cut as usize);
+}
+
+#[test]
+fn interior_gaps_across_shards_fail_closed() {
+    let dir = TempDir::new("gap");
+    let e = StoreEvent::Review {
+        writer: wot_community::UserId(0),
+        review: wot_community::ReviewId(0),
+        category: wot_community::CategoryId(0),
+    };
+    // Untorn logs whose union of tags is {0, 2}: tag 1 is missing from
+    // the durable history, which torn tails alone can never produce.
+    let logs = vec![vec![(0u64, e), (2u64, e)], Vec::new()];
+    write_shard_logs(dir.path(), &logs, FsyncPolicy::Always).unwrap();
+    assert!(matches!(
+        recover_sharded_events(dir.path()),
+        Err(WalError::ShardGap { missing_seq: 1 })
+    ));
+}
+
+#[test]
+fn canonical_store_log_survives_the_wal() {
+    // The store's own canonical event log — not just synth shuffles —
+    // round-trips and folds back to the same derived model.
+    let dir = TempDir::new("canonical");
+    let store = generate(&SynthConfig::tiny(7)).unwrap().store;
+    let cfg = DeriveConfig::default();
+    let log = event_log(&store);
+    let path = dir.file("events.wal");
+    let mut w = WalWriter::create(&path, LogKind::Events, FsyncPolicy::EveryN(512)).unwrap();
+    for e in &log {
+        w.append(e).unwrap();
+    }
+    w.sync().unwrap();
+    let (rec, _) =
+        recover_state(None, &path, store.num_users(), store.num_categories(), &cfg).unwrap();
+    let batch = wot_core::pipeline::derive(&store, &cfg).unwrap();
+    assert_eq!(rec.to_derived(), batch);
+}

@@ -29,6 +29,7 @@
 //! | [`propagation`] | `wot-propagation` | EigenTrust, TidalTrust, Appleseed, Guha |
 //! | [`eval`] | `wot-eval` | Table 2/3/4, Fig. 3, §IV.C, §V, ablations |
 //! | [`par`] | `wot-par` | scoped-thread data parallelism (deterministic) |
+//! | [`wal`] | `wot-wal` | durable event log, snapshots, crash recovery |
 //!
 //! ## Quickstart
 //!
@@ -112,3 +113,4 @@ pub use wot_par as par;
 pub use wot_propagation as propagation;
 pub use wot_sparse as sparse;
 pub use wot_synth as synth;
+pub use wot_wal as wal;

@@ -128,7 +128,7 @@ proptest! {
             store.scale().clone(),
             store.num_users(),
             store.num_categories(),
-            &webtrust::community::shard::merge_shard_logs(&logs),
+            &webtrust::community::shard::merge_shard_logs(&logs).unwrap(),
         )
         .unwrap();
         prop_assert_eq!(
@@ -197,7 +197,7 @@ fn shard_logs_reproduce_canonical_history() {
         );
         let logs: Vec<_> = sharded.shards().iter().map(Shard::event_log).collect();
         assert_eq!(
-            webtrust::community::shard::merge_shard_logs(&logs),
+            webtrust::community::shard::merge_shard_logs(&logs).unwrap(),
             webtrust::community::events::event_log(&store)
         );
     }

@@ -1,0 +1,136 @@
+//! Property tests (offline `proptest` shim): arbitrary causal event
+//! streams survive the durability round trip **bit-identically**.
+//!
+//! Each case draws a random community (seeded synth generation), a
+//! random causal interleaving of its history, a random prefix length,
+//! and a random snapshot boundary inside that prefix — then demands:
+//!
+//! * WAL write → recover reproduces the exact event sequence;
+//! * cold recovery's derived state equals a never-crashed replay, `==`
+//!   on every `f64`;
+//! * recovery resumed from the snapshot (taken mid-stream, at an
+//!   arbitrary boundary) lands on the same bits as cold recovery;
+//! * sharded tagged logs written per shard and merged back through the
+//!   consistent-cut path reproduce the global history.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use webtrust::community::ShardAssignment;
+use webtrust::core::{DeriveConfig, IncrementalDerived, ReplayEvent};
+use webtrust::synth::{generate, sharded_event_logs, shuffled_event_log, SynthConfig};
+use webtrust::wal::{
+    read_log, recover_sharded_events, recover_state, write_shard_logs, write_state_snapshot,
+    FsyncPolicy, LogKind, WalWriter,
+};
+
+/// A self-cleaning scratch directory, unique per test + case.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str, case: u64) -> Self {
+        let p = std::env::temp_dir().join(format!("wot-prop-{tag}-{case}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Synth stores are the expensive part of a case; a handful of fixed
+/// community seeds keeps the property over *interleavings and
+/// boundaries* (the WAL-relevant dimensions) cheap to sample densely.
+fn community(pick: u64) -> (usize, usize, webtrust::community::CommunityStore) {
+    let store = generate(&SynthConfig::tiny(100 + pick % 4)).unwrap().store;
+    (store.num_users(), store.num_categories(), store)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn wal_round_trip_is_bit_identical_through_a_random_snapshot_boundary(
+        pick in 0u64..4,
+        shuffle_seed in 0u64..1_000_000,
+        prefix_frac in 0.2f64..1.0,
+        snap_frac in 0.0f64..1.0,
+    ) {
+        let dir = TempDir::new("roundtrip", pick ^ shuffle_seed);
+        let (num_users, num_categories, store) = community(pick);
+        let full = shuffled_event_log(&store, shuffle_seed);
+        // Any prefix of a causal log is causal.
+        let events = &full[..((full.len() as f64 * prefix_frac) as usize).max(1)];
+        let covered = (events.len() as f64 * snap_frac) as usize;
+        let cfg = DeriveConfig::default();
+
+        // Write the log and a snapshot at the drawn boundary, exactly
+        // as a live process interleaves the two.
+        let wal_path = dir.0.join("events.wal");
+        let snap_path = dir.0.join("state.snap");
+        let mut w = WalWriter::create(&wal_path, LogKind::Events, FsyncPolicy::EveryN(257)).unwrap();
+        let mut live = IncrementalDerived::new(num_users, num_categories, &cfg).unwrap();
+        for (k, e) in events.iter().enumerate() {
+            w.append(e).unwrap();
+            live.apply(&ReplayEvent::from(*e)).unwrap();
+            if k + 1 == covered {
+                write_state_snapshot(&snap_path, covered as u64, &live.snapshot()).unwrap();
+            }
+        }
+        w.sync().unwrap();
+        if covered == 0 {
+            write_state_snapshot(&snap_path, 0, &live_empty(num_users, num_categories, &cfg)).unwrap();
+        }
+
+        // The raw events round-trip exactly.
+        let back = read_log(&wal_path).unwrap();
+        prop_assert_eq!(&back.events[..], events);
+        prop_assert_eq!(back.torn, None);
+
+        // Cold recovery == the never-crashed fold, bitwise.
+        let (cold, _) = recover_state(None, &wal_path, num_users, num_categories, &cfg).unwrap();
+        prop_assert_eq!(cold.to_derived(), live.to_derived());
+
+        // Snapshot-resumed recovery == cold recovery, bitwise.
+        let (warm, report) =
+            recover_state(Some(&snap_path), &wal_path, num_users, num_categories, &cfg).unwrap();
+        prop_assert!(report.used_snapshot);
+        prop_assert_eq!(report.snapshot_covered, covered as u64);
+        prop_assert_eq!(warm.to_derived(), cold.to_derived());
+    }
+
+    #[test]
+    fn sharded_logs_round_trip_through_disk_and_the_consistent_cut(
+        pick in 0u64..4,
+        shuffle_seed in 0u64..1_000_000,
+        num_shards in 1usize..5,
+    ) {
+        let dir = TempDir::new("shards", pick ^ shuffle_seed);
+        let (_, num_categories, store) = community(pick);
+        let assignment = ShardAssignment::round_robin(num_categories, num_shards);
+        let logs = sharded_event_logs(&store, &assignment, shuffle_seed);
+        let global = shuffled_event_log(&store, shuffle_seed);
+
+        write_shard_logs(&dir.0, &logs, FsyncPolicy::EveryN(1024)).unwrap();
+        let rec = recover_sharded_events(&dir.0).unwrap();
+        prop_assert_eq!(rec.events, global);
+        prop_assert!(rec.torn_shards.is_empty());
+        prop_assert_eq!(rec.dropped_events, 0);
+    }
+}
+
+/// The state an empty log folds to — for the degenerate snapshot-at-0
+/// boundary, which must behave exactly like no snapshot at all.
+fn live_empty(
+    num_users: usize,
+    num_categories: usize,
+    cfg: &DeriveConfig,
+) -> webtrust::core::IncrementalSnapshot {
+    IncrementalDerived::new(num_users, num_categories, cfg)
+        .unwrap()
+        .snapshot()
+}
