@@ -25,6 +25,10 @@
 //!                      sharded consistent-cut path) and prove the recovered state
 //!                      bit-identical to a cold full-log replay
 //!   bench-summary      time the derivation hot paths, write BENCH_pipeline.json
+//!   serve-bench        boot the wot-serve daemon on the workbench community and
+//!                      drive mixed read/ingest traffic against it; merges
+//!                      serve_point_query_{p50,p99,p999}, serve_topk_p99 and
+//!                      serve_ingest_events_per_sec into BENCH_pipeline.json
 //!   bench-compare      diff BENCH_pipeline.json against BENCH_baseline.json and
 //!                      fail on a >25% regression of any tracked metric
 //!                      (--baseline/--current/--max-regress override the
@@ -46,7 +50,7 @@ const USAGE: &str =
     "usage: repro [--scale tiny|laptop|paper] [--seed N] [--wal-dir DIR] <experiment>...
 experiments: stats table2 table3 fig3 stream-fig3 table4 values propagation rounding \
 ablation-discount ablation-fixpoint sweep-noise sweep-trust-noise wal-write wal-recover \
-bench-summary bench-compare all";
+bench-summary serve-bench bench-compare all";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -253,6 +257,7 @@ fn run_experiment(
         "wal-write" => wal_write(wb, seed, wal_dir)?,
         "wal-recover" => wal_recover(wb, wal_dir)?,
         "bench-summary" => bench_summary(wb, scale, seed)?,
+        "serve-bench" => serve_bench(wb, scale, seed)?,
         other => return Err(format!("unknown experiment {other:?}\n{USAGE}").into()),
     })
 }
@@ -908,4 +913,216 @@ fn bench_summary(
     }
     out.push_str("  wrote BENCH_pipeline.json\n");
     Ok(out)
+}
+
+/// `serve-bench`: boot the trust-serving daemon on the workbench
+/// community (bootstrapped from 90% of the shuffled event history) and
+/// drive mixed traffic against it over real TCP loopback: a pool of
+/// reader clients issuing Eq. 5 point queries (every tenth request a
+/// top-10), while one writer client durably ingests the live 10% tail.
+///
+/// The measured latencies therefore include framing, the socket round
+/// trip, and snapshot publication racing the reads — the serving path a
+/// deployment would see, not an in-process shortcut. Results are merged
+/// into the first `timings_ms` of `BENCH_pipeline.json` (written if
+/// absent), where `bench-compare` tracks them; `serve_ingest_events_per_sec`
+/// is a rate, gated in the opposite direction.
+fn serve_bench(
+    wb: &Workbench,
+    scale: Scale,
+    seed: u64,
+) -> Result<String, Box<dyn std::error::Error>> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use wot_core::{IncrementalDerived, ReplayEvent};
+    use wot_serve::{Client, ServeOptions, Server};
+
+    /// Each reader keeps querying until the writer is done AND it has at
+    /// least this many point-query samples (so p999 has support even
+    /// when the ingest tail is short).
+    const READERS: usize = 4;
+    const MIN_POINT_SAMPLES: usize = 2_000;
+    const INGEST_CAP: usize = 2_000;
+
+    let store = &wb.out.store;
+    let cfg = wot_core::DeriveConfig::default();
+    let log = wot_synth::shuffled_event_log(store, seed);
+    let split = log.len() * 9 / 10;
+    let mut model = IncrementalDerived::new(store.num_users(), store.num_categories(), &cfg)?;
+    for e in &log[..split] {
+        model.apply(&ReplayEvent::from(*e))?;
+    }
+
+    let dir = std::env::temp_dir().join(format!("wot-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    // A connection occupies a worker for its lifetime, so the pool must
+    // cover every concurrent client (readers + the writer) regardless of
+    // how few cores the host has.
+    let opts = ServeOptions {
+        reader_threads: READERS + 2,
+        ..ServeOptions::local(dir.join("serve.wal"))
+    };
+    let handle = Server::start(model, split as u64, &opts)?;
+    let addr = handle.addr();
+    let users = store.num_users() as u64;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || -> wot_serve::Result<(Vec<u64>, Vec<u64>)> {
+                let mut c = Client::connect(addr)?;
+                let (mut point_ns, mut topk_ns) = (Vec::new(), Vec::new());
+                let mut n = r as u64 * 7919; // offset the walks per reader
+                while !stop.load(Ordering::Relaxed) || point_ns.len() < MIN_POINT_SAMPLES {
+                    let i = (n.wrapping_mul(31).wrapping_add(7) % users) as u32;
+                    let j = (n.wrapping_mul(17).wrapping_add(3) % users) as u32;
+                    let t = std::time::Instant::now();
+                    if n % 10 == 9 {
+                        c.top_k(i, 10)?;
+                        topk_ns.push(t.elapsed().as_nanos() as u64);
+                    } else {
+                        c.trust(i, j)?;
+                        point_ns.push(t.elapsed().as_nanos() as u64);
+                    }
+                    n += 1;
+                }
+                Ok((point_ns, topk_ns))
+            })
+        })
+        .collect();
+
+    // The writer: durable ingest of the live tail, one ack per event
+    // (each ack arrives only after WAL append + apply + publication).
+    let suffix = &log[split..];
+    let ingested = suffix.len().min(INGEST_CAP);
+    let mut w = Client::connect(addr)?;
+    let t = std::time::Instant::now();
+    for e in &suffix[..ingested] {
+        w.ingest(*e)?;
+    }
+    let ingest_secs = t.elapsed().as_secs_f64();
+    let events_per_sec = ingested as f64 / ingest_secs.max(1e-9);
+
+    stop.store(true, Ordering::Relaxed);
+    let (mut point_ns, mut topk_ns) = (Vec::new(), Vec::new());
+    for h in readers {
+        let (p, k) = h.join().expect("reader thread panicked")?;
+        point_ns.extend(p);
+        topk_ns.extend(k);
+    }
+    let stats = w.stats()?;
+    handle.shutdown()?;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    point_ns.sort_unstable();
+    topk_ns.sort_unstable();
+    let pct_ms = |v: &[u64], q: f64| {
+        let idx = ((v.len() as f64 * q) as usize).min(v.len().saturating_sub(1));
+        v[idx] as f64 / 1e6
+    };
+    let rows: Vec<(&str, f64)> = vec![
+        ("serve_point_query_p50", pct_ms(&point_ns, 0.50)),
+        ("serve_point_query_p99", pct_ms(&point_ns, 0.99)),
+        ("serve_point_query_p999", pct_ms(&point_ns, 0.999)),
+        ("serve_topk_p99", pct_ms(&topk_ns, 0.99)),
+        ("serve_ingest_events_per_sec", events_per_sec),
+    ];
+
+    let scale_name = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Laptop => "laptop",
+        Scale::Paper => "paper",
+    };
+    merge_into_bench_json("BENCH_pipeline.json", scale_name, &rows)?;
+
+    let p99 = pct_ms(&point_ns, 0.99);
+    let mut out = format!(
+        "serve-bench — {READERS} readers + 1 writer over TCP loopback \
+         ({} users, {} point / {} top-k queries, {ingested} events ingested, \
+         {} hardware threads)\n",
+        users,
+        point_ns.len(),
+        topk_ns.len(),
+        wot_par::max_threads(),
+    );
+    for (name, v) in &rows {
+        let unit = if name.ends_with("_per_sec") {
+            "ev/s"
+        } else {
+            "ms"
+        };
+        out.push_str(&format!("  {name:<28} {v:>10.3} {unit}\n"));
+    }
+    out.push_str(&format!(
+        "  point-query p99 {} the 1 ms serving budget; server published {} snapshots\n",
+        if p99 < 1.0 { "within" } else { "OVER" },
+        stats.publishes,
+    ));
+    if p99 >= 1.0 && wot_par::max_threads() < 2 {
+        out.push_str(
+            "  (single hardware thread: readers time-share the core with \
+             per-publish derive work,\n   so the tail here is scheduler \
+             granularity, not the serving path)\n",
+        );
+    }
+    out.push_str("  merged serve_* rows into BENCH_pipeline.json\n");
+    Ok(out)
+}
+
+/// Upserts `rows` into the first `timings_ms` object of the bench
+/// summary at `path`, preserving everything else byte-for-byte. When the
+/// file does not exist yet (serve-bench run on its own), a minimal
+/// summary with the right `scale` is created so `bench-compare` can
+/// still parse it.
+fn merge_into_bench_json(
+    path: &str,
+    scale_name: &str,
+    rows: &[(&str, f64)],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => format!(
+            "{{\n  \"bench\": \"pipeline\",\n  \"scale\": \"{scale_name}\",\n  \
+             \"timings_ms\": {{\n    \"serve_placeholder\": 0.0\n  }}\n}}\n"
+        ),
+        Err(e) => return Err(e.into()),
+    };
+    // Refuse to mix scales inside one summary: rows taken at different
+    // presets are not comparable, and bench-compare's cross-file scale
+    // check cannot see an intra-file mix.
+    if let Some(existing) = wot_bench::compare::parse_scale(&json) {
+        if existing != scale_name {
+            return Err(format!(
+                "{path} holds a {existing:?}-scale summary but serve-bench ran at \
+                 {scale_name:?} — re-run `bench-summary serve-bench` at one scale \
+                 (or delete {path})"
+            )
+            .into());
+        }
+    }
+    let start = json
+        .find("\"timings_ms\"")
+        .ok_or("no timings_ms section in BENCH_pipeline.json")?;
+    let open = start + json[start..].find('{').ok_or("no '{' after timings_ms")?;
+    let close = open + json[open..].find('}').ok_or("unterminated timings_ms")?;
+    let mut entries: Vec<(String, f64)> = wot_bench::compare::parse_timings_ms(&json)?
+        .into_iter()
+        .filter(|(n, _)| n != "serve_placeholder")
+        .collect();
+    for &(name, v) in rows {
+        match entries.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 = v,
+            None => entries.push((name.to_string(), v)),
+        }
+    }
+    let mut body = String::from("\n");
+    for (k, (name, v)) in entries.iter().enumerate() {
+        let comma = if k + 1 < entries.len() { "," } else { "" };
+        body.push_str(&format!("    \"{name}\": {v:.3}{comma}\n"));
+    }
+    body.push_str("  ");
+    let merged = format!("{}{}{}", &json[..open + 1], body, &json[close..]);
+    std::fs::write(path, merged)?;
+    Ok(())
 }

@@ -36,7 +36,14 @@
 /// * `wal_append_throughput` — appending the full event history to the
 ///   durable log (fsync batched), in ms;
 /// * `recover_snapshot_tail` — crash recovery from a 90% snapshot plus
-///   log-tail replay (this PR: the restart path must stay cheap).
+///   log-tail replay (the restart path must stay cheap);
+/// * `serve_point_query_{p50,p99,p999}` / `serve_topk_p99` — the
+///   serving daemon's read latencies over TCP loopback under mixed
+///   read/ingest traffic (`repro serve-bench`), in ms per request;
+/// * `serve_ingest_events_per_sec` — the daemon's durable ingest rate
+///   (WAL append + apply + snapshot publication per ack). This one is a
+///   **rate**: higher is better, and the gate inverts (see
+///   [`higher_is_better`]).
 pub const TRACKED_METRICS: &[&str] = &[
     "derive_index_dense_mt",
     "derive_sharded_mt",
@@ -47,7 +54,21 @@ pub const TRACKED_METRICS: &[&str] = &[
     "incremental_refresh_one_rating_1t",
     "wal_append_throughput",
     "recover_snapshot_tail",
+    "serve_point_query_p50",
+    "serve_point_query_p99",
+    "serve_point_query_p999",
+    "serve_topk_p99",
+    "serve_ingest_events_per_sec",
 ];
+
+/// Whether a tracked metric is a rate (named `*_per_sec`) rather than a
+/// wall time: for rates the regression direction inverts — the gate
+/// fails when the current value *drops* below the baseline by more than
+/// the tolerance. Rates at bench scale are large numbers, so no absolute
+/// slack is needed on top of the relative budget.
+pub fn higher_is_better(name: &str) -> bool {
+    name.ends_with("_per_sec")
+}
 
 /// Default regression tolerance, in percent.
 pub const DEFAULT_MAX_REGRESS_PCT: f64 = 25.0;
@@ -61,28 +82,34 @@ pub const DEFAULT_MAX_REGRESS_PCT: f64 = 25.0;
 /// +0.65 ms, over the slack); timer noise does not.
 pub const ABS_SLACK_MS: f64 = 0.2;
 
-/// One tracked metric's baseline/current pair.
+/// One tracked metric's baseline/current pair. The `_ms` fields hold
+/// milliseconds for timing rows and the raw rate for `*_per_sec` rows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricDelta {
     /// Row name in `timings_ms`.
     pub name: String,
-    /// Baseline milliseconds.
+    /// Baseline value (milliseconds, or the rate for `*_per_sec` rows).
     pub baseline_ms: f64,
-    /// Current milliseconds.
+    /// Current value (same unit as the baseline).
     pub current_ms: f64,
 }
 
 impl MetricDelta {
-    /// Percent change vs baseline (positive = slower).
+    /// Percent change vs baseline (positive = the value grew).
     pub fn delta_pct(&self) -> f64 {
         (self.current_ms - self.baseline_ms) / self.baseline_ms * 100.0
     }
 
-    /// Whether this metric fails the gate at `max_regress_pct`: slower
-    /// by more than the relative tolerance **and** by more than
-    /// [`ABS_SLACK_MS`].
+    /// Whether this metric fails the gate at `max_regress_pct`. For
+    /// timings: slower by more than the relative tolerance **and** by
+    /// more than [`ABS_SLACK_MS`]. For rates ([`higher_is_better`]):
+    /// the value dropped by more than the relative tolerance.
     pub fn regressed(&self, max_regress_pct: f64) -> bool {
-        self.delta_pct() > max_regress_pct && self.current_ms - self.baseline_ms > ABS_SLACK_MS
+        if higher_is_better(&self.name) {
+            -self.delta_pct() > max_regress_pct
+        } else {
+            self.delta_pct() > max_regress_pct && self.current_ms - self.baseline_ms > ABS_SLACK_MS
+        }
     }
 }
 
@@ -128,8 +155,13 @@ impl CompareReport {
             } else {
                 ""
             };
+            let unit = if higher_is_better(&d.name) {
+                "/s"
+            } else {
+                "ms"
+            };
             out.push_str(&format!(
-                "  {:<33} {:>8.3}ms {:>8.3}ms {:>+8.1}%{}\n",
+                "  {:<33} {:>8.3}{unit} {:>8.3}{unit} {:>+8.1}%{}\n",
                 d.name,
                 d.baseline_ms,
                 d.current_ms,
@@ -328,9 +360,13 @@ mod tests {
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].name, TRACKED_METRICS[1]);
         assert!(report.render().contains("REGRESSION"));
-        // Speedups never fail, however large.
-        let fast = summary(&all_tracked(0.5));
-        assert!(!compare(&base, &fast, 25.0).unwrap().failed());
+        // Speedups never fail, however large (rates improve by going up,
+        // timings by going down).
+        let fast: Vec<(&str, f64)> = TRACKED_METRICS
+            .iter()
+            .map(|&n| (n, if higher_is_better(n) { 1000.0 } else { 0.5 }))
+            .collect();
+        assert!(!compare(&base, &summary(&fast), 25.0).unwrap().failed());
     }
 
     #[test]
@@ -338,16 +374,44 @@ mod tests {
         // +41% relative but only +0.145 ms absolute — inside the slack,
         // so timer noise on a sub-ms row cannot fail the gate…
         let mut rows = all_tracked(10.0);
-        let last = rows.len() - 1;
-        rows[last].1 = 0.355;
+        let idx = TRACKED_METRICS
+            .iter()
+            .position(|&n| n == "recover_snapshot_tail")
+            .unwrap();
+        rows[idx].1 = 0.355;
         let base = summary(&rows);
-        rows[last].1 = 0.5;
+        rows[idx].1 = 0.5;
         assert!(!compare(&base, &summary(&rows), 25.0).unwrap().failed());
         // …while a real fast-path regression still does (+0.645 ms).
-        rows[last].1 = 1.0;
+        rows[idx].1 = 1.0;
         let report = compare(&base, &summary(&rows), 25.0).unwrap();
         assert!(report.failed());
-        assert_eq!(report.regressions()[0].name, TRACKED_METRICS[last]);
+        assert_eq!(report.regressions()[0].name, TRACKED_METRICS[idx]);
+    }
+
+    #[test]
+    fn rate_metrics_gate_in_the_opposite_direction() {
+        assert!(higher_is_better("serve_ingest_events_per_sec"));
+        assert!(!higher_is_better("serve_point_query_p99"));
+        let rate = TRACKED_METRICS
+            .iter()
+            .position(|&n| n == "serve_ingest_events_per_sec")
+            .unwrap();
+        let mut rows = all_tracked(10.0);
+        rows[rate].1 = 1000.0;
+        let base = summary(&rows);
+        // A 30% throughput drop is a regression even though the number
+        // went *down* — the timing rule would have called that a win.
+        rows[rate].1 = 700.0;
+        let report = compare(&base, &summary(&rows), 25.0).unwrap();
+        assert!(report.failed());
+        assert_eq!(report.regressions()[0].name, "serve_ingest_events_per_sec");
+        assert!(report.render().contains("/s"));
+        // A 30% throughput gain passes; so does a drop inside tolerance.
+        rows[rate].1 = 1300.0;
+        assert!(!compare(&base, &summary(&rows), 25.0).unwrap().failed());
+        rows[rate].1 = 850.0; // -15%
+        assert!(!compare(&base, &summary(&rows), 25.0).unwrap().failed());
     }
 
     #[test]

@@ -55,6 +55,37 @@ pub enum StoreEvent {
     },
 }
 
+impl StoreEvent {
+    /// The review this event concerns — the routing key shared by both
+    /// variants (a `Review` event creates it, a `Rating` event references
+    /// it). An ingest router that partitions by review — e.g. a serving
+    /// daemon deciding which category's state an event will dirty —
+    /// resolves this id against its review index.
+    pub fn review(&self) -> ReviewId {
+        match *self {
+            StoreEvent::Review { review, .. } | StoreEvent::Rating { review, .. } => review,
+        }
+    }
+
+    /// The user originating the event: the writer of a `Review`, the
+    /// rater of a `Rating`.
+    pub fn actor(&self) -> UserId {
+        match *self {
+            StoreEvent::Review { writer, .. } => writer,
+            StoreEvent::Rating { rater, .. } => rater,
+        }
+    }
+
+    /// The category a `Review` event opens in, if this is one (`Rating`
+    /// events carry no category — it is implied by the rated review).
+    pub fn category(&self) -> Option<CategoryId> {
+        match *self {
+            StoreEvent::Review { category, .. } => Some(category),
+            StoreEvent::Rating { .. } => None,
+        }
+    }
+}
+
 /// Serializes a store into its canonical event log: every review in id
 /// order, then every rating in insertion order. Folding the result with
 /// [`replay_into_store`] reproduces the store's reviews and ratings
@@ -215,6 +246,26 @@ mod tests {
         for (a, b) in rebuilt.ratings().iter().zip(store.ratings()) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn event_accessors_expose_routing_keys() {
+        let rev = StoreEvent::Review {
+            writer: UserId(3),
+            review: ReviewId(7),
+            category: CategoryId(2),
+        };
+        let rat = StoreEvent::Rating {
+            rater: UserId(5),
+            review: ReviewId(7),
+            value: 0.6,
+        };
+        assert_eq!(rev.review(), ReviewId(7));
+        assert_eq!(rat.review(), ReviewId(7));
+        assert_eq!(rev.actor(), UserId(3));
+        assert_eq!(rat.actor(), UserId(5));
+        assert_eq!(rev.category(), Some(CategoryId(2)));
+        assert_eq!(rat.category(), None);
     }
 
     #[test]

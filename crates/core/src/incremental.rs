@@ -166,6 +166,10 @@ struct CategoryState {
     num_ratings: usize,
     /// Whether data changed since the last refresh.
     stale: bool,
+    /// Monotone counter bumped on every mutation — the invalidation key
+    /// for [`DerivedCache`]. Not part of the durable snapshot (a restored
+    /// model simply starts a fresh cache).
+    data_version: u64,
 }
 
 impl CategoryState {
@@ -184,6 +188,7 @@ impl CategoryState {
             reputation: Vec::new(),
             num_ratings: 0,
             stale: false,
+            data_version: 0,
         }
     }
 
@@ -206,6 +211,7 @@ impl CategoryState {
         self.reviews_by_writer_local[lw as usize].push(local);
         self.quality.push(cfg.unrated_review_quality);
         self.stale = true;
+        self.data_version += 1;
         local
     }
 
@@ -247,6 +253,7 @@ impl CategoryState {
         self.ratings_by_review_local[local as usize].push((lr, value));
         self.num_ratings += 1;
         self.stale = true;
+        self.data_version += 1;
         Ok(())
     }
 
@@ -298,6 +305,47 @@ impl CategoryState {
             reputation,
             iterations,
             converged,
+        }
+    }
+
+    /// Assembles one category's canonical [`CategoryReputation`] from a
+    /// solve outcome — the exact shape (and sort order) batch
+    /// [`pipeline::derive`](crate::pipeline::derive) emits.
+    fn category_reputation(
+        &self,
+        c: usize,
+        out: &SolveOutcome,
+        cfg: &DeriveConfig,
+    ) -> CategoryReputation {
+        let mut rater_reputation: Vec<(UserId, f64)> = self
+            .rater_of_local
+            .iter()
+            .copied()
+            .zip(out.reputation.iter().copied())
+            .collect();
+        rater_reputation.sort_by_key(|&(u, _)| u);
+        let writer_values =
+            reputation::writer_reputation_grouped(&self.reviews_by_writer_local, &out.quality, cfg);
+        let mut writer_reputation: Vec<(UserId, f64)> = self
+            .writer_of_local
+            .iter()
+            .copied()
+            .zip(writer_values)
+            .collect();
+        writer_reputation.sort_by_key(|&(u, _)| u);
+        let review_quality: Vec<(ReviewId, f64)> = self
+            .reviews
+            .iter()
+            .copied()
+            .zip(out.quality.iter().copied())
+            .collect();
+        CategoryReputation {
+            category: CategoryId::from_index(c),
+            rater_reputation,
+            writer_reputation,
+            review_quality,
+            iterations: out.iterations,
+            converged: out.converged,
         }
     }
 }
@@ -358,6 +406,23 @@ pub struct IncrementalSnapshot {
     pub num_users: usize,
     /// Per-category state, indexed by `CategoryId`.
     pub categories: Vec<CategorySnapshot>,
+}
+
+/// Memo state for [`IncrementalDerived::to_derived_cached`]: the last
+/// canonical per-category solve, keyed by each category's data version.
+///
+/// Create one with [`DerivedCache::default`] and keep feeding it the
+/// **same** model instance — a serving daemon holds one alongside its
+/// `IncrementalDerived` and republishes snapshots cheaply after sparse
+/// write bursts. Reusing a cache across *different* model instances is
+/// not meaningful (versions are per-instance counters); a shape mismatch
+/// resets the cache, anything subtler is on the caller.
+#[derive(Debug, Clone, Default)]
+pub struct DerivedCache {
+    /// Data version each slot was solved at (`u64::MAX` = never).
+    versions: Vec<u64>,
+    /// Canonical per-category output as of `versions`.
+    per_category: Vec<CategoryReputation>,
 }
 
 /// Online derived model: append events, refresh stale categories, read
@@ -518,6 +583,89 @@ impl IncrementalDerived {
             }
             ReplayEvent::RefreshAll => {
                 self.refresh_all();
+                Ok(())
+            }
+        }
+    }
+
+    /// Read-only admission check: would [`apply`](Self::apply) accept
+    /// this event right now? Mirrors every validation `apply` performs —
+    /// bounds, dense review ids, known review, value range, self-rating,
+    /// duplicate (rater, review) — **without mutating anything**.
+    ///
+    /// This exists for write-ahead logging: a durable ingest path must
+    /// reject a bad event *before* appending it to the log (an appended
+    /// event that then fails to apply would poison every future replay
+    /// of that log), and `apply`'s validation is only observable by
+    /// letting it mutate. After `check_event` returns `Ok`, the matching
+    /// `apply` on the unchanged model is guaranteed to succeed.
+    pub fn check_event(&self, event: &StoreEvent) -> Result<()> {
+        match *event {
+            StoreEvent::Review {
+                writer,
+                review,
+                category,
+            } => {
+                if writer.index() >= self.num_users {
+                    return Err(CoreError::Shape(format!(
+                        "writer {writer} out of bounds for {} users",
+                        self.num_users
+                    )));
+                }
+                if category.index() >= self.categories.len() {
+                    return Err(CoreError::Shape(format!(
+                        "category {category} out of bounds for {} categories",
+                        self.categories.len()
+                    )));
+                }
+                let rank = self.review_index.len();
+                if review.index() != rank {
+                    return Err(CoreError::Shape(format!(
+                        "review event carries id {review} but arrival rank assigns {rank}"
+                    )));
+                }
+                Ok(())
+            }
+            StoreEvent::Rating {
+                rater,
+                review,
+                value,
+            } => {
+                if rater.index() >= self.num_users {
+                    return Err(CoreError::Shape(format!(
+                        "rater {rater} out of bounds for {} users",
+                        self.num_users
+                    )));
+                }
+                if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                    return Err(CoreError::Shape(format!(
+                        "rating value {value} must be within [0, 1]"
+                    )));
+                }
+                let Some(&(cat, local)) = self.review_index.get(&review) else {
+                    return Err(CoreError::Shape(format!("unknown review {review}")));
+                };
+                let state = &self.categories[cat as usize];
+                let lw = state.review_writer_local[local as usize];
+                if state.writer_of_local[lw as usize] == rater {
+                    return Err(CoreError::Shape(format!(
+                        "user {rater} cannot rate their own review {review}"
+                    )));
+                }
+                if let Some(lr) = state
+                    .rater_slot
+                    .get(rater.index())
+                    .copied()
+                    .filter(|&lr| lr != u32::MAX)
+                {
+                    let given = &state.ratings_by_rater_local[lr as usize];
+                    let at = given.partition_point(|&(l, _)| l < local);
+                    if given.get(at).is_some_and(|&(l, _)| l == local) {
+                        return Err(CoreError::Shape(format!(
+                            "user {rater} already rated review {review}"
+                        )));
+                    }
+                }
                 Ok(())
             }
         }
@@ -845,41 +993,7 @@ impl IncrementalDerived {
             .iter()
             .zip(&solved)
             .enumerate()
-            .map(|(c, (state, out))| {
-                let mut rater_reputation: Vec<(UserId, f64)> = state
-                    .rater_of_local
-                    .iter()
-                    .copied()
-                    .zip(out.reputation.iter().copied())
-                    .collect();
-                rater_reputation.sort_by_key(|&(u, _)| u);
-                let writer_values = reputation::writer_reputation_grouped(
-                    &state.reviews_by_writer_local,
-                    &out.quality,
-                    cfg,
-                );
-                let mut writer_reputation: Vec<(UserId, f64)> = state
-                    .writer_of_local
-                    .iter()
-                    .copied()
-                    .zip(writer_values)
-                    .collect();
-                writer_reputation.sort_by_key(|&(u, _)| u);
-                let review_quality: Vec<(ReviewId, f64)> = state
-                    .reviews
-                    .iter()
-                    .copied()
-                    .zip(out.quality.iter().copied())
-                    .collect();
-                CategoryReputation {
-                    category: CategoryId::from_index(c),
-                    rater_reputation,
-                    writer_reputation,
-                    review_quality,
-                    iterations: out.iterations,
-                    converged: out.converged,
-                }
-            })
+            .map(|(c, (state, out))| state.category_reputation(c, out, cfg))
             .collect();
         let writer_pairs: Vec<&[(UserId, f64)]> = per_category
             .iter()
@@ -889,6 +1003,69 @@ impl IncrementalDerived {
             expertise: expertise::expertise_matrix_from_pairs(self.num_users, &writer_pairs),
             affiliation: self.affiliation(),
             per_category,
+        }
+    }
+
+    /// Like [`to_derived`](Self::to_derived), but re-solves **only the
+    /// categories whose data changed** since the cache last saw them,
+    /// reusing the cached canonical [`CategoryReputation`] for the rest.
+    ///
+    /// The result is bit-identical to `to_derived()` *by construction*:
+    /// a cached entry was produced by the very same cold solve over the
+    /// very same index tables (each category carries a monotone data
+    /// version, bumped on every mutation, that keys the cache), so
+    /// skipping the re-solve cannot change a single bit. This is what
+    /// makes frequent snapshot publication affordable for a serving
+    /// daemon: after a burst of events touching `k` categories, a new
+    /// snapshot costs `k` cold solves instead of *all* of them.
+    ///
+    /// The cache is **tied to the model instance it first saw**: feed it
+    /// snapshots of one `IncrementalDerived` only. (A cache whose shape
+    /// doesn't match is reset wholesale, so a fresh or restored model
+    /// starts cold rather than wrong.)
+    pub fn to_derived_cached(&self, cache: &mut DerivedCache) -> Derived {
+        let cfg = &self.cfg;
+        let categories = &self.categories;
+        if cache.versions.len() != categories.len() {
+            cache.versions = vec![u64::MAX; categories.len()];
+            cache.per_category.clear();
+            // Placeholders only: every slot starts at version u64::MAX,
+            // which no data version reaches, so each is overwritten by a
+            // real solve before it can be read.
+            cache
+                .per_category
+                .resize_with(categories.len(), || CategoryReputation {
+                    category: CategoryId(0),
+                    rater_reputation: Vec::new(),
+                    writer_reputation: Vec::new(),
+                    review_quality: Vec::new(),
+                    iterations: 0,
+                    converged: false,
+                });
+        }
+        let dirty: Vec<usize> = categories
+            .iter()
+            .enumerate()
+            .filter_map(|(c, s)| (cache.versions[c] != s.data_version).then_some(c))
+            .collect();
+        let solved = wot_par::par_map_indexed(dirty.len(), cfg.effective_threads(), |k| {
+            let c = dirty[k];
+            let state = &categories[c];
+            state.category_reputation(c, &state.solve_cold(cfg), cfg)
+        });
+        for (&c, cr) in dirty.iter().zip(solved) {
+            cache.per_category[c] = cr;
+            cache.versions[c] = categories[c].data_version;
+        }
+        let writer_pairs: Vec<&[(UserId, f64)]> = cache
+            .per_category
+            .iter()
+            .map(|cr| cr.writer_reputation.as_slice())
+            .collect();
+        Derived {
+            expertise: expertise::expertise_matrix_from_pairs(self.num_users, &writer_pairs),
+            affiliation: self.affiliation(),
+            per_category: cache.per_category.clone(),
         }
     }
 
@@ -1078,6 +1255,49 @@ mod tests {
         assert_eq!(inc.refresh(other), (0, true));
     }
 
+    /// The cached snapshot path is bit-identical to the uncached one at
+    /// every point of an event stream — including after restores and
+    /// mutations that touch only a subset of categories — and actually
+    /// skips clean categories.
+    #[test]
+    fn cached_snapshot_is_bit_identical_and_skips_clean_categories() {
+        let store = sample_store();
+        let cfg = DeriveConfig::default();
+        let log = wot_community::events::event_log(&store);
+        let mut inc =
+            IncrementalDerived::new(store.num_users(), store.num_categories(), &cfg).unwrap();
+        let mut cache = DerivedCache::default();
+        // Snapshot after every event: cached == cold every time, with
+        // `==` on the full Derived (which compares every f64 bit-level
+        // via Dense/Vec equality of identical bits).
+        for e in &log {
+            inc.apply(&ReplayEvent::from(*e)).unwrap();
+            assert_eq!(inc.to_derived_cached(&mut cache), inc.to_derived());
+        }
+        // A mutation in category 1 only must leave category 0's cache
+        // entry untouched (same version ⇒ same slot, no re-solve).
+        let v0_before = cache.versions[0];
+        inc.add_review(
+            UserId(0),
+            ReviewId(store.num_reviews() as u32),
+            CategoryId(1),
+        )
+        .unwrap();
+        let d = inc.to_derived_cached(&mut cache);
+        assert_eq!(cache.versions[0], v0_before, "clean category re-solved");
+        assert_eq!(d, inc.to_derived());
+        // An idle republish re-solves nothing and still agrees.
+        let versions = cache.versions.clone();
+        assert_eq!(inc.to_derived_cached(&mut cache), inc.to_derived());
+        assert_eq!(cache.versions, versions);
+        // A differently-shaped model resets the cache instead of serving
+        // stale slots.
+        let other = IncrementalDerived::new(3, 5, &cfg).unwrap();
+        let d = other.to_derived_cached(&mut cache);
+        assert_eq!(d, other.to_derived());
+        assert_eq!(cache.versions.len(), 5);
+    }
+
     #[test]
     fn staleness_tracking() {
         let store = sample_store();
@@ -1175,6 +1395,89 @@ mod tests {
         assert!(inc.rater_reputation(CategoryId(0), UserId(1)).is_some());
         assert!(inc.rater_reputation(CategoryId(0), UserId(0)).is_none());
         assert!(inc.rater_reputation(CategoryId(9), UserId(0)).is_none());
+    }
+
+    /// `check_event` admits exactly the events `apply` admits, and never
+    /// mutates — the precondition the WAL-before-apply ingest path rests
+    /// on.
+    #[test]
+    fn check_event_mirrors_apply_and_is_read_only() {
+        let store = sample_store();
+        let cfg = DeriveConfig::default();
+        let log = wot_community::events::event_log(&store);
+        let mut inc =
+            IncrementalDerived::new(store.num_users(), store.num_categories(), &cfg).unwrap();
+        for e in &log {
+            inc.check_event(e).unwrap();
+            inc.apply(&ReplayEvent::from(*e)).unwrap();
+        }
+        let image = inc.snapshot();
+        let next_id = ReviewId(store.num_reviews() as u32);
+        let bad = [
+            // Non-dense review id (replay contract).
+            StoreEvent::Review {
+                writer: UserId(0),
+                review: ReviewId(next_id.0 + 5),
+                category: CategoryId(0),
+            },
+            // Out-of-range writer and category.
+            StoreEvent::Review {
+                writer: UserId(99),
+                review: next_id,
+                category: CategoryId(0),
+            },
+            StoreEvent::Review {
+                writer: UserId(0),
+                review: next_id,
+                category: CategoryId(99),
+            },
+            // Unknown review, off-scale value, out-of-range rater.
+            StoreEvent::Rating {
+                rater: UserId(0),
+                review: ReviewId(999),
+                value: 0.5,
+            },
+            StoreEvent::Rating {
+                rater: UserId(0),
+                review: ReviewId(0),
+                value: 1.5,
+            },
+            StoreEvent::Rating {
+                rater: UserId(99),
+                review: ReviewId(0),
+                value: 0.5,
+            },
+        ];
+        for e in &bad {
+            assert!(inc.check_event(e).is_err(), "{e:?} must be rejected");
+        }
+        // Duplicate rating and self-rating from the folded store.
+        let rt = store.ratings()[0];
+        assert!(inc
+            .check_event(&StoreEvent::Rating {
+                rater: rt.rater,
+                review: rt.review,
+                value: 0.5,
+            })
+            .is_err());
+        let rv = store.reviews()[0];
+        assert!(inc
+            .check_event(&StoreEvent::Rating {
+                rater: rv.writer,
+                review: rv.id,
+                value: 0.5,
+            })
+            .is_err());
+        // All those checks left no trace.
+        assert_eq!(inc.snapshot(), image);
+        // And an admitted event still applies.
+        let good = StoreEvent::Review {
+            writer: UserId(0),
+            review: next_id,
+            category: CategoryId(1),
+        };
+        inc.check_event(&good).unwrap();
+        inc.apply(&ReplayEvent::from(good)).unwrap();
     }
 
     /// Snapshot → restore is state-exact: the restored model refreshes,

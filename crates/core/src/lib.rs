@@ -115,7 +115,9 @@ pub mod trust_blocks;
 
 pub use config::DeriveConfig;
 pub use error::CoreError;
-pub use incremental::{CategorySnapshot, IncrementalDerived, IncrementalSnapshot, ReplayEvent};
+pub use incremental::{
+    CategorySnapshot, DerivedCache, IncrementalDerived, IncrementalSnapshot, ReplayEvent,
+};
 pub use pipeline::{CategoryReputation, Derived};
 pub use trust_blocks::{BlockConfig, TrustBlock, TrustBlocks};
 

@@ -106,22 +106,26 @@ fn quartile(rank: usize, n: usize) -> usize {
 
 /// Ranks one category's `(user, reputation)` list and counts labelled
 /// users per quartile. Ties break by user id, making ranks deterministic.
+///
+/// The sort uses `f64::total_cmp`, which is a total order even over NaN
+/// (NaN sorts below every finite reputation here, i.e. into Q4): a
+/// `partial_cmp(..).unwrap_or(Equal)` comparator is *inconsistent* in the
+/// presence of NaN (`a < NaN` and `NaN < a` both "equal"), and an
+/// inconsistent comparator makes `sort_by`'s output order unspecified —
+/// the quartile counts would depend on the input permutation.
 fn analyze_category(
     category: CategoryId,
     name: &str,
     mut scored: Vec<(UserId, f64)>,
     labels: &[UserId],
 ) -> QuartileRow {
-    scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let label_set: std::collections::HashSet<UserId> = labels.iter().copied().collect();
     let n = scored.len();
     let mut quartile_counts = [0usize; 4];
     let mut labeled = 0usize;
     for (rank, &(u, _)) in scored.iter().enumerate() {
-        if labels.contains(&u) {
+        if label_set.contains(&u) {
             labeled += 1;
             quartile_counts[quartile(rank, n)] += 1;
         }
@@ -243,6 +247,45 @@ mod tests {
         let s = table.to_string();
         assert!(s.contains("Overall"));
         assert!(s.contains("Q1(Top)"));
+    }
+
+    #[test]
+    fn nan_reputations_rank_deterministically() {
+        // Regression: the old comparator used
+        // `partial_cmp(..).unwrap_or(Equal)`, which is inconsistent over
+        // NaN — two permutations of the same scored list could produce
+        // different rank orders (and different quartile counts). With
+        // `total_cmp` the result is a function of the *set*, not the
+        // input order: every permutation must agree exactly.
+        let base = vec![
+            (UserId(0), 0.9),
+            (UserId(1), f64::NAN),
+            (UserId(2), 0.7),
+            (UserId(3), f64::NAN),
+            (UserId(4), 0.5),
+            (UserId(5), 0.3),
+            (UserId(6), f64::NAN),
+            (UserId(7), 0.1),
+        ];
+        let labels: Vec<UserId> = (0..8).map(UserId).collect();
+        let reference = analyze_category(CategoryId(0), "c", base.clone(), &labels);
+        // NaN is the bottom of the total order, so the three NaN users
+        // occupy the last three ranks: quartiles over n=8 give two slots
+        // each, so Q3 gets one NaN and Q4 two.
+        assert_eq!(reference.quartile_counts, [2, 2, 2, 2]);
+        // Exhaustive-ish permutation check: rotate and reverse variants.
+        for rot in 0..base.len() {
+            let mut perm = base.clone();
+            perm.rotate_left(rot);
+            let row = analyze_category(CategoryId(0), "c", perm.clone(), &labels);
+            assert_eq!(row, reference, "rotation {rot} changed the ranking");
+            perm.reverse();
+            let row = analyze_category(CategoryId(0), "c", perm, &labels);
+            assert_eq!(
+                row, reference,
+                "reversed rotation {rot} changed the ranking"
+            );
+        }
     }
 
     #[test]

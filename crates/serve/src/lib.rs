@@ -1,0 +1,96 @@
+//! Trust-serving daemon: lock-free snapshot reads over a durable
+//! single-writer ingest path.
+//!
+//! The batch pipeline answers "what does the community's derived web of
+//! trust look like *now*" — this crate keeps answering it while the
+//! community keeps growing. One writer thread owns the incremental model
+//! and the WAL; every mutation follows the durability ordering
+//!
+//! ```text
+//! check (read-only admission) → WAL append → apply → publish → ack
+//! ```
+//!
+//! so an acknowledged event is in the log before it is in the model, and
+//! nothing that fails validation ever reaches the log (a poisoned log
+//! would make recovery replay fail). After each ingest batch the writer
+//! re-derives only the categories the batch dirtied
+//! ([`wot_core::IncrementalDerived::to_derived_cached`]) and publishes
+//! the result as an immutable [`ServeSnapshot`] behind a
+//! [`SnapshotCell`] — an atomic version counter plus an `Arc` swap.
+//!
+//! Readers never block the writer and never see torn state: each request
+//! is answered wholly from one `Arc`'d snapshot, and a reader's
+//! steady-state cost for snapshot acquisition is a single atomic load
+//! ([`ReaderCache`]). Every served number is **bit-identical** (`==` on
+//! `f64`) to what the offline batch pipeline derives from the same event
+//! prefix — the snapshot's `seq` says exactly which prefix, so the
+//! conformance tests can hold the daemon to the oracle.
+//!
+//! The wire protocol ([`protocol`]) is a length-prefixed binary framing
+//! over plain `TcpStream`s — no external dependencies — with typed
+//! request/response codecs and per-request error frames. [`Client`] is
+//! the blocking typed counterpart.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use client::{Client, ReputationTable};
+pub use protocol::{
+    AggregateSummary, ErrorCode, OkBody, Opcode, Request, Response, ServeStats, WireError,
+};
+pub use server::{ServeOptions, Server, ServerHandle};
+pub use snapshot::{ReaderCache, ServeSnapshot, SnapshotCell};
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket or file operation failed.
+    Io(std::io::Error),
+    /// A frame or body failed to encode/decode, or a peer broke framing.
+    Protocol(String),
+    /// The server answered with a typed error frame.
+    Remote(WireError),
+    /// The durable log refused an operation.
+    Wal(wot_wal::WalError),
+    /// The derivation core refused an operation.
+    Core(wot_core::CoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::Remote(e) => {
+                write!(f, "server error ({:?}): {}", e.code, e.message)
+            }
+            ServeError::Wal(e) => write!(f, "wal error: {e}"),
+            ServeError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<wot_wal::WalError> for ServeError {
+    fn from(e: wot_wal::WalError) -> Self {
+        ServeError::Wal(e)
+    }
+}
+
+impl From<wot_core::CoreError> for ServeError {
+    fn from(e: wot_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Result alias for the serving layer.
+pub type Result<T> = std::result::Result<T, ServeError>;

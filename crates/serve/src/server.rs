@@ -1,0 +1,585 @@
+//! The daemon: one writer thread owning model + WAL, a reader pool
+//! serving snapshot queries, and a plain-`TcpListener` accept loop.
+//!
+//! ## Threads
+//!
+//! * **Accept loop** — non-blocking accept; hands each connection to the
+//!   worker pool's queue.
+//! * **Reader workers** — `wot_par`-sized pool; each worker serves one
+//!   connection at a time, request-by-request, wholly from the current
+//!   published snapshot ([`ReaderCache`]: one atomic load per request in
+//!   steady state). A connection occupies its worker until it closes, so
+//!   size `reader_threads` to the expected concurrent connections.
+//! * **Writer** — the only thread that touches the model or the WAL.
+//!   Drains ingest commands in small batches; per event runs
+//!   `check → WAL append → apply`; per batch re-derives the dirtied
+//!   categories ([`to_derived_cached`]), publishes the new snapshot, and
+//!   only then acks — so a client that saw its ingest acknowledged will
+//!   read its own write. Idle ticks run the WAL's
+//!   [`sync_if_due`](wot_wal::WalWriter::sync_if_due) so a quiet tail
+//!   still becomes durable within the fsync policy's window; shutdown
+//!   ends with an unconditional [`sync`](wot_wal::WalWriter::sync).
+//!
+//! There is no separate "refresh stale categories" step in the hot loop:
+//! `to_derived_cached` *is* that refresh — it cold-solves exactly the
+//! categories whose data version moved and reuses every clean one, and
+//! its output is bit-identical to a from-scratch `to_derived()`.
+//!
+//! [`to_derived_cached`]: wot_core::IncrementalDerived::to_derived_cached
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use wot_community::StoreEvent;
+use wot_core::{DerivedCache, IncrementalDerived, ReplayEvent};
+use wot_wal::{FsyncPolicy, LogKind, WalWriter};
+
+use crate::protocol::{
+    self, ErrorCode, FrameRead, OkBody, Opcode, Request, ServeStats, MAX_REQUEST_LEN,
+};
+use crate::snapshot::{ReaderCache, ServeSnapshot, SnapshotCell};
+use crate::{Result, ServeError};
+
+/// How a [`Server`] is wired up.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; `"127.0.0.1:0"` picks a free port (read it back
+    /// from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Reader worker threads; `0` resolves to the hardware parallelism
+    /// via [`wot_par::resolve_threads`]. An open connection occupies one
+    /// worker until it closes, so size the pool to at least the expected
+    /// number of *concurrent clients* — on a small host the auto-sized
+    /// pool can be 1, which serves exactly one connection at a time.
+    pub reader_threads: usize,
+    /// Where the server's WAL lives. Created (truncated) on start: the
+    /// server owns a fresh log for its lifetime, and a restart replays
+    /// the previous log into the bootstrap model *before* starting.
+    pub wal_path: PathBuf,
+    /// Durability policy for ingest appends.
+    pub fsync: FsyncPolicy,
+}
+
+impl ServeOptions {
+    /// Loopback on a free port, given WAL path, `EveryMs(50)` fsync,
+    /// auto-sized reader pool.
+    pub fn local(wal_path: impl Into<PathBuf>) -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            reader_threads: 0,
+            wal_path: wal_path.into(),
+            fsync: FsyncPolicy::EveryMs(50),
+        }
+    }
+}
+
+/// Largest number of ingest commands the writer folds into one
+/// derive-and-publish cycle. Batching amortizes the per-publish derive
+/// without letting a firehose starve snapshot freshness.
+const WRITER_BATCH: usize = 256;
+
+/// Writer-loop idle tick: bounds both shutdown latency and the idle
+/// fsync check interval.
+const WRITER_TICK: Duration = Duration::from_millis(5);
+
+/// Per-connection read timeout — how often an idle reader re-checks the
+/// shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Commands crossing from reader workers to the writer thread.
+enum WriteCmd {
+    /// Ingest one event; `reply` receives the covering snapshot seq
+    /// after publication, or a typed refusal.
+    Ingest {
+        event: StoreEvent,
+        reply: SyncSender<std::result::Result<u64, (ErrorCode, String)>>,
+    },
+    /// Wake the writer so it notices the shutdown flag.
+    Wake,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    cell: SnapshotCell,
+    shutdown: AtomicBool,
+    wal_len: AtomicU64,
+    /// Connections waiting for a worker.
+    pending: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    reader_threads: usize,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// Constructor namespace for the daemon (the running instance lives in
+/// [`ServerHandle`]).
+pub struct Server;
+
+impl Server {
+    /// Boots a server over a bootstrap model.
+    ///
+    /// `model` holds `base_seq` events of history already (0 for an
+    /// empty community); served snapshot seqs continue from there. The
+    /// first snapshot is derived and published before `start` returns,
+    /// so the server never serves an empty placeholder.
+    pub fn start(
+        model: IncrementalDerived,
+        base_seq: u64,
+        opts: &ServeOptions,
+    ) -> Result<ServerHandle> {
+        let wal = WalWriter::create(&opts.wal_path, LogKind::Events, opts.fsync)?;
+        let mut cache = DerivedCache::default();
+        let first = ServeSnapshot::new(base_seq, model.to_derived_cached(&mut cache));
+        let reader_threads = wot_par::resolve_threads(opts.reader_threads).max(1);
+        let shared = Arc::new(Shared {
+            cell: SnapshotCell::new(Arc::new(first)),
+            shutdown: AtomicBool::new(false),
+            wal_len: AtomicU64::new(wal.len()),
+            pending: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            reader_threads,
+        });
+
+        let (write_tx, write_rx) = mpsc::channel::<WriteCmd>();
+
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let writer_join = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("wot-serve-writer".into())
+                .spawn(move || writer_loop(model, cache, wal, base_seq, write_rx, &shared))
+                .map_err(ServeError::Io)?
+        };
+
+        let mut workers = Vec::with_capacity(reader_threads);
+        for w in 0..reader_threads {
+            let shared = Arc::clone(&shared);
+            let write_tx = write_tx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("wot-serve-reader-{w}"))
+                    .spawn(move || worker_loop(&shared, &write_tx))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+
+        let accept_join = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("wot-serve-accept".into())
+                .spawn(move || accept_loop(listener, &shared))
+                .map_err(ServeError::Io)?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            write_tx,
+            accept_join: Some(accept_join),
+            writer_join: Some(writer_join),
+            workers,
+        })
+    }
+}
+
+/// A running server: its bound address plus the join handles needed to
+/// stop it. Dropping the handle shuts the server down (best effort);
+/// call [`shutdown`](ServerHandle::shutdown) for an error-checked stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    write_tx: Sender<WriteCmd>,
+    accept_join: Option<JoinHandle<()>>,
+    writer_join: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins every thread. The writer flushes the
+    /// WAL tail before exiting, so everything acknowledged is durable
+    /// when this returns.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.stop();
+        Ok(())
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake everyone who might be blocked: the writer on its channel,
+        // workers on the condvar. (The accept loop polls the flag.)
+        let _ = self.write_tx.send(WriteCmd::Wake);
+        self.shared.available.notify_all();
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+        for j in self.workers.drain(..) {
+            let _ = j.join();
+        }
+        if let Some(j) = self.writer_join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer thread
+// ---------------------------------------------------------------------
+
+fn writer_loop(
+    mut model: IncrementalDerived,
+    mut cache: DerivedCache,
+    mut wal: WalWriter,
+    base_seq: u64,
+    rx: Receiver<WriteCmd>,
+    shared: &Shared,
+) {
+    let mut seq = base_seq;
+    loop {
+        let first = match rx.recv_timeout(WRITER_TICK) {
+            Ok(cmd) => Some(cmd),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let Some(first) = first else {
+            // Idle tick: make a quiet WAL tail durable within the fsync
+            // policy's own window (the idle-flush path).
+            let _ = wal.sync_if_due();
+            if shared.shutting_down() {
+                break;
+            }
+            continue;
+        };
+        let mut batch = vec![first];
+        while batch.len() < WRITER_BATCH {
+            match rx.try_recv() {
+                Ok(cmd) => batch.push(cmd),
+                Err(_) => break,
+            }
+        }
+        let mut acks = Vec::new();
+        let mut applied = false;
+        for cmd in batch {
+            let WriteCmd::Ingest { event, reply } = cmd else {
+                continue;
+            };
+            if shared.shutting_down() {
+                let _ = reply.send(Err((
+                    ErrorCode::ShuttingDown,
+                    "server is shutting down".into(),
+                )));
+                continue;
+            }
+            // Durability ordering: read-only admission first, so nothing
+            // that would fail `apply` ever reaches the log; then the
+            // durable append; only then the in-memory fold.
+            if let Err(e) = model.check_event(&event) {
+                let _ = reply.send(Err((ErrorCode::Rejected, e.to_string())));
+                continue;
+            }
+            if let Err(e) = wal.append(&event) {
+                let _ = reply.send(Err((ErrorCode::Internal, e.to_string())));
+                continue;
+            }
+            model
+                .apply(&ReplayEvent::from(event))
+                .expect("checked event must apply");
+            seq += 1;
+            applied = true;
+            acks.push(reply);
+        }
+        if applied {
+            // Re-derive only the categories this batch dirtied, publish,
+            // then ack: an acknowledged writer immediately reads its own
+            // write from the new snapshot.
+            let snap = ServeSnapshot::new(seq, model.to_derived_cached(&mut cache));
+            shared.cell.publish(Arc::new(snap));
+            shared.wal_len.store(wal.len(), Ordering::Relaxed);
+            for reply in acks {
+                let _ = reply.send(Ok(seq));
+            }
+        }
+        if shared.shutting_down() {
+            break;
+        }
+    }
+    // Graceful exit: whatever the policy left unsynced becomes durable.
+    let _ = wal.sync();
+}
+
+// ---------------------------------------------------------------------
+// Accept loop and reader workers
+// ---------------------------------------------------------------------
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut pending = shared.pending.lock().expect("pending queue poisoned");
+                pending.push_back(stream);
+                drop(pending);
+                shared.available.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, write_tx: &Sender<WriteCmd>) {
+    let mut reader = ReaderCache::new(&shared.cell);
+    loop {
+        let stream = {
+            let mut pending = shared.pending.lock().expect("pending queue poisoned");
+            loop {
+                if let Some(s) = pending.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(pending, READ_TICK)
+                    .expect("pending queue poisoned");
+                pending = guard;
+            }
+        };
+        let Some(stream) = stream else {
+            return;
+        };
+        serve_connection(stream, shared, write_tx, &mut reader);
+        if shared.shutting_down() {
+            return;
+        }
+    }
+}
+
+/// Serves one connection until it closes, errors, or shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    write_tx: &Sender<WriteCmd>,
+    reader: &mut ReaderCache,
+) {
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let mut out = Vec::new();
+    loop {
+        let body = match protocol::read_frame(&mut stream, MAX_REQUEST_LEN) {
+            Ok(FrameRead::Frame(body)) => body,
+            Ok(FrameRead::Closed) => return,
+            Ok(FrameRead::Idle) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                continue;
+            }
+            Ok(FrameRead::TooLarge { len }) => {
+                // The stream is desynced past the prefix; refuse and
+                // close rather than guess where the next frame starts.
+                out.clear();
+                protocol::encode_err(
+                    &mut out,
+                    reader.current(&shared.cell).seq,
+                    Opcode::Ping,
+                    ErrorCode::BadRequest,
+                    &format!("request of {len} bytes exceeds the {MAX_REQUEST_LEN}-byte cap"),
+                );
+                let _ = protocol::write_frame(&mut stream, &out);
+                let _ = stream.flush();
+                return;
+            }
+            Err(_) => return,
+        };
+        out.clear();
+        let close = handle_request(&body, shared, write_tx, reader, &mut out);
+        if protocol::write_frame(&mut stream, &out).is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+/// Decodes and answers one request into `out`; returns whether the
+/// connection should close afterwards (shutdown request).
+fn handle_request(
+    body: &[u8],
+    shared: &Shared,
+    write_tx: &Sender<WriteCmd>,
+    reader: &mut ReaderCache,
+    out: &mut Vec<u8>,
+) -> bool {
+    // One snapshot per request: every bound check and every answer below
+    // reads this `Arc`, so a response can never mix two model states.
+    let snap = Arc::clone(reader.current(&shared.cell));
+    let req = match protocol::decode_request(body) {
+        Ok(req) => req,
+        Err(e) => {
+            protocol::encode_err(out, snap.seq, Opcode::Ping, ErrorCode::BadRequest, &e);
+            return false;
+        }
+    };
+    let opcode = req.opcode();
+    let users = snap.num_users();
+    let categories = snap.num_categories();
+    let refuse = |out: &mut Vec<u8>, code: ErrorCode, msg: String| {
+        protocol::encode_err(out, snap.seq, opcode, code, &msg);
+    };
+    match req {
+        Request::Ping => protocol::encode_ok(out, snap.seq, &OkBody::Empty(Opcode::Ping)),
+        Request::Trust { i, j } => {
+            if i as usize >= users || j as usize >= users {
+                refuse(
+                    out,
+                    ErrorCode::OutOfRange,
+                    format!("pair ({i}, {j}) out of range for {users} users"),
+                );
+            } else {
+                let v = snap.trust(i as usize, j as usize);
+                protocol::encode_ok(out, snap.seq, &OkBody::Trust(v));
+            }
+        }
+        Request::TopK { user, k } => {
+            if user as usize >= users {
+                refuse(
+                    out,
+                    ErrorCode::OutOfRange,
+                    format!("user {user} out of range for {users} users"),
+                );
+            } else if k == 0 {
+                refuse(out, ErrorCode::BadRequest, "top-k needs k ≥ 1".into());
+            } else {
+                let top = snap.top_k(user as usize, k as usize);
+                let pairs = top.into_iter().map(|(j, v)| (j as u32, v)).collect();
+                protocol::encode_ok(out, snap.seq, &OkBody::TopK(pairs));
+            }
+        }
+        Request::RaterReputation { category, user } => {
+            if category as usize >= categories {
+                refuse(
+                    out,
+                    ErrorCode::OutOfRange,
+                    format!("category {category} out of range for {categories} categories"),
+                );
+            } else if user as usize >= users {
+                refuse(
+                    out,
+                    ErrorCode::OutOfRange,
+                    format!("user {user} out of range for {users} users"),
+                );
+            } else {
+                // Rater tables are sorted by user id (the cached derive
+                // produces them that way), so membership is a binary
+                // search.
+                let table = &snap.derived.per_category[category as usize].rater_reputation;
+                let v = table
+                    .binary_search_by_key(&user, |&(u, _)| u.0)
+                    .ok()
+                    .map(|idx| table[idx].1);
+                protocol::encode_ok(out, snap.seq, &OkBody::RaterReputation(v));
+            }
+        }
+        Request::CategoryReputations { category } => {
+            if category as usize >= categories {
+                refuse(
+                    out,
+                    ErrorCode::OutOfRange,
+                    format!("category {category} out of range for {categories} categories"),
+                );
+            } else {
+                let cr = &snap.derived.per_category[category as usize];
+                let raters = cr.rater_reputation.iter().map(|&(u, v)| (u.0, v)).collect();
+                let writers = cr
+                    .writer_reputation
+                    .iter()
+                    .map(|&(u, v)| (u.0, v))
+                    .collect();
+                protocol::encode_ok(
+                    out,
+                    snap.seq,
+                    &OkBody::CategoryReputations { raters, writers },
+                );
+            }
+        }
+        Request::Aggregates => match snap.aggregates() {
+            Ok(agg) => protocol::encode_ok(out, snap.seq, &OkBody::Aggregates(agg.clone())),
+            Err(e) => refuse(out, ErrorCode::Internal, e),
+        },
+        Request::Ingest(event) => {
+            if shared.shutting_down() {
+                refuse(
+                    out,
+                    ErrorCode::ShuttingDown,
+                    "server is shutting down".into(),
+                );
+                return false;
+            }
+            let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+            if write_tx
+                .send(WriteCmd::Ingest {
+                    event,
+                    reply: reply_tx,
+                })
+                .is_err()
+            {
+                refuse(out, ErrorCode::ShuttingDown, "writer has stopped".into());
+                return false;
+            }
+            match reply_rx.recv() {
+                Ok(Ok(seq)) => protocol::encode_ok(out, seq, &OkBody::Empty(Opcode::Ingest)),
+                Ok(Err((code, msg))) => refuse(out, code, msg),
+                Err(_) => refuse(out, ErrorCode::ShuttingDown, "writer has stopped".into()),
+            }
+        }
+        Request::Stats => {
+            let stats = ServeStats {
+                events: snap.seq,
+                publishes: shared.cell.version(),
+                num_users: users as u32,
+                num_categories: categories as u32,
+                wal_len: shared.wal_len.load(Ordering::Relaxed),
+                reader_threads: shared.reader_threads as u32,
+            };
+            protocol::encode_ok(out, snap.seq, &OkBody::Stats(stats));
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::Release);
+            let _ = write_tx.send(WriteCmd::Wake);
+            shared.available.notify_all();
+            protocol::encode_ok(out, snap.seq, &OkBody::Empty(Opcode::Shutdown));
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,297 @@
+//! Immutable serving snapshots and their lock-free publication cell.
+//!
+//! The memory model is deliberately boring: a snapshot is an immutable
+//! `Arc<ServeSnapshot>`; publication swaps which `Arc` a [`SnapshotCell`]
+//! holds and bumps an atomic version counter with `Release` ordering;
+//! readers keep a [`ReaderCache`] whose steady-state cost is **one
+//! `Acquire` load** — the brief read-lock to re-clone the `Arc` is paid
+//! only when the version actually changed. A request is answered wholly
+//! from one snapshot, so a response can never mix two model states, and
+//! in-flight readers pin their snapshot alive (the old `Arc` is freed
+//! when its last reader drops it — classic RCU shape, built from safe
+//! parts because the workspace forbids `unsafe`).
+//!
+//! Every accessor reproduces its offline counterpart **bit-identically**:
+//! [`ServeSnapshot::trust`] *is* [`wot_core::trust::pairwise`], and
+//! [`ServeSnapshot::top_k`] runs the exact insertion logic of
+//! `wot_eval::streaming::top_k_trusted` over per-pair Eq. 5 values (the
+//! block engine's dense rows are bit-equal to `pairwise`, proven in
+//! `wot-core`'s block tests, so the two routes cannot diverge).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use wot_core::{trust, BlockConfig, Derived};
+use wot_eval::streaming;
+
+use crate::protocol::AggregateSummary;
+
+/// One immutable published state: the canonical derived model as of a
+/// known event prefix.
+#[derive(Debug)]
+pub struct ServeSnapshot {
+    /// Number of ingestion events folded into this state — the prefix of
+    /// the event history this snapshot is the oracle-checkable answer
+    /// for.
+    pub seq: u64,
+    /// The canonical derived model (bit-identical to the batch pipeline
+    /// on the same prefix).
+    pub derived: Derived,
+    /// Lazily computed Fig. 3 summary: the full-`T̂` scan is O(U²·C), so
+    /// it runs at most once per snapshot, on the first request, and
+    /// every later request reads the memo.
+    aggregates: OnceLock<std::result::Result<AggregateSummary, String>>,
+}
+
+impl ServeSnapshot {
+    /// Wraps a derived model as the snapshot for event prefix `seq`.
+    pub fn new(seq: u64, derived: Derived) -> Self {
+        ServeSnapshot {
+            seq,
+            derived,
+            aggregates: OnceLock::new(),
+        }
+    }
+
+    /// Users in the community.
+    pub fn num_users(&self) -> usize {
+        self.derived.affiliation.nrows()
+    }
+
+    /// Categories in the community.
+    pub fn num_categories(&self) -> usize {
+        self.derived.affiliation.ncols()
+    }
+
+    /// Eq. 5 for one ordered pair — exactly
+    /// [`wot_core::trust::pairwise`].
+    pub fn trust(&self, i: usize, j: usize) -> f64 {
+        trust::pairwise(&self.derived.affiliation, &self.derived.expertise, i, j)
+    }
+
+    /// User `i`'s `k` most-trusted peers: positive trust only, self
+    /// excluded, descending trust with ascending `j` breaking ties —
+    /// element-for-element and bit-for-bit what
+    /// `wot_eval::streaming::top_k_trusted` returns for row `i`.
+    ///
+    /// `k = 0` yields an empty list (the server rejects it upstream, in
+    /// agreement with the streaming reducer's `k ≥ 1` contract).
+    pub fn top_k(&self, i: usize, k: usize) -> Vec<(usize, f64)> {
+        let mut best: Vec<(usize, f64)> = Vec::new();
+        if k == 0 {
+            return best;
+        }
+        for j in 0..self.num_users() {
+            let v = self.trust(i, j);
+            if v <= 0.0 || j == i {
+                continue;
+            }
+            // Mirrors the streaming reducer: `best` stays sorted highest
+            // trust first, ties by ascending j; a candidate must beat the
+            // current worst (or fill a free slot) to enter.
+            if best.len() == k {
+                let &(wj, wv) = best.last().expect("k ≥ 1");
+                if v < wv || (v == wv && j > wj) {
+                    continue;
+                }
+                best.pop();
+            }
+            let pos = best.partition_point(|&(bj, bv)| bv > v || (bv == v && bj < j));
+            best.insert(pos, (j, v));
+        }
+        best
+    }
+
+    /// Scalar Fig. 3 summary of the full `T̂`, computed once per snapshot
+    /// via the streaming reducer and memoized.
+    pub fn aggregates(&self) -> std::result::Result<&AggregateSummary, String> {
+        self.aggregates
+            .get_or_init(|| {
+                let agg = streaming::fig3_aggregates(&self.derived, &BlockConfig::default())
+                    .map_err(|e| e.to_string())?;
+                Ok(AggregateSummary {
+                    users: agg.users as u64,
+                    support: agg.support,
+                    sum: agg.sum,
+                    max: agg.max,
+                    histogram: agg.histogram,
+                })
+            })
+            .as_ref()
+            .map_err(|e| e.clone())
+    }
+}
+
+/// The publication point: an atomic version counter plus the current
+/// snapshot `Arc` behind a briefly-held lock.
+///
+/// The writer calls [`publish`](SnapshotCell::publish); readers go
+/// through a [`ReaderCache`] so the lock is touched only on version
+/// changes. The lock is never held across any computation — writers hold
+/// it for one pointer store, readers for one `Arc` clone — so it cannot
+/// become a convoy even under heavy load.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    /// Bumped (Release) after each slot swap; readers check it with one
+    /// Acquire load.
+    version: AtomicU64,
+    slot: RwLock<Arc<ServeSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// Creates a cell holding an initial snapshot (version 0).
+    pub fn new(snapshot: Arc<ServeSnapshot>) -> Self {
+        SnapshotCell {
+            version: AtomicU64::new(0),
+            slot: RwLock::new(snapshot),
+        }
+    }
+
+    /// Atomically replaces the current snapshot. The version bump is
+    /// `Release` so a reader that observes the new version also observes
+    /// the new slot contents.
+    pub fn publish(&self, snapshot: Arc<ServeSnapshot>) {
+        {
+            let mut slot = self.slot.write().expect("snapshot slot poisoned");
+            *slot = snapshot;
+        }
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Publications so far.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Clones out the current snapshot (a reader-cache miss; use
+    /// [`ReaderCache::current`] on hot paths).
+    pub fn load(&self) -> Arc<ServeSnapshot> {
+        self.slot.read().expect("snapshot slot poisoned").clone()
+    }
+}
+
+/// A reader's thread-local handle: re-clones from the cell only when the
+/// published version moved, so the steady-state cost of "give me the
+/// current snapshot" is a single atomic load and no shared-cacheline
+/// writes.
+#[derive(Debug)]
+pub struct ReaderCache {
+    version: u64,
+    snapshot: Arc<ServeSnapshot>,
+}
+
+impl ReaderCache {
+    /// Primes a cache from the cell's current state.
+    pub fn new(cell: &SnapshotCell) -> Self {
+        ReaderCache {
+            version: cell.version(),
+            snapshot: cell.load(),
+        }
+    }
+
+    /// The current snapshot, refreshed from `cell` iff a newer one was
+    /// published since the last call.
+    ///
+    /// (If a publish lands between the version load and the slot read,
+    /// the cache may briefly hold a snapshot *newer* than its recorded
+    /// version — harmless: snapshots only move forward, and the next
+    /// call re-clones.)
+    pub fn current(&mut self, cell: &SnapshotCell) -> &Arc<ServeSnapshot> {
+        let v = cell.version();
+        if v != self.version {
+            self.snapshot = cell.load();
+            self.version = v;
+        }
+        &self.snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use wot_core::DeriveConfig;
+    use wot_eval::Workbench;
+    use wot_synth::SynthConfig;
+
+    use super::*;
+
+    fn snapshot() -> ServeSnapshot {
+        let wb = Workbench::new(&SynthConfig::tiny(31), &DeriveConfig::default()).unwrap();
+        ServeSnapshot::new(0, wb.derived)
+    }
+
+    /// The serving top-k must be **bit-identical** to the streaming
+    /// reducer — same members, same order, same f64 bits — because the
+    /// conformance contract compares served answers to the offline
+    /// oracle with `==`.
+    #[test]
+    fn top_k_is_bit_identical_to_streaming_reducer() {
+        let snap = snapshot();
+        for k in [1usize, 3, 7, 1000] {
+            let oracle =
+                streaming::top_k_trusted(&snap.derived, k, &BlockConfig::sequential()).unwrap();
+            for (i, want) in oracle.iter().enumerate() {
+                let got = snap.top_k(i, k);
+                assert_eq!(got.len(), want.len(), "user {i}, k={k}");
+                for (g, w) in got.iter().zip(want) {
+                    assert_eq!(g.0, w.0, "user {i}, k={k}");
+                    assert_eq!(g.1.to_bits(), w.1.to_bits(), "user {i}, k={k}");
+                }
+            }
+        }
+        assert!(snap.top_k(0, 0).is_empty());
+    }
+
+    #[test]
+    fn aggregates_memo_matches_streaming_reducer() {
+        let snap = snapshot();
+        let want = streaming::fig3_aggregates(&snap.derived, &BlockConfig::sequential()).unwrap();
+        let got = snap.aggregates().unwrap();
+        assert_eq!(got.users, want.users as u64);
+        assert_eq!(got.support, want.support);
+        assert_eq!(got.sum.to_bits(), want.sum.to_bits());
+        assert_eq!(got.max.to_bits(), want.max.to_bits());
+        assert_eq!(got.histogram, want.histogram);
+        // Second call serves the memo (same reference).
+        let again = snap.aggregates().unwrap();
+        assert!(std::ptr::eq(got, again));
+    }
+
+    #[test]
+    fn reader_cache_tracks_publications_with_one_atomic_load() {
+        let snap = snapshot();
+        let users = snap.num_users() as u64;
+        let cell = SnapshotCell::new(Arc::new(snap));
+        let mut cache = ReaderCache::new(&cell);
+        assert_eq!(cell.version(), 0);
+        let s0 = Arc::as_ptr(cache.current(&cell));
+        // No publication: the cached Arc is returned as-is.
+        assert!(std::ptr::eq(s0, Arc::as_ptr(cache.current(&cell))));
+        // Publish a successor; the cache picks it up on the next call.
+        let wb = Workbench::new(&SynthConfig::tiny(31), &DeriveConfig::default()).unwrap();
+        cell.publish(Arc::new(ServeSnapshot::new(users, wb.derived)));
+        assert_eq!(cell.version(), 1);
+        let s1 = cache.current(&cell);
+        assert_eq!(s1.seq, users);
+        assert!(!std::ptr::eq(s0, Arc::as_ptr(s1)));
+    }
+
+    /// Readers holding an old snapshot keep it alive and coherent while
+    /// the writer publishes new ones — the RCU property.
+    #[test]
+    fn in_flight_readers_pin_their_snapshot() {
+        let snap = snapshot();
+        let trust_before = snap.trust(0, 1);
+        let cell = Arc::new(SnapshotCell::new(Arc::new(snap)));
+        let pinned = cell.load();
+        for gen in 1..=3u64 {
+            let wb =
+                Workbench::new(&SynthConfig::tiny(31 + gen), &DeriveConfig::default()).unwrap();
+            cell.publish(Arc::new(ServeSnapshot::new(gen, wb.derived)));
+        }
+        // The pinned snapshot still answers from its own state.
+        assert_eq!(pinned.seq, 0);
+        assert_eq!(pinned.trust(0, 1).to_bits(), trust_before.to_bits());
+        // And the cell serves the newest.
+        assert_eq!(cell.load().seq, 3);
+    }
+}

@@ -103,7 +103,11 @@ impl<'a> Cursor<'a> {
 // ---------------------------------------------------------------------
 
 /// Encodes one event: `Review` → 13 bytes, `Rating` → 17 bytes.
-pub(crate) fn encode_event(out: &mut Vec<u8>, e: &StoreEvent) {
+///
+/// Public because the serving layer (`wot-serve`) reuses the exact WAL
+/// event encoding as its wire-level ingest body — one codec, one set of
+/// round-trip proofs.
+pub fn encode_event(out: &mut Vec<u8>, e: &StoreEvent) {
     match *e {
         StoreEvent::Review {
             writer,
@@ -129,7 +133,9 @@ pub(crate) fn encode_event(out: &mut Vec<u8>, e: &StoreEvent) {
 }
 
 /// Decodes one event payload (the whole payload must be consumed).
-pub(crate) fn decode_event(payload: &[u8]) -> Result<StoreEvent, String> {
+/// Inverse of [`encode_event`]; `f64` rating values round-trip
+/// bit-identically.
+pub fn decode_event(payload: &[u8]) -> Result<StoreEvent, String> {
     let mut c = Cursor::new(payload);
     let e = decode_event_body(&mut c)?;
     c.finish("event")?;

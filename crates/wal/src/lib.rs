@@ -61,7 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod codec;
+pub mod codec;
 mod crc32;
 mod format;
 pub mod reader;
@@ -72,6 +72,7 @@ pub mod writer;
 use std::fmt;
 use std::path::Path;
 
+pub use codec::{decode_event, encode_event};
 pub use reader::{read_log, read_tagged_log, RecoveredLog, TornTail};
 pub use recover::{
     read_shard_logs, recover_sharded_events, recover_state, write_shard_logs, RecoveryReport,
@@ -103,6 +104,17 @@ pub enum WalError {
         path: String,
         /// What was wrong with the header.
         reason: String,
+    },
+    /// A frame payload would not fit the format's `u32` length field.
+    /// Appending fails closed **before any byte reaches the file** —
+    /// the old `payload.len() as u32` cast silently truncated the
+    /// length and wrote a frame whose header lied about its size,
+    /// corrupting every frame after it.
+    FrameTooLarge {
+        /// The payload size that was requested.
+        payload_len: u64,
+        /// The largest payload a frame can carry (`u32::MAX`).
+        max_len: u64,
     },
     /// A complete frame's payload did not match its recorded CRC32:
     /// mid-log corruption. Recovery fails closed rather than dropping
@@ -152,6 +164,14 @@ impl fmt::Display for WalError {
             WalError::BadHeader { path, reason } => {
                 write!(f, "bad file header in {path}: {reason}")
             }
+            WalError::FrameTooLarge {
+                payload_len,
+                max_len,
+            } => write!(
+                f,
+                "frame payload of {payload_len} bytes exceeds the u32 length \
+                 field's maximum of {max_len} bytes"
+            ),
             WalError::CrcMismatch {
                 offset,
                 expected,

@@ -180,6 +180,38 @@ impl WalWriter {
         Ok(())
     }
 
+    /// Syncs if the fsync policy is overdue — the **idle-flush** path.
+    ///
+    /// The policy is otherwise only evaluated inside an append, so under
+    /// [`FsyncPolicy::EveryMs`] the last events before an idle period
+    /// would stay volatile until the *next* write arrived — an unbounded
+    /// data-loss window for a long-lived serving process. A daemon's
+    /// writer loop calls this on its idle ticks to bound the window by
+    /// the policy's own clock. Returns whether a sync was performed.
+    ///
+    /// With nothing unsynced this is a no-op; under [`FsyncPolicy::Always`]
+    /// appends sync inline, so it never fires.
+    pub fn sync_if_due(&mut self) -> Result<bool> {
+        if self.unsynced == 0 {
+            return Ok(false);
+        }
+        let due = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
+            FsyncPolicy::EveryMs(ms) => self.last_sync.elapsed().as_millis() >= ms as u128,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(due)
+    }
+
+    /// Frames appended since the last sync (acknowledged but possibly
+    /// still volatile).
+    pub fn unsynced(&self) -> u64 {
+        self.unsynced
+    }
+
     /// Current file length (= offset of the next frame).
     pub fn len(&self) -> u64 {
         self.len
@@ -209,8 +241,9 @@ impl WalWriter {
     /// call, then applies the fsync policy.
     fn write_frame(&mut self, payload: &[u8]) -> Result<u64> {
         let offset = self.len;
+        let len_field = frame_len_field(payload.len() as u64)?;
         let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&len_field);
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
         self.file
@@ -227,5 +260,110 @@ impl WalWriter {
             self.sync()?;
         }
         Ok(offset)
+    }
+}
+
+/// Encodes a frame's length field, refusing payloads the `u32` cannot
+/// represent. A plain `as u32` cast here would wrap a ≥ 4 GiB payload's
+/// length and write a frame header that lies about its size — the CRC
+/// would then be checked against the wrong byte range and every frame
+/// boundary after it would be misaligned. Fail closed instead, before
+/// anything reaches the file.
+fn frame_len_field(payload_len: u64) -> Result<[u8; 4]> {
+    match u32::try_from(payload_len) {
+        Ok(len) => Ok(len.to_le_bytes()),
+        Err(_) => Err(WalError::FrameTooLarge {
+            payload_len,
+            max_len: u32::MAX as u64,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use super::*;
+
+    /// Regression for the `payload.len() as u32` truncation: a payload
+    /// length of exactly 4 GiB used to wrap to a length field of 0. The
+    /// length check runs before any allocation or write, so it is
+    /// testable without materializing a 4 GiB buffer.
+    #[test]
+    fn oversized_frame_fails_closed() {
+        assert_eq!(frame_len_field(0).unwrap(), [0, 0, 0, 0]);
+        assert_eq!(frame_len_field(17).unwrap(), 17u32.to_le_bytes());
+        assert_eq!(
+            frame_len_field(u32::MAX as u64).unwrap(),
+            u32::MAX.to_le_bytes()
+        );
+        for too_big in [1u64 << 32, (1u64 << 32) + 5, u64::MAX] {
+            match frame_len_field(too_big) {
+                Err(WalError::FrameTooLarge {
+                    payload_len,
+                    max_len,
+                }) => {
+                    assert_eq!(payload_len, too_big);
+                    assert_eq!(max_len, u32::MAX as u64);
+                }
+                other => panic!("length {too_big} must fail closed, got {other:?}"),
+            }
+        }
+    }
+
+    /// Regression for the idle-tail fsync gap: under `EveryMs`, events
+    /// appended just after a sync stayed volatile until the *next*
+    /// append, however long that took. `sync_if_due` must make an idle
+    /// tail durable as soon as the policy window has elapsed.
+    #[test]
+    fn idle_tail_becomes_durable_within_policy_window() {
+        let dir = std::env::temp_dir().join(format!("wot-wal-idle-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idle.wal");
+        let mut w = WalWriter::create(&path, LogKind::Events, FsyncPolicy::EveryMs(150)).unwrap();
+        // Immediately after create the sync clock is fresh, so this
+        // append lands inside the window and stays unsynced.
+        let ev = StoreEvent::Rating {
+            rater: wot_community::UserId(1),
+            review: wot_community::ReviewId(0),
+            value: 1.0,
+        };
+        w.append(&ev).unwrap();
+        assert_eq!(w.unsynced(), 1, "append inside the window must not sync");
+        // Not yet due: the window has not elapsed.
+        assert!(!w.sync_if_due().unwrap());
+        assert_eq!(w.unsynced(), 1);
+        // After the window passes with no further writes, the idle-flush
+        // path alone must make the tail durable.
+        std::thread::sleep(Duration::from_millis(170));
+        assert!(w.sync_if_due().unwrap(), "overdue idle tail must sync");
+        assert_eq!(w.unsynced(), 0);
+        // And once clean, repeated polls are no-ops.
+        assert!(!w.sync_if_due().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `EveryN` and `Always` interact sanely with the idle-flush path.
+    #[test]
+    fn sync_if_due_respects_count_policies() {
+        let dir = std::env::temp_dir().join(format!("wot-wal-idle-n-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("every-n.wal");
+        let mut w = WalWriter::create(&path, LogKind::Events, FsyncPolicy::EveryN(3)).unwrap();
+        let ev = StoreEvent::Rating {
+            rater: wot_community::UserId(1),
+            review: wot_community::ReviewId(0),
+            value: 0.5,
+        };
+        w.append(&ev).unwrap();
+        assert_eq!(w.unsynced(), 1);
+        // One of three: not due yet under EveryN.
+        assert!(!w.sync_if_due().unwrap());
+        w.append(&ev).unwrap();
+        w.append(&ev).unwrap();
+        // The third append synced inline; the idle path has nothing to do.
+        assert_eq!(w.unsynced(), 0);
+        assert!(!w.sync_if_due().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -30,6 +30,7 @@
 //! | [`eval`] | `wot-eval` | Table 2/3/4, Fig. 3, §IV.C, §V, ablations |
 //! | [`par`] | `wot-par` | scoped-thread data parallelism (deterministic) |
 //! | [`wal`] | `wot-wal` | durable event log, snapshots, crash recovery |
+//! | [`serve`] | `wot-serve` | trust-serving daemon: lock-free snapshot reads, durable ingest |
 //!
 //! ## Quickstart
 //!
@@ -111,6 +112,7 @@ pub use wot_eval as eval;
 pub use wot_graph as graph;
 pub use wot_par as par;
 pub use wot_propagation as propagation;
+pub use wot_serve as serve;
 pub use wot_sparse as sparse;
 pub use wot_synth as synth;
 pub use wot_wal as wal;

@@ -1,0 +1,349 @@
+//! End-to-end smoke test of the serving daemon: boot over a seeded
+//! synthetic community, run a scripted client session covering every
+//! opcode, ingest a live suffix of the event history, and hold **every
+//! served answer bit-identical** (`==` on `f64`) to the offline batch
+//! pipeline on the same event prefix. Finishes with a graceful shutdown
+//! and verifies the WAL holds exactly the ingested suffix — the
+//! recovery contract.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use webtrust::community::events::replay_into_store;
+use webtrust::community::StoreEvent;
+use webtrust::core::{
+    pipeline, BlockConfig, DeriveConfig, Derived, IncrementalDerived, ReplayEvent,
+};
+use webtrust::eval::streaming;
+use webtrust::serve::{Client, ErrorCode, ServeError, ServeOptions, Server};
+use webtrust::synth::{generate, shuffled_event_log, SynthConfig};
+use webtrust::wal::read_log;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wot-serve-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A community, its shuffled event history split into a bootstrap prefix
+/// and a live suffix, and the bootstrap model.
+struct Fixture {
+    log: Vec<StoreEvent>,
+    split: usize,
+    num_users: usize,
+    num_categories: usize,
+    cfg: DeriveConfig,
+}
+
+impl Fixture {
+    fn new(seed: u64) -> Self {
+        let base = generate(&SynthConfig::tiny(seed)).unwrap().store;
+        let log = shuffled_event_log(&base, seed.wrapping_add(1));
+        let split = log.len() * 9 / 10;
+        Fixture {
+            log,
+            split,
+            num_users: base.num_users(),
+            num_categories: base.num_categories(),
+            cfg: DeriveConfig::default(),
+        }
+    }
+
+    fn bootstrap_model(&self) -> IncrementalDerived {
+        let mut inc =
+            IncrementalDerived::new(self.num_users, self.num_categories, &self.cfg).unwrap();
+        for e in &self.log[..self.split] {
+            inc.apply(&ReplayEvent::from(*e)).unwrap();
+        }
+        inc
+    }
+
+    /// Offline oracle for the first `n` events: fold them into a store
+    /// and batch-derive it.
+    fn oracle(&self, n: usize) -> Derived {
+        let store = replay_into_store(
+            webtrust::community::RatingScale::five_step(),
+            self.num_users,
+            self.num_categories,
+            &self.log[..n],
+        )
+        .unwrap();
+        pipeline::derive(&store, &self.cfg).unwrap()
+    }
+}
+
+/// Every served answer, before and after live ingest, bit-matches the
+/// batch pipeline on the event prefix the response's `seq` names.
+#[test]
+fn scripted_session_is_bit_identical_to_offline_oracle() {
+    let fx = Fixture::new(31);
+    let dir = temp_dir("smoke");
+    let opts = ServeOptions::local(dir.join("serve.wal"));
+    let handle = Server::start(fx.bootstrap_model(), fx.split as u64, &opts).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // --- Bootstrapped state ---------------------------------------
+    assert_eq!(c.ping().unwrap(), fx.split as u64);
+    let before = fx.oracle(fx.split);
+    assert_served_state_matches(&mut c, &before, fx.split as u64);
+
+    // --- Live ingest of the suffix --------------------------------
+    let mut last_seq = fx.split as u64;
+    for &event in &fx.log[fx.split..] {
+        let seq = c.ingest(event).unwrap();
+        assert!(seq > last_seq, "acks advance the snapshot seq");
+        last_seq = seq;
+    }
+    assert_eq!(last_seq, fx.log.len() as u64, "every suffix event applied");
+
+    // Read-your-writes: the very next query is served from a snapshot
+    // covering everything just acknowledged.
+    assert_eq!(c.ping().unwrap(), fx.log.len() as u64);
+
+    // --- Post-ingest state matches the full-log oracle -------------
+    let after = fx.oracle(fx.log.len());
+    assert_served_state_matches(&mut c, &after, fx.log.len() as u64);
+
+    // A duplicate of an already-applied rating is refused with a typed
+    // error and moves nothing.
+    let dup = fx.log[fx.log.len() - 1..]
+        .iter()
+        .chain(fx.log.iter())
+        .find(|e| matches!(e, StoreEvent::Rating { .. }))
+        .copied()
+        .unwrap();
+    match c.ingest(dup) {
+        Err(ServeError::Remote(e)) => assert_eq!(e.code, ErrorCode::Rejected),
+        other => panic!("duplicate rating must be rejected, got {other:?}"),
+    }
+    assert_eq!(c.ping().unwrap(), fx.log.len() as u64);
+
+    // --- Stats ----------------------------------------------------
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.events, fx.log.len() as u64);
+    assert_eq!(stats.num_users as usize, fx.num_users);
+    assert_eq!(stats.num_categories as usize, fx.num_categories);
+    assert_eq!(
+        stats.publishes,
+        (fx.log.len() - fx.split) as u64,
+        "one publish per single-event ingest batch"
+    );
+    assert!(stats.wal_len > 0);
+    assert!(stats.reader_threads >= 1);
+
+    // --- Graceful shutdown flushes the WAL tail --------------------
+    c.shutdown_server().unwrap();
+    handle.shutdown().unwrap();
+    let recovered = read_log(&dir.join("serve.wal")).unwrap();
+    assert!(
+        recovered.torn.is_none(),
+        "clean shutdown leaves no torn tail"
+    );
+    assert_eq!(
+        recovered.events,
+        &fx.log[fx.split..],
+        "the WAL holds exactly the ingested suffix, bit for bit"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Compares every read opcode against an oracle `Derived`, bitwise.
+fn assert_served_state_matches(c: &mut Client, oracle: &Derived, want_seq: u64) {
+    let users = oracle.num_users();
+    // Point queries across a deterministic sample of pairs.
+    for i in (0..users).step_by(7) {
+        for j in (0..users).step_by(11) {
+            let got = c.trust(i as u32, j as u32).unwrap();
+            assert_eq!(c.last_seq(), want_seq);
+            let want =
+                webtrust::core::trust::pairwise(&oracle.affiliation, &oracle.expertise, i, j);
+            assert_eq!(got.to_bits(), want.to_bits(), "trust({i},{j})");
+        }
+    }
+    // Top-k against the streaming reducer.
+    let top = streaming::top_k_trusted(oracle, 5, &BlockConfig::sequential()).unwrap();
+    for i in (0..users).step_by(13) {
+        let got = c.top_k(i as u32, 5).unwrap();
+        assert_eq!(got.len(), top[i].len(), "top-k({i}) length");
+        for (g, w) in got.iter().zip(&top[i]) {
+            assert_eq!(g.0 as usize, w.0, "top-k({i}) member");
+            assert_eq!(g.1.to_bits(), w.1.to_bits(), "top-k({i}) value bits");
+        }
+    }
+    // Per-category reputation tables.
+    for (cidx, cr) in oracle.per_category.iter().enumerate() {
+        let (raters, writers) = c.category_reputations(cidx as u32).unwrap();
+        assert_eq!(raters.len(), cr.rater_reputation.len());
+        for (g, w) in raters.iter().zip(&cr.rater_reputation) {
+            assert_eq!(g.0, w.0 .0);
+            assert_eq!(g.1.to_bits(), w.1.to_bits());
+        }
+        assert_eq!(writers.len(), cr.writer_reputation.len());
+        for (g, w) in writers.iter().zip(&cr.writer_reputation) {
+            assert_eq!(g.0, w.0 .0);
+            assert_eq!(g.1.to_bits(), w.1.to_bits());
+        }
+        // Point lookups: a present rater and an absent one.
+        if let Some(&(u, v)) = cr.rater_reputation.first() {
+            let got = c.rater_reputation(cidx as u32, u.0).unwrap().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+        let absent = (0..users as u32).find(|u| {
+            cr.rater_reputation
+                .binary_search_by_key(u, |&(x, _)| x.0)
+                .is_err()
+        });
+        if let Some(u) = absent {
+            assert_eq!(c.rater_reputation(cidx as u32, u).unwrap(), None);
+        }
+    }
+    // Fig. 3 aggregates against the streaming reducer.
+    let want = streaming::fig3_aggregates(oracle, &BlockConfig::sequential()).unwrap();
+    let got = c.aggregates().unwrap();
+    assert_eq!(got.users, want.users as u64);
+    assert_eq!(got.support, want.support);
+    assert_eq!(got.sum.to_bits(), want.sum.to_bits());
+    assert_eq!(got.max.to_bits(), want.max.to_bits());
+    assert_eq!(got.histogram, want.histogram);
+}
+
+/// Shutting down via the handle alone (no client shutdown request) also
+/// drains cleanly, and a fresh server over the recovered log continues
+/// exactly where the first left off.
+#[test]
+fn restart_from_recovered_wal_resumes_identically() {
+    let fx = Fixture::new(47);
+    let dir = temp_dir("restart");
+    let wal_a = dir.join("a.wal");
+    let handle = Server::start(
+        fx.bootstrap_model(),
+        fx.split as u64,
+        &ServeOptions::local(&wal_a),
+    )
+    .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    // Ingest half the suffix, then stop without a client shutdown.
+    let mid = fx.split + (fx.log.len() - fx.split) / 2;
+    for &event in &fx.log[fx.split..mid] {
+        c.ingest(event).unwrap();
+    }
+    drop(c);
+    handle.shutdown().unwrap();
+
+    // Recovery: bootstrap model + WAL replay = the mid-history model.
+    let recovered = read_log(&wal_a).unwrap();
+    assert_eq!(recovered.events, &fx.log[fx.split..mid]);
+    let mut model = fx.bootstrap_model();
+    for e in &recovered.events {
+        model.apply(&ReplayEvent::from(*e)).unwrap();
+    }
+    let handle = Server::start(model, mid as u64, &ServeOptions::local(dir.join("b.wal"))).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    assert_eq!(c.ping().unwrap(), mid as u64);
+    // The restarted server serves the mid-history oracle bitwise…
+    let oracle_mid = fx.oracle(mid);
+    let got = c.trust(0, 1).unwrap();
+    let want =
+        webtrust::core::trust::pairwise(&oracle_mid.affiliation, &oracle_mid.expertise, 0, 1);
+    assert_eq!(got.to_bits(), want.to_bits());
+    // …and keeps ingesting the rest of the history.
+    for &event in &fx.log[mid..] {
+        c.ingest(event).unwrap();
+    }
+    assert_eq!(c.ping().unwrap(), fx.log.len() as u64);
+    let oracle_full = fx.oracle(fx.log.len());
+    let got = c.trust(1, 0).unwrap();
+    let want =
+        webtrust::core::trust::pairwise(&oracle_full.affiliation, &oracle_full.expertise, 1, 0);
+    assert_eq!(got.to_bits(), want.to_bits());
+    drop(c);
+    handle.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Several reader connections stay correct while the writer ingests: no
+/// served answer may ever be a torn mix of two snapshots. Each response
+/// is checked bitwise against the oracle for the exact event prefix its
+/// `seq` names.
+#[test]
+fn concurrent_readers_during_ingest_see_only_whole_snapshots() {
+    let fx = Fixture::new(61);
+    let dir = temp_dir("torn");
+    let opts = ServeOptions {
+        reader_threads: 6,
+        ..ServeOptions::local(dir.join("serve.wal"))
+    };
+    let handle = Server::start(fx.bootstrap_model(), fx.split as u64, &opts).unwrap();
+
+    // Oracle per reachable seq: fold the suffix one event at a time,
+    // snapshotting the canonical derive after each.
+    let mut oracles: Vec<Derived> = Vec::with_capacity(fx.log.len() - fx.split + 1);
+    {
+        let mut model = fx.bootstrap_model();
+        oracles.push(model.to_derived());
+        for &e in &fx.log[fx.split..] {
+            model.apply(&ReplayEvent::from(e)).unwrap();
+            oracles.push(model.to_derived());
+        }
+    }
+    let oracles = Arc::new(oracles);
+    let base = fx.split as u64;
+    let users = fx.num_users;
+
+    let done = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for t in 0..4u64 {
+        let addr = handle.addr();
+        let oracles = Arc::clone(&oracles);
+        let done = Arc::clone(&done);
+        readers.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut queries = 0u64;
+            let mut k = t; // decorrelate the threads' query streams
+            while !done.load(Ordering::Acquire) || queries < 50 {
+                let i = (k.wrapping_mul(31) % users as u64) as usize;
+                let j = (k.wrapping_mul(17).wrapping_add(t) % users as u64) as usize;
+                k += 1;
+                let got = c.trust(i as u32, j as u32).unwrap();
+                let seq = c.last_seq();
+                let oracle = &oracles[(seq - base) as usize];
+                let want =
+                    webtrust::core::trust::pairwise(&oracle.affiliation, &oracle.expertise, i, j);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "thread {t}: trust({i},{j}) at seq {seq}"
+                );
+                if k % 10 == 0 {
+                    let top = c.top_k(i as u32, 3).unwrap();
+                    let seq = c.last_seq();
+                    let oracle = &oracles[(seq - base) as usize];
+                    let want =
+                        streaming::top_k_trusted(oracle, 3, &BlockConfig::sequential()).unwrap();
+                    assert_eq!(top.len(), want[i].len(), "thread {t}: top-k({i}) at {seq}");
+                    for (g, w) in top.iter().zip(&want[i]) {
+                        assert_eq!(g.0 as usize, w.0);
+                        assert_eq!(g.1.to_bits(), w.1.to_bits());
+                    }
+                }
+                queries += 1;
+            }
+            queries
+        }));
+    }
+
+    // The writer: ingest the whole suffix while the readers hammer.
+    let mut w = Client::connect(handle.addr()).unwrap();
+    for &event in &fx.log[fx.split..] {
+        w.ingest(event).unwrap();
+    }
+    assert_eq!(w.ping().unwrap(), fx.log.len() as u64);
+    done.store(true, Ordering::Release);
+    for r in readers {
+        let queries = r.join().expect("reader thread must not panic");
+        assert!(queries >= 50);
+    }
+    drop(w);
+    handle.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
