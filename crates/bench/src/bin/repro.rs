@@ -571,6 +571,48 @@ fn bench_summary(
                     black_box(inc.refresh(cat));
                 }),
             ));
+            // The delta worklist on its design workload: a steady-state
+            // rating *revision* (an upsert moving an existing rating by
+            // a small step). The rater's count — and so the experience
+            // discount — is unchanged, so the epsilon frontier damps
+            // within a few hops instead of flooding the category the
+            // way a brand-new far-from-consensus rating does (that case
+            // is what the frontier-threshold fallback is for).
+            let delta_cfg = DeriveConfig {
+                delta_refresh: true,
+                ..seq_cfg.clone()
+            };
+            let mut inc_delta = IncrementalDerived::from_store(store, &delta_cfg)?;
+            let revisions: Vec<(UserId, ReviewId, f64)> = store
+                .ratings()
+                .iter()
+                .filter(|rt| store.reviews()[rt.review.index()].category == cat)
+                .take(8)
+                .flat_map(|rt| {
+                    let nudged = (rt.value + 1e-3).min(1.0);
+                    let other = if nudged == rt.value {
+                        rt.value - 1e-3
+                    } else {
+                        nudged
+                    };
+                    // Alternate away and back so every rep is a real change.
+                    [
+                        (rt.rater, rt.review, other),
+                        (rt.rater, rt.review, rt.value),
+                    ]
+                })
+                .collect();
+            if !revisions.is_empty() {
+                let mut next_delta = revisions.iter().cycle();
+                rows.push((
+                    "delta_refresh_one_rating",
+                    time_best_ms(revisions.len().min(5), || {
+                        let &(rater, review, value) = next_delta.next().expect("cycle");
+                        inc_delta.upsert_rating(rater, review, value).unwrap();
+                        black_box(inc_delta.refresh(cat));
+                    }),
+                ));
+            }
             rows.push((
                 "incremental_snapshot_1t",
                 time_best_ms(3, || {
@@ -811,6 +853,41 @@ fn bench_summary(
             )?;
             black_box(rec.num_users());
             prows.push(("recover_snapshot_tail", t.elapsed().as_secs_f64() * 1e3));
+            // Sustained per-event ingest at paper scale through the
+            // delta worklist: durable append + apply + refresh per
+            // event, the serving daemon's write path minus the socket.
+            // (A rate: the row name carries the unit; the laptop-scale
+            // serve_delta_ingest_events_per_sec twin is the one
+            // bench-compare gates.)
+            {
+                let delta_cfg = DeriveConfig {
+                    delta_refresh: true,
+                    ..DeriveConfig::default()
+                };
+                let mut model = IncrementalDerived::from_snapshot(inc.snapshot(), &delta_cfg)?;
+                // Settle the restored-stale state so the measured loop
+                // runs the per-event worklist, not the recovery sweep.
+                model.refresh_all();
+                let tail = &log[covered..];
+                let take = tail.len().min(2_000);
+                let mut w = WalWriter::create(
+                    &dir.join("ingest.wal"),
+                    LogKind::Events,
+                    FsyncPolicy::EveryN(64),
+                )?;
+                let t = std::time::Instant::now();
+                for e in &tail[..take] {
+                    w.append(e)?;
+                    model.apply(&ReplayEvent::from(*e))?;
+                    model.refresh_all();
+                }
+                w.sync()?;
+                let secs = t.elapsed().as_secs_f64();
+                prows.push((
+                    "delta_sustained_ingest_events_per_sec",
+                    take as f64 / secs.max(1e-9),
+                ));
+            }
             let _ = std::fs::remove_dir_all(&dir);
         }
         Some((
@@ -1013,6 +1090,37 @@ fn serve_bench(
     }
     let stats = w.stats()?;
     handle.shutdown()?;
+
+    // Sustained delta-mode ingest: the same live tail through a
+    // delta-publish server (per-event worklist refresh instead of a cold
+    // category re-solve per publish). One writer, acked per event — the
+    // rate the daemon sustains while staying read-your-writes.
+    let delta_events_per_sec = {
+        let delta_cfg = wot_core::DeriveConfig {
+            delta_refresh: true,
+            ..wot_core::DeriveConfig::default()
+        };
+        let mut model =
+            IncrementalDerived::new(store.num_users(), store.num_categories(), &delta_cfg)?;
+        for e in &log[..split] {
+            model.apply(&ReplayEvent::from(*e))?;
+        }
+        let opts = ServeOptions {
+            reader_threads: 1,
+            delta_publish: true,
+            ..ServeOptions::local(dir.join("serve-delta.wal"))
+        };
+        let handle = Server::start(model, split as u64, &opts)?;
+        let mut w = Client::connect(handle.addr())?;
+        let t = std::time::Instant::now();
+        for e in &suffix[..ingested] {
+            w.ingest(*e)?;
+        }
+        let secs = t.elapsed().as_secs_f64();
+        drop(w);
+        handle.shutdown()?;
+        ingested as f64 / secs.max(1e-9)
+    };
     let _ = std::fs::remove_dir_all(&dir);
 
     point_ns.sort_unstable();
@@ -1027,6 +1135,7 @@ fn serve_bench(
         ("serve_point_query_p999", pct_ms(&point_ns, 0.999)),
         ("serve_topk_p99", pct_ms(&topk_ns, 0.99)),
         ("serve_ingest_events_per_sec", events_per_sec),
+        ("serve_delta_ingest_events_per_sec", delta_events_per_sec),
     ];
 
     let scale_name = match scale {

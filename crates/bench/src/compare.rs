@@ -40,10 +40,16 @@
 /// * `serve_point_query_{p50,p99,p999}` / `serve_topk_p99` — the
 ///   serving daemon's read latencies over TCP loopback under mixed
 ///   read/ingest traffic (`repro serve-bench`), in ms per request;
+/// * `delta_refresh_one_rating` — the same one-rating perturbation
+///   through the epsilon-frontier worklist (`DeriveConfig::delta_refresh`),
+///   which must stay ahead of the full warm sweep;
 /// * `serve_ingest_events_per_sec` — the daemon's durable ingest rate
 ///   (WAL append + apply + snapshot publication per ack). This one is a
 ///   **rate**: higher is better, and the gate inverts (see
-///   [`higher_is_better`]).
+///   [`higher_is_better`]);
+/// * `serve_delta_ingest_events_per_sec` — the same sustained ingest
+///   through a delta-publish server (worklist refresh + warm snapshot
+///   assembly per publish), gated in the rate direction too.
 pub const TRACKED_METRICS: &[&str] = &[
     "derive_index_dense_mt",
     "derive_sharded_mt",
@@ -52,6 +58,7 @@ pub const TRACKED_METRICS: &[&str] = &[
     "masked_row_dot_mt",
     "top_k_trusted_k10_mt",
     "incremental_refresh_one_rating_1t",
+    "delta_refresh_one_rating",
     "wal_append_throughput",
     "recover_snapshot_tail",
     "serve_point_query_p50",
@@ -59,6 +66,7 @@ pub const TRACKED_METRICS: &[&str] = &[
     "serve_point_query_p999",
     "serve_topk_p99",
     "serve_ingest_events_per_sec",
+    "serve_delta_ingest_events_per_sec",
 ];
 
 /// Whether a tracked metric is a rate (named `*_per_sec`) rather than a

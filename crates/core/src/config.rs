@@ -33,6 +33,27 @@ pub struct DeriveConfig {
     /// Worker-thread count when [`parallel`](Self::parallel) is on;
     /// `0` = all available hardware threads.
     pub threads: usize,
+    /// Route [`IncrementalDerived::refresh`] /
+    /// [`refresh_all`](crate::IncrementalDerived::refresh_all) through the
+    /// **delta worklist solver**: a new rating seeds a worklist with its
+    /// one review and one rater, and updates propagate through the
+    /// bipartite incidence structure only while a node moves by more than
+    /// [`fixpoint_tolerance`](Self::fixpoint_tolerance). Off by default —
+    /// the full warm sweep stays the oracle; the canonical
+    /// [`to_derived`](crate::IncrementalDerived::to_derived) snapshot is
+    /// unaffected either way (it always cold-solves).
+    ///
+    /// [`IncrementalDerived::refresh`]: crate::IncrementalDerived::refresh
+    pub delta_refresh: bool,
+    /// Fallback heuristic for the delta solver: when the active frontier
+    /// (dirty reviews + dirty raters about to be recomputed) exceeds this
+    /// fraction of the category's nodes, abandon the worklist and run the
+    /// full warm sweep instead (a wide frontier means the worklist's
+    /// bookkeeping costs more than the dense loop it avoids). Boundary
+    /// semantics: `0.0` always falls back (any non-empty frontier exceeds
+    /// zero), `1.0` never does (the frontier cannot exceed the whole
+    /// category). Must be in `[0, 1]`.
+    pub delta_frontier_threshold: f64,
 }
 
 impl Default for DeriveConfig {
@@ -45,6 +66,8 @@ impl Default for DeriveConfig {
             initial_rater_reputation: 1.0,
             parallel: true,
             threads: 0,
+            delta_refresh: false,
+            delta_frontier_threshold: 0.25,
         }
     }
 }
@@ -72,6 +95,11 @@ impl DeriveConfig {
         {
             return Err(CoreError::InvalidConfig(
                 "initial_rater_reputation must be in (0, 1]".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.delta_frontier_threshold) {
+            return Err(CoreError::InvalidConfig(
+                "delta_frontier_threshold must be in [0, 1]".into(),
             ));
         }
         Ok(())
@@ -133,6 +161,26 @@ mod tests {
             ..DeriveConfig::default()
         };
         assert!(c.validate().is_err());
+
+        let c = DeriveConfig {
+            delta_frontier_threshold: 1.5,
+            ..DeriveConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = DeriveConfig {
+            delta_frontier_threshold: f64::NAN,
+            ..DeriveConfig::default()
+        };
+        assert!(c.validate().is_err());
+        // Both boundary values are legal (0 = always fall back, 1 = never).
+        for t in [0.0, 1.0] {
+            let c = DeriveConfig {
+                delta_frontier_threshold: t,
+                delta_refresh: true,
+                ..DeriveConfig::default()
+            };
+            c.validate().unwrap();
+        }
     }
 
     #[test]

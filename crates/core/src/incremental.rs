@@ -57,6 +57,7 @@
 //! with very many categories, prefer sharded stores (see ROADMAP).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use wot_community::{
     shard::merge_shard_logs, CategoryId, CommunityStore, ReviewId, ShardedStore, StoreEvent, UserId,
@@ -132,6 +133,43 @@ struct SolveOutcome {
     converged: bool,
 }
 
+/// Result of one refresh through [`CategoryState::solve_refresh`]: the
+/// new warm state plus what the solver actually did — which path ran,
+/// and which nodes it recomputed (the worklist's coverage proof).
+struct RefreshOutcome {
+    out: SolveOutcome,
+    /// The worklist was abandoned for the full warm sweep (frontier over
+    /// the configured threshold, or a restored-stale category whose seeds
+    /// were not persisted).
+    fell_back: bool,
+    /// Local review indexes the solver recomputed (all of them for a full
+    /// sweep). Superset of the reviews whose value changed.
+    visited_reviews: Vec<u32>,
+    /// Local rater indexes the solver recomputed.
+    visited_raters: Vec<u32>,
+}
+
+/// What one traced refresh did — the worklist's audit trail, exposed by
+/// [`IncrementalDerived::refresh_traced`] so tests can prove no node was
+/// left stale (every node whose value moved must appear here).
+#[derive(Debug, Clone)]
+pub struct DeltaReport {
+    /// Sweeps executed (worklist passes, plus full-sweep iterations if
+    /// the solver fell back).
+    pub sweeps: usize,
+    /// Whether the tolerance was met before the iteration cap.
+    pub converged: bool,
+    /// Whether the delta solver abandoned the worklist for the full warm
+    /// sweep. Always `false` when [`DeriveConfig::delta_refresh`] is off
+    /// (there was no worklist to abandon) and when the category had
+    /// nothing to refresh.
+    pub fell_back: bool,
+    /// Reviews the solver recomputed, as global ids.
+    pub visited_reviews: Vec<ReviewId>,
+    /// Raters the solver recomputed, as global user ids.
+    pub visited_raters: Vec<UserId>,
+}
+
 /// Growable per-category fixed-point state — the incremental analogue of
 /// [`wot_community::CategorySlice`], carrying the same index-dense grouped
 /// arrays plus persistent scatter tables for O(1) local-index resolution.
@@ -170,6 +208,21 @@ struct CategoryState {
     /// for [`DerivedCache`]. Not part of the durable snapshot (a restored
     /// model simply starts a fresh cache).
     data_version: u64,
+    /// Worklist seeds for the delta solver: the `(local rater, local
+    /// review)` endpoints of every rating added or revised since the last
+    /// refresh. Cleared by every refresh (delta or full); new reviews
+    /// seed nothing (an unrated review's quality is exact at insert and
+    /// influences no rater).
+    pending_seeds: Vec<(u32, u32)>,
+    /// Forces the next refresh to run the full warm sweep even in delta
+    /// mode — set when a category is restored stale from a snapshot (the
+    /// seeds that made it stale were not persisted, so a worklist would
+    /// silently skip them).
+    needs_full: bool,
+    /// Sweep count of the last refresh (for warm snapshot assembly).
+    last_iterations: usize,
+    /// Convergence flag of the last refresh.
+    last_converged: bool,
 }
 
 impl CategoryState {
@@ -189,6 +242,10 @@ impl CategoryState {
             num_ratings: 0,
             stale: false,
             data_version: 0,
+            pending_seeds: Vec::new(),
+            needs_full: false,
+            last_iterations: 0,
+            last_converged: true,
         }
     }
 
@@ -254,7 +311,26 @@ impl CategoryState {
         self.num_ratings += 1;
         self.stale = true;
         self.data_version += 1;
+        self.pending_seeds.push((lr, local));
         Ok(())
+    }
+
+    /// Revises an **existing** rating in place in both grouped mirrors.
+    /// The caller has already verified the `(rater, review)` pair exists;
+    /// counts are untouched (a revision is not a new rating).
+    fn revise_rating(&mut self, lr: u32, local: u32, value: f64) {
+        let given = &mut self.ratings_by_rater_local[lr as usize];
+        let at = given.partition_point(|&(l, _)| l < local);
+        debug_assert!(given[at].0 == local, "revise_rating on a missing pair");
+        given[at].1 = value;
+        let slot = self.ratings_by_review_local[local as usize]
+            .iter_mut()
+            .find(|&&mut (r, _)| r == lr)
+            .expect("review-grouped mirror out of sync with rater-grouped list");
+        slot.1 = value;
+        self.stale = true;
+        self.data_version += 1;
+        self.pending_seeds.push((lr, local));
     }
 
     /// Re-solves the category **warm**, starting from the current
@@ -306,6 +382,197 @@ impl CategoryState {
             iterations,
             converged,
         }
+    }
+
+    /// Re-solves the category through whichever path
+    /// [`DeriveConfig::delta_refresh`] selects — the delta worklist or the
+    /// full warm sweep — and reports what was done. Read-only (the commit
+    /// happens in [`commit_refresh`](Self::commit_refresh)) so
+    /// `refresh_all` can fan categories out over worker threads.
+    fn solve_refresh(&self, cfg: &DeriveConfig) -> RefreshOutcome {
+        if cfg.delta_refresh && !self.needs_full {
+            self.solve_delta(cfg)
+        } else {
+            let out = self.solve_warm(cfg);
+            RefreshOutcome {
+                visited_reviews: (0..self.reviews.len() as u32).collect(),
+                visited_raters: (0..self.rater_of_local.len() as u32).collect(),
+                // `fell_back` means a worklist was abandoned; a full sweep
+                // that was never a worklist only counts as a fallback when
+                // delta mode asked for one and couldn't run it (restored
+                // stale state with unknown seeds).
+                fell_back: cfg.delta_refresh && self.needs_full,
+                out,
+            }
+        }
+    }
+
+    /// The **delta worklist solver**: starts from the pending seeds (the
+    /// one review and one rater each new or revised rating touches) and
+    /// propagates Eq. 1 / Eq. 2 recomputations through the bipartite
+    /// incidence structure only while a node moves by more than
+    /// [`DeriveConfig::fixpoint_tolerance`]. Before every pass the active
+    /// frontier is measured against
+    /// [`DeriveConfig::delta_frontier_threshold`]; a frontier wider than
+    /// that fraction of the category abandons the worklist and finishes
+    /// with the full warm sweep from the current (partially advanced)
+    /// state — the result is a valid warm state either way.
+    ///
+    /// Per-node arithmetic is [`riggs::quality_one`] /
+    /// [`riggs::reputation_one`] — the same summation order as the dense
+    /// sweep's slots, so a node recomputed here lands on the same bits the
+    /// full sweep would give it from the same inputs. The canonical cold
+    /// snapshot ([`IncrementalDerived::to_derived`]) never reads this warm
+    /// state, which is how delta mode keeps the bit-identical-to-batch
+    /// contract untouched.
+    fn solve_delta(&self, cfg: &DeriveConfig) -> RefreshOutcome {
+        let n_rev = self.reviews.len();
+        let n_rat = self.rater_of_local.len();
+        // Mirror `solve_warm`'s unrated-only early return: nothing to
+        // iterate, no phantom sweeps.
+        if self.num_ratings == 0 {
+            return RefreshOutcome {
+                out: SolveOutcome {
+                    quality: vec![cfg.unrated_review_quality; n_rev],
+                    reputation: self.reputation.clone(),
+                    iterations: 0,
+                    converged: true,
+                },
+                fell_back: false,
+                visited_reviews: Vec::new(),
+                visited_raters: Vec::new(),
+            };
+        }
+        let mut quality = self.quality.clone();
+        let mut reputation = self.reputation.clone();
+        // Frontier membership flags keep the worklists duplicate-free;
+        // visited flags accumulate the audit trail across sweeps.
+        let mut rev_in = vec![false; n_rev];
+        let mut rat_in = vec![false; n_rat];
+        let mut visited_rev = vec![false; n_rev];
+        let mut visited_rat = vec![false; n_rat];
+        let mut rev_frontier: Vec<u32> = Vec::new();
+        let mut rat_frontier: Vec<u32> = Vec::new();
+        for &(lr, local) in &self.pending_seeds {
+            if !rev_in[local as usize] {
+                rev_in[local as usize] = true;
+                rev_frontier.push(local);
+            }
+            // The seed rater must recompute even if its review's quality
+            // holds still: the rating changed the rater's own n, discount
+            // and deviation terms directly.
+            if !rat_in[lr as usize] {
+                rat_in[lr as usize] = true;
+                rat_frontier.push(lr);
+            }
+        }
+        let total = (n_rev + n_rat) as f64;
+        let mut sweeps = 0usize;
+        let mut converged = false;
+        let mut fell_back = false;
+        loop {
+            if rev_frontier.is_empty() && rat_frontier.is_empty() {
+                converged = true;
+                break;
+            }
+            // Fallback heuristic, checked on the work *about* to run:
+            // strict `>` gives the boundary semantics (threshold 0 always
+            // falls back on any non-empty frontier; threshold 1 never
+            // does, the frontier cannot exceed the whole category).
+            let active = (rev_frontier.len() + rat_frontier.len()) as f64;
+            if active > cfg.delta_frontier_threshold * total {
+                fell_back = true;
+                break;
+            }
+            if sweeps >= cfg.fixpoint_max_iters {
+                break;
+            }
+            sweeps += 1;
+            // Eq. 1 half-sweep: recompute dirty reviews; a quality move
+            // beyond tolerance dirties every rater of that review.
+            for &j in &rev_frontier {
+                rev_in[j as usize] = false;
+                visited_rev[j as usize] = true;
+                let received = &self.ratings_by_review_local[j as usize];
+                let q = riggs::quality_one(received, &reputation, cfg);
+                let moved = (q - quality[j as usize]).abs() > cfg.fixpoint_tolerance;
+                quality[j as usize] = q;
+                if moved {
+                    for &(lr, _) in received {
+                        if !rat_in[lr as usize] {
+                            rat_in[lr as usize] = true;
+                            rat_frontier.push(lr);
+                        }
+                    }
+                }
+            }
+            rev_frontier.clear();
+            // Eq. 2 half-sweep: recompute dirty raters; a reputation move
+            // beyond tolerance dirties every review they rated, for the
+            // next pass.
+            for &i in &rat_frontier {
+                rat_in[i as usize] = false;
+                visited_rat[i as usize] = true;
+                let given = &self.ratings_by_rater_local[i as usize];
+                let rep = riggs::reputation_one(given, &quality, cfg.discount(given.len()));
+                let moved = (rep - reputation[i as usize]).abs() > cfg.fixpoint_tolerance;
+                reputation[i as usize] = rep;
+                if moved {
+                    for &(j, _) in given {
+                        if !rev_in[j as usize] {
+                            rev_in[j as usize] = true;
+                            rev_frontier.push(j);
+                        }
+                    }
+                }
+            }
+            rat_frontier.clear();
+        }
+        let mut iterations = sweeps;
+        if fell_back {
+            // Finish with the one shared dense sweep loop, warm from the
+            // partially advanced state; every node counts as visited.
+            let flat = riggs::FlatIncidence::from_grouped(
+                &self.ratings_by_review_local,
+                &self.ratings_by_rater_local,
+                cfg,
+            );
+            let (it, conv) = riggs::solve_warm(&flat, cfg, &mut quality, &mut reputation);
+            iterations += it;
+            converged = conv;
+            visited_rev.iter_mut().for_each(|v| *v = true);
+            visited_rat.iter_mut().for_each(|v| *v = true);
+        }
+        let collect = |flags: &[bool]| -> Vec<u32> {
+            flags
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &v)| v.then_some(i as u32))
+                .collect()
+        };
+        RefreshOutcome {
+            out: SolveOutcome {
+                quality,
+                reputation,
+                iterations,
+                converged,
+            },
+            fell_back,
+            visited_reviews: collect(&visited_rev),
+            visited_raters: collect(&visited_rat),
+        }
+    }
+
+    /// Installs a refresh result as the new warm state and clears the
+    /// staleness bookkeeping (seeds included).
+    fn commit_refresh(&mut self, out: SolveOutcome) {
+        self.last_iterations = out.iterations;
+        self.last_converged = out.converged;
+        self.quality = out.quality;
+        self.reputation = out.reputation;
+        self.stale = false;
+        self.needs_full = false;
+        self.pending_seeds.clear();
     }
 
     /// Assembles one category's canonical [`CategoryReputation`] from a
@@ -417,12 +684,27 @@ pub struct IncrementalSnapshot {
 /// write bursts. Reusing a cache across *different* model instances is
 /// not meaningful (versions are per-instance counters); a shape mismatch
 /// resets the cache, anything subtler is on the caller.
+///
+/// Slots are `Arc`-shared with every [`Derived`] published from this
+/// cache: a clean category costs one pointer clone per publish, not a
+/// deep copy of its reputation tables (the regression test
+/// `publish_shares_clean_categories_by_pointer` pins this down).
+///
+/// One cache instance must stay on **one path**: either the canonical
+/// cold solves of [`to_derived_cached`] or the warm assemblies of
+/// [`refresh_and_derive_warm`] — the two memoize different values under
+/// the same version key, so mixing them would serve one path's entries
+/// as the other's.
+///
+/// [`to_derived_cached`]: IncrementalDerived::to_derived_cached
+/// [`refresh_and_derive_warm`]: IncrementalDerived::refresh_and_derive_warm
 #[derive(Debug, Clone, Default)]
 pub struct DerivedCache {
     /// Data version each slot was solved at (`u64::MAX` = never).
     versions: Vec<u64>,
-    /// Canonical per-category output as of `versions`.
-    per_category: Vec<CategoryReputation>,
+    /// Canonical per-category output as of `versions`, shared by pointer
+    /// into every published [`Derived`].
+    per_category: Vec<Arc<CategoryReputation>>,
 }
 
 /// Online derived model: append events, refresh stale categories, read
@@ -836,6 +1118,11 @@ impl IncrementalDerived {
             state.reputation = cat.reputation;
             state.num_ratings = cat.num_ratings;
             state.stale = cat.stale;
+            // The events that made a snapshotted category stale are not in
+            // the image, so a delta refresh would have no seeds to work
+            // from: force the restored category's next refresh through the
+            // full warm sweep.
+            state.needs_full = cat.stale;
         }
         // Dense review ids (unique + all below the total) keep the replay
         // contract intact, so a recovered tail folds on top seamlessly.
@@ -928,28 +1215,127 @@ impl IncrementalDerived {
         Ok(())
     }
 
+    /// Adds the rating if the `(rater, review)` pair is new, or **revises
+    /// it in place** if the rater already rated that review — the
+    /// incremental counterpart of
+    /// [`CommunityBuilder::upsert_rating`](wot_community::CommunityBuilder::upsert_rating),
+    /// with the same return convention: `Ok(true)` when an existing
+    /// rating was replaced, `Ok(false)` when this was a first rating.
+    ///
+    /// A revision changes no counts (`a^r` and the rater's `n` are about
+    /// *how many* ratings exist, and that did not change) but does
+    /// perturb the fixed point, so the category goes stale and the pair
+    /// seeds the delta worklist exactly like a fresh rating.
+    pub fn upsert_rating(&mut self, rater: UserId, review: ReviewId, value: f64) -> Result<bool> {
+        if rater.index() >= self.num_users {
+            return Err(CoreError::Shape(format!(
+                "rater {rater} out of bounds for {} users",
+                self.num_users
+            )));
+        }
+        if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+            return Err(CoreError::Shape(format!(
+                "rating value {value} must be within [0, 1]"
+            )));
+        }
+        let Some(&(cat, local)) = self.review_index.get(&review) else {
+            return Err(CoreError::Shape(format!("unknown review {review}")));
+        };
+        let state = &mut self.categories[cat as usize];
+        let lw = state.review_writer_local[local as usize];
+        if state.writer_of_local[lw as usize] == rater {
+            return Err(CoreError::Shape(format!(
+                "user {rater} cannot rate their own review {review}"
+            )));
+        }
+        if let Some(lr) = state
+            .rater_slot
+            .get(rater.index())
+            .copied()
+            .filter(|&lr| lr != u32::MAX)
+        {
+            let given = &state.ratings_by_rater_local[lr as usize];
+            let at = given.partition_point(|&(l, _)| l < local);
+            if given.get(at).is_some_and(|&(l, _)| l == local) {
+                state.revise_rating(lr, local, value);
+                return Ok(true);
+            }
+        }
+        state.add_rating(rater, review, local, value, &self.cfg)?;
+        self.rating_counts.set(
+            rater.index(),
+            cat as usize,
+            self.rating_counts.get(rater.index(), cat as usize) + 1.0,
+        );
+        Ok(false)
+    }
+
     /// Re-solves one category if stale, warm-starting from the previous
     /// reputations. Returns `(sweeps, converged)`; `(0, true)` when the
     /// category was already fresh, out of range, or stale but without any
     /// ratings to iterate (unrated reviews are assigned their quality
     /// directly — no phantom sweeps are reported).
+    ///
+    /// With [`DeriveConfig::delta_refresh`] on, the solve runs the delta
+    /// worklist (seeded by the ratings since the last refresh) and falls
+    /// back to the full warm sweep past the configured frontier fraction;
+    /// off (the default), it is the full warm sweep — the oracle the
+    /// delta path is proven against.
     pub fn refresh(&mut self, category: CategoryId) -> (usize, bool) {
         match self.categories.get_mut(category.index()) {
             Some(state) if state.stale => {
-                let out = state.solve_warm(&self.cfg);
-                state.quality = out.quality;
-                state.reputation = out.reputation;
-                state.stale = false;
-                (out.iterations, out.converged)
+                let r = state.solve_refresh(&self.cfg);
+                let (iters, conv) = (r.out.iterations, r.out.converged);
+                state.commit_refresh(r.out);
+                (iters, conv)
             }
             _ => (0, true),
+        }
+    }
+
+    /// Like [`refresh`](Self::refresh), but reports the solver's audit
+    /// trail: which path ran and exactly which nodes were recomputed.
+    /// The coverage contract — every node whose warm value differs from
+    /// its pre-refresh value appears in the visited sets — is what the
+    /// workspace's delta proptests assert.
+    pub fn refresh_traced(&mut self, category: CategoryId) -> DeltaReport {
+        match self.categories.get_mut(category.index()) {
+            Some(state) if state.stale => {
+                let r = state.solve_refresh(&self.cfg);
+                let report = DeltaReport {
+                    sweeps: r.out.iterations,
+                    converged: r.out.converged,
+                    fell_back: r.fell_back,
+                    visited_reviews: r
+                        .visited_reviews
+                        .iter()
+                        .map(|&j| state.reviews[j as usize])
+                        .collect(),
+                    visited_raters: r
+                        .visited_raters
+                        .iter()
+                        .map(|&i| state.rater_of_local[i as usize])
+                        .collect(),
+                };
+                state.commit_refresh(r.out);
+                report
+            }
+            _ => DeltaReport {
+                sweeps: 0,
+                converged: true,
+                fell_back: false,
+                visited_reviews: Vec::new(),
+                visited_raters: Vec::new(),
+            },
         }
     }
 
     /// Re-solves every stale category, fanning out over
     /// [`DeriveConfig::effective_threads`] `wot-par` workers (stale
     /// categories are independent fixed points, so the refreshed state is
-    /// identical for every thread count). Returns total sweeps executed.
+    /// identical for every thread count — delta worklists included, since
+    /// each runs wholly inside its category). Returns total sweeps
+    /// executed.
     pub fn refresh_all(&mut self) -> usize {
         let stale: Vec<usize> = self
             .categories
@@ -960,15 +1346,12 @@ impl IncrementalDerived {
         let cfg = &self.cfg;
         let categories = &self.categories;
         let outcomes = wot_par::par_map_indexed(stale.len(), cfg.effective_threads(), |k| {
-            categories[stale[k]].solve_warm(cfg)
+            categories[stale[k]].solve_refresh(cfg).out
         });
         let mut total = 0;
         for (&c, out) in stale.iter().zip(outcomes) {
             total += out.iterations;
-            let state = &mut self.categories[c];
-            state.quality = out.quality;
-            state.reputation = out.reputation;
-            state.stale = false;
+            self.categories[c].commit_refresh(out);
         }
         total
     }
@@ -989,11 +1372,11 @@ impl IncrementalDerived {
         let solved = wot_par::par_map_indexed(categories.len(), cfg.effective_threads(), |c| {
             categories[c].solve_cold(cfg)
         });
-        let per_category: Vec<CategoryReputation> = categories
+        let per_category: Vec<Arc<CategoryReputation>> = categories
             .iter()
             .zip(&solved)
             .enumerate()
-            .map(|(c, (state, out))| state.category_reputation(c, out, cfg))
+            .map(|(c, (state, out))| Arc::new(state.category_reputation(c, out, cfg)))
             .collect();
         let writer_pairs: Vec<&[(UserId, f64)]> = per_category
             .iter()
@@ -1032,16 +1415,16 @@ impl IncrementalDerived {
             // Placeholders only: every slot starts at version u64::MAX,
             // which no data version reaches, so each is overwritten by a
             // real solve before it can be read.
-            cache
-                .per_category
-                .resize_with(categories.len(), || CategoryReputation {
+            cache.per_category.resize_with(categories.len(), || {
+                Arc::new(CategoryReputation {
                     category: CategoryId(0),
                     rater_reputation: Vec::new(),
                     writer_reputation: Vec::new(),
                     review_quality: Vec::new(),
                     iterations: 0,
                     converged: false,
-                });
+                })
+            });
         }
         let dirty: Vec<usize> = categories
             .iter()
@@ -1054,9 +1437,67 @@ impl IncrementalDerived {
             state.category_reputation(c, &state.solve_cold(cfg), cfg)
         });
         for (&c, cr) in dirty.iter().zip(solved) {
-            cache.per_category[c] = cr;
+            cache.per_category[c] = Arc::new(cr);
             cache.versions[c] = categories[c].data_version;
         }
+        self.assemble_from_cache(cache)
+    }
+
+    /// Refreshes every stale category (through whichever path
+    /// [`DeriveConfig::delta_refresh`] selects) and assembles a
+    /// [`Derived`] from the resulting **warm** state, memoizing each
+    /// category's assembly in `cache` under its data version — the delta
+    /// writer's publish step: after a sparse batch, only the touched
+    /// categories pay a worklist solve plus an O(category) re-assembly,
+    /// and every clean category rides its cached `Arc`.
+    ///
+    /// Refreshing and assembling in one call is what makes the version
+    /// key sound for warm values: a category's warm state only changes
+    /// when data arrived (which bumped the version) and a refresh
+    /// followed — and here the refresh *always* runs before assembly, so
+    /// a cached entry can never capture pre-refresh warm state.
+    ///
+    /// Unlike [`to_derived_cached`](Self::to_derived_cached) this is
+    /// within-tolerance of the canonical snapshot, not bit-identical: the
+    /// warm values carry the fixed point's convergence epsilon. Keep the
+    /// cache exclusive to this method (see [`DerivedCache`]).
+    pub fn refresh_and_derive_warm(&mut self, cache: &mut DerivedCache) -> Derived {
+        self.refresh_all();
+        let categories = &self.categories;
+        if cache.versions.len() != categories.len() {
+            cache.versions = vec![u64::MAX; categories.len()];
+            cache.per_category.clear();
+            cache.per_category.resize_with(categories.len(), || {
+                Arc::new(CategoryReputation {
+                    category: CategoryId(0),
+                    rater_reputation: Vec::new(),
+                    writer_reputation: Vec::new(),
+                    review_quality: Vec::new(),
+                    iterations: 0,
+                    converged: false,
+                })
+            });
+        }
+        for (c, state) in categories.iter().enumerate() {
+            if cache.versions[c] == state.data_version {
+                continue;
+            }
+            let out = SolveOutcome {
+                quality: state.quality.clone(),
+                reputation: state.reputation.clone(),
+                iterations: state.last_iterations,
+                converged: state.last_converged,
+            };
+            cache.per_category[c] = Arc::new(state.category_reputation(c, &out, &self.cfg));
+            cache.versions[c] = state.data_version;
+        }
+        self.assemble_from_cache(cache)
+    }
+
+    /// Builds the final [`Derived`] from a fully up-to-date cache; the
+    /// per-category tables are shared by `Arc` (no deep clone of clean
+    /// categories on publish).
+    fn assemble_from_cache(&self, cache: &DerivedCache) -> Derived {
         let writer_pairs: Vec<&[(UserId, f64)]> = cache
             .per_category
             .iter()
@@ -1654,5 +2095,256 @@ mod tests {
                 .unwrap();
         let batch = pipeline::derive(&store, &cfg).unwrap();
         assert_eq!(derived, batch);
+    }
+
+    fn delta_cfg(threshold: f64) -> DeriveConfig {
+        DeriveConfig {
+            delta_refresh: true,
+            delta_frontier_threshold: threshold,
+            ..DeriveConfig::default()
+        }
+    }
+
+    /// Delta refresh tracks the full warm sweep within the fixed point's
+    /// epsilon at every step of an event stream, and never perturbs the
+    /// canonical snapshot: `to_derived()` stays bit-identical to batch
+    /// regardless of which refresh path maintained the warm state.
+    #[test]
+    fn delta_refresh_tracks_full_sweep_within_epsilon() {
+        let store = sample_store();
+        let log = wot_community::events::event_log(&store);
+        let full_cfg = DeriveConfig::default();
+        let mut delta =
+            IncrementalDerived::new(store.num_users(), store.num_categories(), &delta_cfg(1.0))
+                .unwrap();
+        let mut full =
+            IncrementalDerived::new(store.num_users(), store.num_categories(), &full_cfg).unwrap();
+        for e in &log {
+            delta.apply(&ReplayEvent::from(*e)).unwrap();
+            full.apply(&ReplayEvent::from(*e)).unwrap();
+            delta.refresh_all();
+            full.refresh_all();
+            for (c, (sd, sf)) in delta.categories.iter().zip(&full.categories).enumerate() {
+                for (x, y) in sd.quality.iter().zip(&sf.quality) {
+                    assert!((x - y).abs() < 1e-6, "category {c} quality {x} vs {y}");
+                }
+                for (x, y) in sd.reputation.iter().zip(&sf.reputation) {
+                    assert!((x - y).abs() < 1e-6, "category {c} reputation {x} vs {y}");
+                }
+            }
+        }
+        let batch = pipeline::derive(&store, &full_cfg).unwrap();
+        assert_eq!(delta.to_derived(), batch);
+    }
+
+    /// Frontier-threshold boundary semantics: 0 always abandons the
+    /// worklist for the full sweep, 1 never does.
+    #[test]
+    fn delta_frontier_boundary_semantics() {
+        let store = sample_store();
+        for (threshold, expect_fallback) in [(0.0, true), (1.0, false)] {
+            let cfg = delta_cfg(threshold);
+            let mut inc = IncrementalDerived::from_store(&store, &cfg).unwrap();
+            let rt = store.ratings()[0];
+            // A revision seeds the worklist without touching counts.
+            assert!(inc.upsert_rating(rt.rater, rt.review, 0.55).unwrap());
+            let cat = store.reviews()[rt.review.index()].category;
+            let report = inc.refresh_traced(cat);
+            assert_eq!(report.fell_back, expect_fallback, "threshold {threshold}");
+            if expect_fallback {
+                // The full sweep recomputed every node of the category.
+                let state = &inc.categories[cat.index()];
+                assert_eq!(report.visited_reviews.len(), state.reviews.len());
+                assert_eq!(report.visited_raters.len(), state.rater_of_local.len());
+            }
+            assert!(!inc.categories[cat.index()].stale);
+            assert!(inc.categories[cat.index()].pending_seeds.is_empty());
+        }
+    }
+
+    /// The worklist's coverage contract on a single perturbation: every
+    /// node whose warm value moved appears in the visited sets.
+    #[test]
+    fn delta_visited_covers_every_changed_node() {
+        let store = sample_store();
+        let cfg = delta_cfg(1.0);
+        let mut inc = IncrementalDerived::from_store(&store, &cfg).unwrap();
+        let rt = store.ratings()[0];
+        let cat = store.reviews()[rt.review.index()].category;
+        let before = inc.categories[cat.index()].clone();
+        assert!(inc.upsert_rating(rt.rater, rt.review, 0.15).unwrap());
+        let report = inc.refresh_traced(cat);
+        assert!(!report.fell_back);
+        assert!(report.sweeps >= 1);
+        let after = &inc.categories[cat.index()];
+        for (j, (x, y)) in before.quality.iter().zip(&after.quality).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                let rid = after.reviews[j];
+                assert!(
+                    report.visited_reviews.contains(&rid),
+                    "review {rid} moved but was not visited"
+                );
+            }
+        }
+        for (i, (x, y)) in before.reputation.iter().zip(&after.reputation).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                let u = after.rater_of_local[i];
+                assert!(
+                    report.visited_raters.contains(&u),
+                    "rater {u} moved but was not visited"
+                );
+            }
+        }
+    }
+
+    /// `upsert_rating` revises in place: counts untouched, both grouped
+    /// mirrors updated, and after a refresh the model is within epsilon
+    /// of one built with the final value from the start (the canonical
+    /// snapshot is bit-identical to that rebuild).
+    #[test]
+    fn upsert_rating_revises_in_place() {
+        let store = sample_store();
+        for cfg in [DeriveConfig::default(), delta_cfg(0.5)] {
+            let mut inc = IncrementalDerived::from_store(&store, &cfg).unwrap();
+            let rt = store.ratings()[0];
+            let cat = store.reviews()[rt.review.index()].category;
+            let a_before = inc.affiliation();
+            let n_before = inc.categories[cat.index()].num_ratings;
+            // Replacing reports true and changes no counts.
+            assert!(inc.upsert_rating(rt.rater, rt.review, 0.2).unwrap());
+            assert_eq!(inc.categories[cat.index()].num_ratings, n_before);
+            assert_eq!(inc.affiliation().as_slice(), a_before.as_slice());
+            inc.refresh_all();
+            // A rebuild that ingested 0.2 for that pair from the start
+            // produces the same canonical model.
+            let mut twin =
+                IncrementalDerived::new(store.num_users(), store.num_categories(), &cfg).unwrap();
+            for review in store.reviews() {
+                twin.add_review(review.writer, review.id, review.category)
+                    .unwrap();
+            }
+            for rating in store.ratings() {
+                let value = if rating.rater == rt.rater && rating.review == rt.review {
+                    0.2
+                } else {
+                    rating.value
+                };
+                twin.add_rating(rating.rater, rating.review, value).unwrap();
+            }
+            assert_eq!(inc.to_derived(), twin.to_derived());
+            // A first-time pair reports false and does count. Review 3
+            // (cat2, writer x) has only been rated by a — w is new.
+            let lone = ReviewId(3);
+            let cat2 = store.reviews()[lone.index()].category;
+            let m_before = inc.categories[cat2.index()].num_ratings;
+            assert!(!inc.upsert_rating(UserId(1), lone, 0.9).unwrap());
+            assert_eq!(inc.categories[cat2.index()].num_ratings, m_before + 1);
+            // Validation still applies.
+            let writer = store.reviews()[rt.review.index()].writer;
+            assert!(inc.upsert_rating(writer, rt.review, 0.5).is_err());
+            assert!(inc.upsert_rating(rt.rater, ReviewId(999), 0.5).is_err());
+            assert!(inc.upsert_rating(rt.rater, rt.review, 1.5).is_err());
+        }
+    }
+
+    /// Satellite regression: publishing from a cache must not deep-clone
+    /// clean categories — their `Arc` is shared pointer-identical across
+    /// consecutive snapshots, while dirty categories get fresh tables.
+    #[test]
+    fn publish_shares_clean_categories_by_pointer() {
+        let store = sample_store();
+        let cfg = DeriveConfig::default();
+        let mut inc = IncrementalDerived::from_store(&store, &cfg).unwrap();
+        let mut cache = DerivedCache::default();
+        let d1 = inc.to_derived_cached(&mut cache);
+        // Mutate category 1 only.
+        inc.add_review(
+            UserId(0),
+            ReviewId(store.num_reviews() as u32),
+            CategoryId(1),
+        )
+        .unwrap();
+        let d2 = inc.to_derived_cached(&mut cache);
+        assert!(
+            Arc::ptr_eq(&d1.per_category[0], &d2.per_category[0]),
+            "clean category was cloned on publish"
+        );
+        assert!(
+            !Arc::ptr_eq(&d1.per_category[1], &d2.per_category[1]),
+            "dirty category must be re-solved"
+        );
+        // An idle republish shares every category.
+        let d3 = inc.to_derived_cached(&mut cache);
+        for (a, b) in d2.per_category.iter().zip(&d3.per_category) {
+            assert!(Arc::ptr_eq(a, b), "idle republish cloned a category");
+        }
+        // The warm-assembly path shares the same way. (The new review's
+        // writer is user 0, so user 1 rates it.)
+        let mut warm_cache = DerivedCache::default();
+        let w1 = inc.refresh_and_derive_warm(&mut warm_cache);
+        inc.add_rating(UserId(1), ReviewId(store.num_reviews() as u32), 0.7)
+            .unwrap();
+        let w2 = inc.refresh_and_derive_warm(&mut warm_cache);
+        assert!(Arc::ptr_eq(&w1.per_category[0], &w2.per_category[0]));
+        assert!(!Arc::ptr_eq(&w1.per_category[1], &w2.per_category[1]));
+    }
+
+    /// The warm assembly agrees with the live warm accessors and stays
+    /// within epsilon of the canonical snapshot, on both refresh paths.
+    #[test]
+    fn warm_assembly_matches_warm_state() {
+        let store = sample_store();
+        for cfg in [DeriveConfig::default(), delta_cfg(0.5)] {
+            let mut inc =
+                IncrementalDerived::new(store.num_users(), store.num_categories(), &cfg).unwrap();
+            let mut cache = DerivedCache::default();
+            for e in &wot_community::events::event_log(&store) {
+                inc.apply(&ReplayEvent::from(*e)).unwrap();
+                let warm = inc.refresh_and_derive_warm(&mut cache);
+                assert!(!inc.is_stale());
+                assert_eq!(warm.expertise.as_slice(), inc.expertise().as_slice());
+                assert_eq!(warm.affiliation.as_slice(), inc.affiliation().as_slice());
+                let cold = inc.to_derived();
+                for (w, c) in warm
+                    .expertise
+                    .as_slice()
+                    .iter()
+                    .zip(cold.expertise.as_slice())
+                {
+                    assert!((w - c).abs() < 1e-6, "warm {w} vs cold {c}");
+                }
+            }
+        }
+    }
+
+    /// A category restored stale from a snapshot lost its worklist seeds,
+    /// so delta mode must route its next refresh through the full sweep —
+    /// and end exactly where the original (never-snapshotted) model ends.
+    #[test]
+    fn restored_stale_category_forces_full_sweep_in_delta_mode() {
+        let store = sample_store();
+        let cfg = delta_cfg(1.0);
+        let mut inc = IncrementalDerived::from_store(&store, &cfg).unwrap();
+        let rt = store.ratings()[0];
+        let cat = store.reviews()[rt.review.index()].category;
+        assert!(inc.upsert_rating(rt.rater, rt.review, 0.35).unwrap());
+        // Restore from a snapshot taken while stale: seeds are gone.
+        let mut restored = IncrementalDerived::from_snapshot(inc.snapshot(), &cfg).unwrap();
+        assert!(restored.categories[cat.index()].pending_seeds.is_empty());
+        let report = restored.refresh_traced(cat);
+        assert!(report.fell_back, "restored stale category must full-sweep");
+        // The full sweep lands on the same warm state the live model's
+        // own full sweep would (both warm-start from identical state).
+        let mut live_full =
+            IncrementalDerived::from_snapshot(inc.snapshot(), &DeriveConfig::default()).unwrap();
+        live_full.refresh(cat);
+        assert_eq!(
+            restored.categories[cat.index()].quality,
+            live_full.categories[cat.index()].quality
+        );
+        assert_eq!(
+            restored.categories[cat.index()].reputation,
+            live_full.categories[cat.index()].reputation
+        );
     }
 }

@@ -116,7 +116,8 @@ pub mod trust_blocks;
 pub use config::DeriveConfig;
 pub use error::CoreError;
 pub use incremental::{
-    CategorySnapshot, DerivedCache, IncrementalDerived, IncrementalSnapshot, ReplayEvent,
+    CategorySnapshot, DeltaReport, DerivedCache, IncrementalDerived, IncrementalSnapshot,
+    ReplayEvent,
 };
 pub use pipeline::{CategoryReputation, Derived};
 pub use trust_blocks::{BlockConfig, TrustBlock, TrustBlocks};

@@ -9,6 +9,8 @@
 //! sequential one — a property the workspace's determinism tests assert
 //! with `==` on `f64`, not approximate comparison.
 
+use std::sync::Arc;
+
 use wot_community::{CategoryId, CategorySlice, CommunityStore, ReviewId, ShardedStore, UserId};
 use wot_sparse::{Csr, Dense};
 
@@ -40,8 +42,12 @@ pub struct Derived {
     pub expertise: Dense,
     /// Users×Category affiliation matrix `A` (Eq. 4).
     pub affiliation: Dense,
-    /// Per-category reputations and qualities.
-    pub per_category: Vec<CategoryReputation>,
+    /// Per-category reputations and qualities. `Arc`-shared so a serving
+    /// daemon's per-publish snapshot can reuse every untouched category's
+    /// tables by pointer instead of deep-cloning them (equality still
+    /// compares the pointed-to values, so bit-identity assertions are
+    /// unaffected).
+    pub per_category: Vec<Arc<CategoryReputation>>,
 }
 
 /// Runs Steps 1 and 2 on the whole community: per category, the Eq. 1 ⇄
@@ -63,7 +69,10 @@ pub fn derive(store: &CommunityStore, cfg: &DeriveConfig) -> Result<Derived> {
         wot_par::par_map_indexed(categories.len(), cfg.effective_threads(), |c| {
             derive_category(store, categories[c].id, cfg)
         });
-    let per_category = solved.into_iter().collect::<Result<Vec<_>>>()?;
+    let per_category: Vec<Arc<CategoryReputation>> = solved
+        .into_iter()
+        .map(|r| r.map(Arc::new))
+        .collect::<Result<Vec<_>>>()?;
     let writer_pairs: Vec<&[(UserId, f64)]> = per_category
         .iter()
         .map(|cr| cr.writer_reputation.as_slice())
@@ -99,7 +108,10 @@ pub fn derive_sharded(store: &ShardedStore, cfg: &DeriveConfig) -> Result<Derive
             let slice = store.category_slice(category)?;
             Ok(solve_slice(&slice, cfg))
         });
-    let per_category = solved.into_iter().collect::<Result<Vec<_>>>()?;
+    let per_category: Vec<Arc<CategoryReputation>> = solved
+        .into_iter()
+        .map(|r| r.map(Arc::new))
+        .collect::<Result<Vec<_>>>()?;
     let writer_pairs: Vec<&[(UserId, f64)]> = per_category
         .iter()
         .map(|cr| cr.writer_reputation.as_slice())
@@ -179,14 +191,14 @@ pub fn derive_baseline(store: &CommunityStore, cfg: &DeriveConfig) -> Result<Der
             .zip(&fixed.review_quality)
             .map(|(&rid, &q)| (rid, q))
             .collect();
-        per_category.push(CategoryReputation {
+        per_category.push(Arc::new(CategoryReputation {
             category: c.id,
             rater_reputation,
             writer_reputation,
             review_quality,
             iterations: fixed.iterations,
             converged: fixed.converged,
-        });
+        }));
         writer_maps.push(writers);
     }
     let e = expertise::expertise_matrix(num_users, &writer_maps);

@@ -279,6 +279,43 @@ fn update_reputation(flat: &FlatIncidence, quality: &[f64], reputation: &mut [f6
     max_delta
 }
 
+/// Eq. 1 for **one review** from its grouped `(local rater, value)`
+/// ratings, in their stored (ingestion) order — the same arithmetic, in
+/// the same summation order, as one slot of [`update_quality`], so the
+/// delta worklist solver and the dense sweeps cannot disagree on a node
+/// they both recompute.
+pub(crate) fn quality_one(ratings: &[(u32, f64)], reputation: &[f64], cfg: &DeriveConfig) -> f64 {
+    if ratings.is_empty() {
+        return cfg.unrated_review_quality;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(rater, value) in ratings {
+        let w = reputation[rater as usize];
+        num += w * value;
+        den += w;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        ratings.iter().map(|&(_, v)| v).sum::<f64>() / ratings.len() as f64
+    }
+}
+
+/// Eq. 2 for **one rater** from their grouped `(local review, value)`
+/// ratings (ascending local review index) and pre-computed experience
+/// discount — one slot of [`update_reputation`], same order, same bits.
+pub(crate) fn reputation_one(ratings: &[(u32, f64)], quality: &[f64], discount: f64) -> f64 {
+    let n = ratings.len();
+    debug_assert!(n > 0, "rater entry with no ratings");
+    let mad: f64 = ratings
+        .iter()
+        .map(|&(local, value)| (value - quality[local as usize]).abs())
+        .sum::<f64>()
+        / n as f64;
+    (1.0 - mad).max(0.0) * discount
+}
+
 /// The original `HashMap`-keyed formulation of the fixed point.
 ///
 /// Kept as the equivalence baseline: `wot-core`'s property tests assert

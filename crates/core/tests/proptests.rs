@@ -283,6 +283,93 @@ proptest! {
         }
     }
 
+    /// Delta refresh never leaves a node stale: after an arbitrary
+    /// single-rating perturbation, every node whose warm value moved
+    /// appears in the worklist's visited set (threshold 1.0 — the
+    /// worklist is never abandoned, so this is the pure coverage claim).
+    #[test]
+    fn delta_worklist_visits_every_moved_node(store in community(), pick in 0usize..1000, lvl in 0u8..5) {
+        let cfg = DeriveConfig {
+            delta_refresh: true,
+            delta_frontier_threshold: 1.0,
+            ..DeriveConfig::default()
+        };
+        if store.ratings().is_empty() {
+            return Ok(());
+        }
+        let mut inc = wot_core::IncrementalDerived::from_store(&store, &cfg).unwrap();
+        let rt = store.ratings()[pick % store.ratings().len()];
+        let cat = store.reviews()[rt.review.index()].category;
+        let before = inc.snapshot().categories[cat.index()].clone();
+        let value = [0.2, 0.4, 0.6, 0.8, 1.0][lvl as usize];
+        prop_assert!(inc.upsert_rating(rt.rater, rt.review, value).unwrap());
+        let report = inc.refresh_traced(cat);
+        prop_assert!(!report.fell_back);
+        let after = &inc.snapshot().categories[cat.index()];
+        for (j, (x, y)) in before.quality.iter().zip(&after.quality).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                prop_assert!(
+                    report.visited_reviews.contains(&after.reviews[j]),
+                    "review {} moved unvisited", after.reviews[j]
+                );
+            }
+        }
+        for (i, (x, y)) in before.reputation.iter().zip(&after.reputation).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                prop_assert!(
+                    report.visited_raters.contains(&after.rater_of_local[i]),
+                    "rater {} moved unvisited", after.rater_of_local[i]
+                );
+            }
+        }
+    }
+
+    /// Upserts through the delta path agree with the same upserts
+    /// through the full-sweep path: identical accept/reject decisions,
+    /// replace-vs-insert verdicts, and a bit-identical canonical
+    /// snapshot — with warm states within the fixed point's epsilon.
+    #[test]
+    fn delta_upserts_match_full_sweep_upserts(
+        store in community(),
+        edits in proptest::collection::vec((0usize..10, 0usize..25, 0u8..5), 1..12),
+    ) {
+        let full_cfg = DeriveConfig::default();
+        let delta_cfg = DeriveConfig {
+            delta_refresh: true,
+            delta_frontier_threshold: 0.75,
+            ..DeriveConfig::default()
+        };
+        if store.num_reviews() == 0 {
+            return Ok(());
+        }
+        let mut delta = wot_core::IncrementalDerived::from_store(&store, &delta_cfg).unwrap();
+        let mut full = wot_core::IncrementalDerived::from_store(&store, &full_cfg).unwrap();
+        let users = store.num_users();
+        let reviews = store.num_reviews();
+        for (u, r, lvl) in edits {
+            let rater = UserId::from_index(u % users);
+            let review = wot_community::ReviewId::from_index(r % reviews);
+            let value = [0.2, 0.4, 0.6, 0.8, 1.0][lvl as usize];
+            let a = delta.upsert_rating(rater, review, value);
+            let b = full.upsert_rating(rater, review, value);
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "replace/insert verdicts differ"),
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "admission diverged: {:?} vs {:?}", a, b),
+            }
+            delta.refresh_all();
+            full.refresh_all();
+        }
+        for (w, c) in delta.expertise().as_slice().iter().zip(full.expertise().as_slice()) {
+            prop_assert!((w - c).abs() < 1e-6, "warm {} vs {}", w, c);
+        }
+        prop_assert_eq!(
+            delta.affiliation().as_slice(),
+            full.affiliation().as_slice()
+        );
+        prop_assert_eq!(&delta.to_derived(), &full.to_derived());
+    }
+
     /// Generosity fractions are within [0,1] and zero for users without
     /// direct connections.
     #[test]

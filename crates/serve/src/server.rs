@@ -23,7 +23,13 @@
 //! There is no separate "refresh stale categories" step in the hot loop:
 //! `to_derived_cached` *is* that refresh — it cold-solves exactly the
 //! categories whose data version moved and reuses every clean one, and
-//! its output is bit-identical to a from-scratch `to_derived()`.
+//! its output is bit-identical to a from-scratch `to_derived()`. With
+//! [`ServeOptions::delta_publish`] the writer instead publishes the warm
+//! solver state through
+//! [`refresh_and_derive_warm`](wot_core::IncrementalDerived::refresh_and_derive_warm),
+//! so a model configured with `delta_refresh` advances each publish by
+//! the per-event worklist (within the fixed point's tolerance of the
+//! canonical snapshot) instead of cold-solving dirtied categories.
 //!
 //! [`to_derived_cached`]: wot_core::IncrementalDerived::to_derived_cached
 
@@ -65,6 +71,18 @@ pub struct ServeOptions {
     pub wal_path: PathBuf,
     /// Durability policy for ingest appends.
     pub fsync: FsyncPolicy,
+    /// Publish snapshots from the writer's *warm* solver state via
+    /// [`refresh_and_derive_warm`] instead of the canonical cold
+    /// re-solve. With [`DeriveConfig::delta_refresh`] set on the model,
+    /// each publish then runs the per-event worklist rather than a full
+    /// category sweep — served values are within the fixed point's
+    /// tolerance of the canonical snapshot rather than bit-identical to
+    /// it. The cache the writer owns stays on one path for the server's
+    /// whole lifetime, so warm and cold memoizations never mix.
+    ///
+    /// [`refresh_and_derive_warm`]: wot_core::IncrementalDerived::refresh_and_derive_warm
+    /// [`DeriveConfig::delta_refresh`]: wot_core::DeriveConfig::delta_refresh
+    pub delta_publish: bool,
 }
 
 impl ServeOptions {
@@ -76,6 +94,7 @@ impl ServeOptions {
             reader_threads: 0,
             wal_path: wal_path.into(),
             fsync: FsyncPolicy::EveryMs(50),
+            delta_publish: false,
         }
     }
 }
@@ -139,8 +158,15 @@ impl Server {
         opts: &ServeOptions,
     ) -> Result<ServerHandle> {
         let wal = WalWriter::create(&opts.wal_path, LogKind::Events, opts.fsync)?;
+        let mut model = model;
         let mut cache = DerivedCache::default();
-        let first = ServeSnapshot::new(base_seq, model.to_derived_cached(&mut cache));
+        let delta_publish = opts.delta_publish;
+        let derived = if delta_publish {
+            model.refresh_and_derive_warm(&mut cache)
+        } else {
+            model.to_derived_cached(&mut cache)
+        };
+        let first = ServeSnapshot::new(base_seq, derived);
         let reader_threads = wot_par::resolve_threads(opts.reader_threads).max(1);
         let shared = Arc::new(Shared {
             cell: SnapshotCell::new(Arc::new(first)),
@@ -161,7 +187,17 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("wot-serve-writer".into())
-                .spawn(move || writer_loop(model, cache, wal, base_seq, write_rx, &shared))
+                .spawn(move || {
+                    writer_loop(
+                        model,
+                        cache,
+                        wal,
+                        base_seq,
+                        delta_publish,
+                        write_rx,
+                        &shared,
+                    )
+                })
                 .map_err(ServeError::Io)?
         };
 
@@ -255,6 +291,7 @@ fn writer_loop(
     mut cache: DerivedCache,
     mut wal: WalWriter,
     base_seq: u64,
+    delta_publish: bool,
     rx: Receiver<WriteCmd>,
     shared: &Shared,
 ) {
@@ -315,8 +352,14 @@ fn writer_loop(
         if applied {
             // Re-derive only the categories this batch dirtied, publish,
             // then ack: an acknowledged writer immediately reads its own
-            // write from the new snapshot.
-            let snap = ServeSnapshot::new(seq, model.to_derived_cached(&mut cache));
+            // write from the new snapshot. Delta mode serves the warm
+            // solver state instead of re-solving cold.
+            let derived = if delta_publish {
+                model.refresh_and_derive_warm(&mut cache)
+            } else {
+                model.to_derived_cached(&mut cache)
+            };
+            let snap = ServeSnapshot::new(seq, derived);
             shared.cell.publish(Arc::new(snap));
             shared.wal_len.store(wal.len(), Ordering::Relaxed);
             for reply in acks {

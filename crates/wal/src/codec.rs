@@ -374,14 +374,14 @@ pub(crate) fn decode_derived(payload: &[u8]) -> Result<Derived, String> {
             1 => true,
             b => return Err(format!("converged flag must be 0 or 1, got {b}")),
         };
-        per_category.push(CategoryReputation {
+        per_category.push(std::sync::Arc::new(CategoryReputation {
             category,
             rater_reputation,
             writer_reputation,
             review_quality,
             iterations,
             converged,
-        });
+        }));
     }
     c.finish("derived snapshot")?;
     Ok(Derived {
@@ -503,14 +503,14 @@ mod tests {
         let d = Derived {
             expertise: Dense::from_vec(2, 2, vec![0.1, 0.2, 0.3, 0.4]).unwrap(),
             affiliation: Dense::from_vec(2, 2, vec![1.0, 0.0, 0.5, 0.5]).unwrap(),
-            per_category: vec![CategoryReputation {
+            per_category: vec![std::sync::Arc::new(CategoryReputation {
                 category: CategoryId(0),
                 rater_reputation: vec![(UserId(1), 0.6)],
                 writer_reputation: vec![(UserId(0), 0.7)],
                 review_quality: vec![(ReviewId(0), 0.8)],
                 iterations: 12,
                 converged: true,
-            }],
+            })],
         };
         let mut buf = Vec::new();
         encode_derived(&mut buf, &d);

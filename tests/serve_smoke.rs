@@ -347,3 +347,120 @@ fn concurrent_readers_during_ingest_see_only_whole_snapshots() {
     handle.shutdown().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The delta-publish daemon: the writer advances the warm solver state
+/// with the per-event worklist instead of cold-solving dirtied
+/// categories. One sequential ingest client means one event per writer
+/// batch, so an offline replica running the same `apply` +
+/// `refresh_and_derive_warm` cycle reproduces every published snapshot
+/// **bit-identically** — concurrent readers check that per `seq`, while
+/// every warm snapshot stays within epsilon of the cold batch oracle.
+#[test]
+fn delta_publish_daemon_serves_warm_snapshots_conformantly() {
+    let fx = Fixture::new(73);
+    let delta_cfg = DeriveConfig {
+        delta_refresh: true,
+        delta_frontier_threshold: 0.5,
+        ..DeriveConfig::default()
+    };
+    let bootstrap = || {
+        let mut inc = IncrementalDerived::new(fx.num_users, fx.num_categories, &delta_cfg).unwrap();
+        for e in &fx.log[..fx.split] {
+            inc.apply(&ReplayEvent::from(*e)).unwrap();
+        }
+        inc
+    };
+
+    // Offline replica of the writer's publish cycle, one snapshot per
+    // reachable seq.
+    let mut oracles: Vec<Derived> = Vec::with_capacity(fx.log.len() - fx.split + 1);
+    {
+        let mut replica = bootstrap();
+        let mut cache = webtrust::core::DerivedCache::default();
+        oracles.push(replica.refresh_and_derive_warm(&mut cache));
+        for &e in &fx.log[fx.split..] {
+            replica.apply(&ReplayEvent::from(e)).unwrap();
+            oracles.push(replica.refresh_and_derive_warm(&mut cache));
+        }
+    }
+    // Every warm snapshot stays within epsilon of the cold batch oracle
+    // for the same event prefix.
+    for (n, warm) in oracles.iter().enumerate() {
+        let cold = fx.oracle(fx.split + n);
+        for (w, c) in warm
+            .expertise
+            .as_slice()
+            .iter()
+            .zip(cold.expertise.as_slice())
+        {
+            assert!((w - c).abs() < 1e-6, "prefix {n}: warm {w} vs cold {c}");
+        }
+        assert_eq!(warm.affiliation.as_slice(), cold.affiliation.as_slice());
+    }
+    let oracles = Arc::new(oracles);
+
+    let dir = temp_dir("delta");
+    let opts = ServeOptions {
+        reader_threads: 5,
+        delta_publish: true,
+        ..ServeOptions::local(dir.join("serve.wal"))
+    };
+    let handle = Server::start(bootstrap(), fx.split as u64, &opts).unwrap();
+    let base = fx.split as u64;
+    let users = fx.num_users;
+
+    let done = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for t in 0..3u64 {
+        let addr = handle.addr();
+        let oracles = Arc::clone(&oracles);
+        let done = Arc::clone(&done);
+        readers.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut queries = 0u64;
+            let mut k = t.wrapping_mul(5);
+            while !done.load(Ordering::Acquire) || queries < 50 {
+                let i = (k.wrapping_mul(29) % users as u64) as usize;
+                let j = (k.wrapping_mul(23).wrapping_add(t) % users as u64) as usize;
+                k += 1;
+                let got = c.trust(i as u32, j as u32).unwrap();
+                let seq = c.last_seq();
+                let oracle = &oracles[(seq - base) as usize];
+                let want =
+                    webtrust::core::trust::pairwise(&oracle.affiliation, &oracle.expertise, i, j);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "thread {t}: delta trust({i},{j}) at seq {seq}"
+                );
+                queries += 1;
+            }
+            queries
+        }));
+    }
+
+    // The single sequential ingester: one event per batch, so the served
+    // snapshot sequence is exactly the replica's.
+    let mut w = Client::connect(handle.addr()).unwrap();
+    let mut last_seq = base;
+    for &event in &fx.log[fx.split..] {
+        let seq = w.ingest(event).unwrap();
+        assert_eq!(seq, last_seq + 1, "one publish per event");
+        last_seq = seq;
+    }
+    done.store(true, Ordering::Release);
+    for r in readers {
+        let queries = r.join().expect("delta reader thread must not panic");
+        assert!(queries >= 50);
+    }
+
+    // The final served state bit-matches the replica's last snapshot
+    // across read opcodes, and the WAL recovery contract holds.
+    assert_served_state_matches(&mut w, oracles.last().unwrap(), fx.log.len() as u64);
+    drop(w);
+    handle.shutdown().unwrap();
+    let recovered = read_log(&dir.join("serve.wal")).unwrap();
+    assert!(recovered.torn.is_none());
+    assert_eq!(recovered.events, &fx.log[fx.split..]);
+    std::fs::remove_dir_all(&dir).ok();
+}
