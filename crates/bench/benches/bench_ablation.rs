@@ -17,20 +17,20 @@ fn bench(c: &mut Criterion) {
     });
 
     group.bench_function("derive/no_discount", |b| {
-        let cfg = DeriveConfig {
-            experience_discount: false,
-            ..DeriveConfig::default()
-        };
+        let cfg = DeriveConfig::builder()
+            .experience_discount(false)
+            .build()
+            .unwrap();
         b.iter(|| pipeline::derive(black_box(store), &cfg).unwrap())
     });
 
     for iters in [1usize, 5, 25] {
         group.bench_function(format!("derive/fixpoint_{iters}_iters"), |b| {
-            let cfg = DeriveConfig {
-                fixpoint_max_iters: iters,
-                fixpoint_tolerance: 0.0,
-                ..DeriveConfig::default()
-            };
+            let cfg = DeriveConfig::builder()
+                .fixpoint_max_iters(iters)
+                .fixpoint_tolerance(0.0)
+                .build()
+                .unwrap();
             b.iter(|| pipeline::derive(black_box(store), &cfg).unwrap())
         });
     }

@@ -24,15 +24,8 @@ fn scale_name(scale: Scale) -> &'static str {
 }
 
 fn bench(c: &mut Criterion) {
-    let seq = DeriveConfig {
-        parallel: false,
-        ..DeriveConfig::default()
-    };
-    let par = DeriveConfig {
-        parallel: true,
-        threads: 0,
-        ..DeriveConfig::default()
-    };
+    let seq = DeriveConfig::builder().parallel(false).build().unwrap();
+    let par = DeriveConfig::builder().thread_count(0).build().unwrap();
 
     for scale in [Scale::Tiny, Scale::Laptop] {
         let name = scale_name(scale);

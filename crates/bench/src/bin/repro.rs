@@ -29,6 +29,10 @@
 //!                      drive mixed read/ingest traffic against it; merges
 //!                      serve_point_query_{p50,p99,p999}, serve_topk_p99 and
 //!                      serve_ingest_events_per_sec into BENCH_pipeline.json
+//!   cluster-bench      launch a 3-worker multi-process shard cluster (wot-shardd
+//!                      subprocesses behind the coordinator), ingest the live tail
+//!                      through category routing, and time scatter-gather queries;
+//!                      merges cluster_* rows into BENCH_pipeline.json
 //!   bench-compare      diff BENCH_pipeline.json against BENCH_baseline.json and
 //!                      fail on a >25% regression of any tracked metric
 //!                      (--baseline/--current/--max-regress override the
@@ -50,7 +54,7 @@ const USAGE: &str =
     "usage: repro [--scale tiny|laptop|paper] [--seed N] [--wal-dir DIR] <experiment>...
 experiments: stats table2 table3 fig3 stream-fig3 table4 values propagation rounding \
 ablation-discount ablation-fixpoint sweep-noise sweep-trust-noise wal-write wal-recover \
-bench-summary serve-bench bench-compare all";
+bench-summary serve-bench cluster-bench bench-compare all";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -258,6 +262,7 @@ fn run_experiment(
         "wal-recover" => wal_recover(wb, wal_dir)?,
         "bench-summary" => bench_summary(wb, scale, seed)?,
         "serve-bench" => serve_bench(wb, scale, seed)?,
+        "cluster-bench" => cluster_bench(wb, scale, seed)?,
         other => return Err(format!("unknown experiment {other:?}\n{USAGE}").into()),
     })
 }
@@ -454,15 +459,8 @@ fn bench_summary(
     let store = &wb.out.store;
     let derived = &wb.derived;
     let threads = wot_par::max_threads();
-    let seq_cfg = DeriveConfig {
-        parallel: false,
-        ..DeriveConfig::default()
-    };
-    let par_cfg = DeriveConfig {
-        parallel: true,
-        threads: 0,
-        ..DeriveConfig::default()
-    };
+    let seq_cfg = DeriveConfig::builder().parallel(false).build()?;
+    let par_cfg = DeriveConfig::builder().thread_count(0).build()?;
 
     let mut rows: Vec<(&str, f64)> = Vec::new();
     rows.push((
@@ -578,10 +576,7 @@ fn bench_summary(
             // within a few hops instead of flooding the category the
             // way a brand-new far-from-consensus rating does (that case
             // is what the frontier-threshold fallback is for).
-            let delta_cfg = DeriveConfig {
-                delta_refresh: true,
-                ..seq_cfg.clone()
-            };
+            let delta_cfg = seq_cfg.to_builder().delta_refresh(true).build()?;
             let mut inc_delta = IncrementalDerived::from_store(store, &delta_cfg)?;
             let revisions: Vec<(UserId, ReviewId, f64)> = store
                 .ratings()
@@ -860,10 +855,7 @@ fn bench_summary(
             // serve_delta_ingest_events_per_sec twin is the one
             // bench-compare gates.)
             {
-                let delta_cfg = DeriveConfig {
-                    delta_refresh: true,
-                    ..DeriveConfig::default()
-                };
+                let delta_cfg = DeriveConfig::builder().delta_refresh(true).build()?;
                 let mut model = IncrementalDerived::from_snapshot(inc.snapshot(), &delta_cfg)?;
                 // Settle the restored-stale state so the measured loop
                 // runs the per-event worklist, not the recovery sweep.
@@ -1035,10 +1027,9 @@ fn serve_bench(
     // A connection occupies a worker for its lifetime, so the pool must
     // cover every concurrent client (readers + the writer) regardless of
     // how few cores the host has.
-    let opts = ServeOptions {
-        reader_threads: READERS + 2,
-        ..ServeOptions::local(dir.join("serve.wal"))
-    };
+    let opts = ServeOptions::builder(dir.join("serve.wal"))
+        .reader_threads(READERS + 2)
+        .build()?;
     let handle = Server::start(model, split as u64, &opts)?;
     let addr = handle.addr();
     let users = store.num_users() as u64;
@@ -1096,20 +1087,18 @@ fn serve_bench(
     // category re-solve per publish). One writer, acked per event — the
     // rate the daemon sustains while staying read-your-writes.
     let delta_events_per_sec = {
-        let delta_cfg = wot_core::DeriveConfig {
-            delta_refresh: true,
-            ..wot_core::DeriveConfig::default()
-        };
+        let delta_cfg = wot_core::DeriveConfig::builder()
+            .delta_refresh(true)
+            .build()?;
         let mut model =
             IncrementalDerived::new(store.num_users(), store.num_categories(), &delta_cfg)?;
         for e in &log[..split] {
             model.apply(&ReplayEvent::from(*e))?;
         }
-        let opts = ServeOptions {
-            reader_threads: 1,
-            delta_publish: true,
-            ..ServeOptions::local(dir.join("serve-delta.wal"))
-        };
+        let opts = ServeOptions::builder(dir.join("serve-delta.wal"))
+            .reader_threads(1)
+            .delta_publish(true)
+            .build()?;
         let handle = Server::start(model, split as u64, &opts)?;
         let mut w = Client::connect(handle.addr())?;
         let t = std::time::Instant::now();
@@ -1176,6 +1165,164 @@ fn serve_bench(
         );
     }
     out.push_str("  merged serve_* rows into BENCH_pipeline.json\n");
+    Ok(out)
+}
+
+/// `cluster-bench`: launch the multi-process shard cluster — three
+/// `wot-shardd` worker subprocesses behind the scatter-gather
+/// `Coordinator` — and measure the two costs the process split adds on
+/// top of the flat daemon: the per-event ingest ack (category routing,
+/// the owning worker's durable WAL append + category re-solve, and the
+/// coordinator's exact-count bookkeeping), reported per worker, and
+/// scatter-gather query latency (point queries against the assembled
+/// snapshot, table queries scattered to the owning worker). Rows merge
+/// into `BENCH_pipeline.json` where `bench-compare` tracks them.
+fn cluster_bench(
+    wb: &Workbench,
+    scale: Scale,
+    seed: u64,
+) -> Result<String, Box<dyn std::error::Error>> {
+    use wot_community::StoreEvent;
+    use wot_serve::{Coordinator, CoordinatorOptions, TrustQuery};
+
+    const WORKERS: usize = 3;
+    /// Untimed warm-up prefix: enough history that the per-category
+    /// models and the coordinator snapshot carry realistic state without
+    /// paying a per-event solve for the whole 90% bootstrap.
+    const BOOT_CAP: usize = 6_000;
+    /// Timed ingest tail (each ack includes the worker's fsync'd append
+    /// and category re-solve).
+    const INGEST_CAP: usize = 1_000;
+    const POINT_QUERIES: usize = 2_000;
+    const SCATTER_QUERIES: usize = 400;
+
+    let store = &wb.out.store;
+    let log = wot_synth::shuffled_event_log(store, seed);
+    let boot = log.len().saturating_sub(INGEST_CAP).min(BOOT_CAP);
+    let ingested = (log.len() - boot).min(INGEST_CAP);
+
+    // Category of each event, for per-worker attribution (ratings
+    // resolve through the review they rate; reviews precede ratings in
+    // any causal log).
+    let mut cat_of_review: Vec<u32> = Vec::new();
+    let category_of: Vec<u32> = log
+        .iter()
+        .map(|e| match *e {
+            StoreEvent::Review { category, .. } => {
+                cat_of_review.push(category.0);
+                category.0
+            }
+            StoreEvent::Rating { review, .. } => cat_of_review[review.index()],
+        })
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("wot-cluster-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let mut coord = Coordinator::start(CoordinatorOptions::new(
+        &dir,
+        WORKERS,
+        store.num_users(),
+        store.num_categories(),
+    ))?;
+
+    for e in &log[..boot] {
+        coord.ingest(*e)?;
+    }
+
+    // Timed tail: one durable, solved ack per event, attributed to the
+    // worker that owned the event's category at that sequence point.
+    let mut per_worker_secs = [0.0f64; WORKERS];
+    let mut per_worker_events = [0usize; WORKERS];
+    let t_all = std::time::Instant::now();
+    for (off, e) in log[boot..boot + ingested].iter().enumerate() {
+        let w = coord.owner_of(category_of[boot + off])?;
+        let t = std::time::Instant::now();
+        coord.ingest(*e)?;
+        per_worker_secs[w] += t.elapsed().as_secs_f64();
+        per_worker_events[w] += 1;
+    }
+    let ingest_secs = t_all.elapsed().as_secs_f64();
+    let events_per_sec = ingested as f64 / ingest_secs.max(1e-9);
+    // Mean of the per-worker single-request throughputs (a worker's rate
+    // is 1 / its mean ack latency; the coordinator drives one request at
+    // a time, so this is throughput per worker, not a share of the total).
+    let worker_rates: Vec<f64> = (0..WORKERS)
+        .filter(|&w| per_worker_events[w] > 0)
+        .map(|w| per_worker_events[w] as f64 / per_worker_secs[w].max(1e-9))
+        .collect();
+    let worker_events_per_sec = worker_rates.iter().sum::<f64>() / worker_rates.len().max(1) as f64;
+
+    // Scatter-gather reads: both shapes round-trip to the owning worker
+    // over its pipe — a point lookup (one rater's reputation, a few
+    // bytes back) and a full table fetch (the category's whole rater and
+    // writer tables). The first query after ingest pays the snapshot
+    // assembly refresh; warm it out of the measured distributions.
+    let users = store.num_users() as u64;
+    let cats = store.num_categories();
+    let _ = coord.trust(0, 1 % users as u32)?;
+    let mut point_ns = Vec::with_capacity(POINT_QUERIES);
+    for q in 0..POINT_QUERIES {
+        let cat = (q % cats) as u32;
+        let user = ((q as u64).wrapping_mul(31).wrapping_add(7) % users) as u32;
+        let t = std::time::Instant::now();
+        coord.rater_reputation(cat, user)?;
+        point_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    let mut scatter_ns = Vec::with_capacity(SCATTER_QUERIES);
+    for q in 0..SCATTER_QUERIES {
+        let cat = (q % cats) as u32;
+        let t = std::time::Instant::now();
+        coord.category_tables(cat)?;
+        scatter_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    let publishes = coord.stats()?.0.publishes;
+    coord.shutdown()?;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    point_ns.sort_unstable();
+    scatter_ns.sort_unstable();
+    let pct_ms = |v: &[u64], q: f64| {
+        let idx = ((v.len() as f64 * q) as usize).min(v.len().saturating_sub(1));
+        v[idx] as f64 / 1e6
+    };
+    let rows: Vec<(&str, f64)> = vec![
+        ("cluster_scatter_point_p50", pct_ms(&point_ns, 0.50)),
+        ("cluster_scatter_tables_p99", pct_ms(&scatter_ns, 0.99)),
+        ("cluster_ingest_events_per_sec", events_per_sec),
+        (
+            "cluster_worker_ingest_events_per_sec",
+            worker_events_per_sec,
+        ),
+    ];
+    let scale_name = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Laptop => "laptop",
+        Scale::Paper => "paper",
+    };
+    merge_into_bench_json("BENCH_pipeline.json", scale_name, &rows)?;
+
+    let mut out = format!(
+        "cluster-bench — {WORKERS} wot-shardd workers behind the coordinator \
+         ({users} users, {boot} bootstrap + {ingested} timed events, \
+         {POINT_QUERIES} point / {SCATTER_QUERIES} table queries)\n",
+    );
+    for (name, v) in &rows {
+        let unit = if name.ends_with("_per_sec") {
+            "ev/s"
+        } else {
+            "ms"
+        };
+        out.push_str(&format!("  {name:<36} {v:>10.3} {unit}\n"));
+    }
+    for w in 0..WORKERS {
+        out.push_str(&format!(
+            "  worker {w}: {} events in {:.2}s\n",
+            per_worker_events[w], per_worker_secs[w]
+        ));
+    }
+    out.push_str(&format!(
+        "  coordinator published {publishes} snapshot refreshes; merged cluster_* rows into BENCH_pipeline.json\n"
+    ));
     Ok(out)
 }
 

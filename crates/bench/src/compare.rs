@@ -49,7 +49,16 @@
 ///   [`higher_is_better`]);
 /// * `serve_delta_ingest_events_per_sec` — the same sustained ingest
 ///   through a delta-publish server (worklist refresh + warm snapshot
-///   assembly per publish), gated in the rate direction too.
+///   assembly per publish), gated in the rate direction too;
+/// * `cluster_scatter_point_p50` / `cluster_scatter_tables_p99` — the
+///   multi-process shard cluster's scatter-gather read latencies
+///   (`repro cluster-bench`): a point reputation lookup and a full
+///   category-table fetch, each a round trip to the owning `wot-shardd`
+///   worker over its pipe;
+/// * `cluster_ingest_events_per_sec` /
+///   `cluster_worker_ingest_events_per_sec` — the cluster's routed
+///   durable ingest rate, aggregate and per worker (rates: the gate
+///   inverts).
 pub const TRACKED_METRICS: &[&str] = &[
     "derive_index_dense_mt",
     "derive_sharded_mt",
@@ -67,6 +76,10 @@ pub const TRACKED_METRICS: &[&str] = &[
     "serve_topk_p99",
     "serve_ingest_events_per_sec",
     "serve_delta_ingest_events_per_sec",
+    "cluster_scatter_point_p50",
+    "cluster_scatter_tables_p99",
+    "cluster_ingest_events_per_sec",
+    "cluster_worker_ingest_events_per_sec",
 ];
 
 /// Whether a tracked metric is a rate (named `*_per_sec`) rather than a

@@ -127,6 +127,42 @@ impl ShardAssignment {
     pub fn num_categories(&self) -> usize {
         self.shard_of_category.len()
     }
+
+    /// Hands `category` over to `to` — the assignment-level half of a
+    /// live rebalance. The move is **total-map preserving**: every
+    /// category still has exactly one owner afterwards, so routing by
+    /// [`shard_of`](Self::shard_of) stays well-defined at every point of
+    /// the cut-over. Returns the previous owner. The target shard id may
+    /// address an existing shard only (growing the cluster is a
+    /// deployment action, not an assignment edit).
+    pub fn reassign(&mut self, category: CategoryId, to: ShardId) -> Result<ShardId> {
+        if to.index() >= self.num_shards {
+            return Err(CommunityError::UnknownEntity {
+                kind: "shard",
+                id: to.0,
+            });
+        }
+        let slot = self.shard_of_category.get_mut(category.index()).ok_or(
+            CommunityError::UnknownEntity {
+                kind: "category",
+                id: category.0,
+            },
+        )?;
+        let from = *slot;
+        *slot = to;
+        Ok(from)
+    }
+
+    /// The categories a shard owns, ascending — what a coordinator tells
+    /// a (re)starting worker to replay from its log.
+    pub fn categories_of(&self, shard: ShardId) -> Vec<CategoryId> {
+        self.shard_of_category
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == shard)
+            .map(|(c, _)| CategoryId::from_index(c))
+            .collect()
+    }
 }
 
 /// One category's data inside its shard: reviews ascending by global id,

@@ -73,6 +73,25 @@ impl Default for DeriveConfig {
 }
 
 impl DeriveConfig {
+    /// Starts a validating [`DeriveConfigBuilder`] over the defaults.
+    /// Prefer this over struct-literal construction: the builder runs
+    /// [`validate`](Self::validate) at build time, so an off-range knob
+    /// fails where it was written instead of inside the pipeline call
+    /// that first consumes the config.
+    pub fn builder() -> DeriveConfigBuilder {
+        DeriveConfigBuilder {
+            cfg: DeriveConfig::default(),
+        }
+    }
+
+    /// A [`DeriveConfigBuilder`] seeded with this config's fields — the
+    /// validating analogue of struct-update syntax
+    /// (`DeriveConfig { x, ..cfg.clone() }` becomes
+    /// `cfg.to_builder().x(..).build()?`).
+    pub fn to_builder(&self) -> DeriveConfigBuilder {
+        DeriveConfigBuilder { cfg: self.clone() }
+    }
+
     /// Validates all fields; called by the pipeline entry points.
     pub fn validate(&self) -> Result<()> {
         if self.fixpoint_max_iters == 0 {
@@ -127,6 +146,86 @@ impl DeriveConfig {
     }
 }
 
+/// Validating builder for [`DeriveConfig`] — the supported construction
+/// path for non-default configs (struct literals remain possible, but
+/// only the builder validates eagerly).
+#[derive(Debug, Clone)]
+pub struct DeriveConfigBuilder {
+    cfg: DeriveConfig,
+}
+
+impl DeriveConfigBuilder {
+    /// Maximum fixed-point sweeps (must be ≥ 1).
+    pub fn fixpoint_max_iters(mut self, n: usize) -> Self {
+        self.cfg.fixpoint_max_iters = n;
+        self
+    }
+
+    /// Convergence tolerance (must be non-negative).
+    pub fn fixpoint_tolerance(mut self, tol: f64) -> Self {
+        self.cfg.fixpoint_tolerance = tol;
+        self
+    }
+
+    /// Toggle the Eq. 2–3 experience discount (ablation A1 when off).
+    pub fn experience_discount(mut self, on: bool) -> Self {
+        self.cfg.experience_discount = on;
+        self
+    }
+
+    /// Quality assigned to unrated reviews (must be in `[0, 1]`).
+    pub fn unrated_review_quality(mut self, q: f64) -> Self {
+        self.cfg.unrated_review_quality = q;
+        self
+    }
+
+    /// Rater reputation before the first sweep (must be in `(0, 1]`).
+    pub fn initial_rater_reputation(mut self, r: f64) -> Self {
+        self.cfg.initial_rater_reputation = r;
+        self
+    }
+
+    /// Run per-category solves on worker threads (bit-identical output).
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.cfg.parallel = on;
+        self
+    }
+
+    /// Worker threads when parallel (`0` = all hardware threads).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
+    /// Sets `parallel`/`threads` together from a single intent: `1`
+    /// means strictly sequential, anything else the parallel path with
+    /// that thread count (`0` = all hardware threads).
+    pub fn thread_count(mut self, n: usize) -> Self {
+        self.cfg.parallel = n != 1;
+        self.cfg.threads = n;
+        self
+    }
+
+    /// Route refreshes through the delta worklist solver.
+    pub fn delta_refresh(mut self, on: bool) -> Self {
+        self.cfg.delta_refresh = on;
+        self
+    }
+
+    /// Frontier fraction above which the delta solver falls back to the
+    /// full warm sweep (must be in `[0, 1]`).
+    pub fn delta_frontier_threshold(mut self, t: f64) -> Self {
+        self.cfg.delta_frontier_threshold = t;
+        self
+    }
+
+    /// Validates and produces the config.
+    pub fn build(self) -> Result<DeriveConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +233,44 @@ mod tests {
     #[test]
     fn default_is_valid() {
         DeriveConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        let cfg = DeriveConfig::builder()
+            .fixpoint_max_iters(10)
+            .fixpoint_tolerance(1e-6)
+            .experience_discount(false)
+            .unrated_review_quality(0.5)
+            .initial_rater_reputation(0.5)
+            .thread_count(1)
+            .delta_refresh(true)
+            .delta_frontier_threshold(0.75)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.fixpoint_max_iters, 10);
+        assert!(!cfg.experience_discount);
+        assert!(!cfg.parallel);
+        assert_eq!(cfg.effective_threads(), 1);
+        assert!(cfg.delta_refresh);
+
+        assert!(DeriveConfig::builder()
+            .fixpoint_max_iters(0)
+            .build()
+            .is_err());
+        assert!(DeriveConfig::builder()
+            .initial_rater_reputation(0.0)
+            .build()
+            .is_err());
+        assert!(DeriveConfig::builder()
+            .delta_frontier_threshold(1.5)
+            .build()
+            .is_err());
+        // The default build equals Default::default() field for field.
+        assert_eq!(
+            DeriveConfig::builder().build().unwrap(),
+            DeriveConfig::default()
+        );
     }
 
     #[test]

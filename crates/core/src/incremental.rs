@@ -2098,11 +2098,11 @@ mod tests {
     }
 
     fn delta_cfg(threshold: f64) -> DeriveConfig {
-        DeriveConfig {
-            delta_refresh: true,
-            delta_frontier_threshold: threshold,
-            ..DeriveConfig::default()
-        }
+        DeriveConfig::builder()
+            .delta_refresh(true)
+            .delta_frontier_threshold(threshold)
+            .build()
+            .unwrap()
     }
 
     /// Delta refresh tracks the full warm sweep within the fixed point's

@@ -113,7 +113,7 @@ pub mod riggs;
 pub mod trust;
 pub mod trust_blocks;
 
-pub use config::DeriveConfig;
+pub use config::{DeriveConfig, DeriveConfigBuilder};
 pub use error::CoreError;
 pub use incremental::{
     CategorySnapshot, DeltaReport, DerivedCache, IncrementalDerived, IncrementalSnapshot,

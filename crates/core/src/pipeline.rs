@@ -358,20 +358,17 @@ mod tests {
         let store = fixture();
         let sequential = derive(
             &store,
-            &DeriveConfig {
-                parallel: false,
-                ..DeriveConfig::default()
-            },
+            &DeriveConfig::builder().parallel(false).build().unwrap(),
         )
         .unwrap();
         for threads in [0usize, 2, 7] {
             let parallel = derive(
                 &store,
-                &DeriveConfig {
-                    parallel: true,
-                    threads,
-                    ..DeriveConfig::default()
-                },
+                &DeriveConfig::builder()
+                    .parallel(true)
+                    .threads(threads)
+                    .build()
+                    .unwrap(),
             )
             .unwrap();
             assert_eq!(parallel, sequential, "threads={threads}");
@@ -391,11 +388,10 @@ mod tests {
         ] {
             let sharded_store = store.to_sharded(&assignment).unwrap();
             for threads in [1usize, 0, 3] {
-                let cfg = DeriveConfig {
-                    parallel: threads != 1,
-                    threads,
-                    ..DeriveConfig::default()
-                };
+                let cfg = DeriveConfig::builder()
+                    .thread_count(threads)
+                    .build()
+                    .unwrap();
                 let sharded = derive_sharded(&sharded_store, &cfg).unwrap();
                 assert_eq!(sharded, flat, "threads={threads}");
             }

@@ -156,10 +156,10 @@ mod tests {
         let o = b.add_object("o", cat).unwrap();
         b.add_review(w, o).unwrap();
         let slice = b.build().category_slice(cat).unwrap();
-        let cfg = DeriveConfig {
-            experience_discount: false,
-            ..DeriveConfig::default()
-        };
+        let cfg = DeriveConfig::builder()
+            .experience_discount(false)
+            .build()
+            .unwrap();
         let rep = writer_reputation(&slice, &[0.9], &cfg);
         assert!((rep[0] - 0.9).abs() < 1e-12);
     }

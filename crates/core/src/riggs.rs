@@ -447,10 +447,10 @@ mod tests {
     #[test]
     fn single_sweep_matches_hand_computation() {
         let slice = fixture();
-        let cfg = DeriveConfig {
-            fixpoint_max_iters: 1,
-            ..DeriveConfig::default()
-        };
+        let cfg = DeriveConfig::builder()
+            .fixpoint_max_iters(1)
+            .build()
+            .unwrap();
         let r = solve(&slice, &cfg);
         assert_eq!(r.iterations, 1);
         // Initial reputations 1.0 → plain means.
@@ -467,11 +467,11 @@ mod tests {
     #[test]
     fn second_sweep_reweights_quality() {
         let slice = fixture();
-        let cfg = DeriveConfig {
-            fixpoint_max_iters: 2,
-            fixpoint_tolerance: 0.0,
-            ..DeriveConfig::default()
-        };
+        let cfg = DeriveConfig::builder()
+            .fixpoint_max_iters(2)
+            .fixpoint_tolerance(0.0)
+            .build()
+            .unwrap();
         let r = solve(&slice, &cfg);
         // q0 = (0.6·0.8 + 0.4·0.4) / (0.6 + 0.4) = 0.64
         assert!((r.review_quality[0] - 0.64).abs() < 1e-12);
@@ -504,10 +504,10 @@ mod tests {
         let with = solve(&slice, &DeriveConfig::default());
         let without = solve(
             &slice,
-            &DeriveConfig {
-                experience_discount: false,
-                ..DeriveConfig::default()
-            },
+            &DeriveConfig::builder()
+                .experience_discount(false)
+                .build()
+                .unwrap(),
         );
         for (rep, rep_without) in with.rater_reputation.iter().zip(&without.rater_reputation) {
             assert!(rep_without >= rep);
@@ -527,10 +527,10 @@ mod tests {
         assert_eq!(r.review_quality, vec![0.0]);
         let r = solve(
             &slice,
-            &DeriveConfig {
-                unrated_review_quality: 0.5,
-                ..DeriveConfig::default()
-            },
+            &DeriveConfig::builder()
+                .unrated_review_quality(0.5)
+                .build()
+                .unwrap(),
         );
         assert_eq!(r.review_quality, vec![0.5]);
         assert!(r.rater_reputation.is_empty());
@@ -576,11 +576,11 @@ mod tests {
         let slice = fixture();
         for cfg in [
             DeriveConfig::default(),
-            DeriveConfig {
-                fixpoint_max_iters: 3,
-                fixpoint_tolerance: 0.0,
-                ..DeriveConfig::default()
-            },
+            DeriveConfig::builder()
+                .fixpoint_max_iters(3)
+                .fixpoint_tolerance(0.0)
+                .build()
+                .unwrap(),
         ] {
             let dense = solve(&slice, &cfg);
             let map = reference::solve(&slice, &cfg);

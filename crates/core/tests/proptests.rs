@@ -126,13 +126,13 @@ proptest! {
     fn parallel_derive_matches_sequential(store in community()) {
         let sequential = pipeline::derive(
             &store,
-            &DeriveConfig { parallel: false, ..DeriveConfig::default() },
+            &DeriveConfig::builder().parallel(false).build().unwrap(),
         )
         .unwrap();
         for threads in [0usize, 2, 3] {
             let parallel = pipeline::derive(
                 &store,
-                &DeriveConfig { parallel: true, threads, ..DeriveConfig::default() },
+                &DeriveConfig::builder().parallel(true).threads(threads).build().unwrap(),
             )
             .unwrap();
             prop_assert_eq!(&parallel, &sequential);
@@ -143,7 +143,7 @@ proptest! {
     /// pipeline exactly.
     #[test]
     fn pipeline_matches_baseline(store in community()) {
-        let cfg = DeriveConfig { parallel: false, ..DeriveConfig::default() };
+        let cfg = DeriveConfig::builder().parallel(false).build().unwrap();
         let dense = pipeline::derive(&store, &cfg).unwrap();
         let baseline = pipeline::derive_baseline(&store, &cfg).unwrap();
         prop_assert_eq!(&dense, &baseline);
@@ -212,7 +212,7 @@ proptest! {
         let with = pipeline::derive(&store, &DeriveConfig::default()).unwrap();
         let without = pipeline::derive(
             &store,
-            &DeriveConfig { experience_discount: false, ..DeriveConfig::default() },
+            &DeriveConfig::builder().experience_discount(false).build().unwrap(),
         )
         .unwrap();
         // Writer reputation: quality estimates shift too (rater weights
@@ -271,7 +271,7 @@ proptest! {
             }
         }
         for threads in [1usize, 3] {
-            let cfg_t = DeriveConfig { parallel: threads != 1, threads, ..cfg.clone() };
+            let cfg_t = cfg.to_builder().thread_count(threads).build().unwrap();
             let derived = wot_core::IncrementalDerived::replay(
                 store.num_users(),
                 store.num_categories(),
@@ -289,11 +289,11 @@ proptest! {
     /// worklist is never abandoned, so this is the pure coverage claim).
     #[test]
     fn delta_worklist_visits_every_moved_node(store in community(), pick in 0usize..1000, lvl in 0u8..5) {
-        let cfg = DeriveConfig {
-            delta_refresh: true,
-            delta_frontier_threshold: 1.0,
-            ..DeriveConfig::default()
-        };
+        let cfg = DeriveConfig::builder()
+            .delta_refresh(true)
+            .delta_frontier_threshold(1.0)
+            .build()
+            .unwrap();
         if store.ratings().is_empty() {
             return Ok(());
         }
@@ -334,11 +334,11 @@ proptest! {
         edits in proptest::collection::vec((0usize..10, 0usize..25, 0u8..5), 1..12),
     ) {
         let full_cfg = DeriveConfig::default();
-        let delta_cfg = DeriveConfig {
-            delta_refresh: true,
-            delta_frontier_threshold: 0.75,
-            ..DeriveConfig::default()
-        };
+        let delta_cfg = DeriveConfig::builder()
+            .delta_refresh(true)
+            .delta_frontier_threshold(0.75)
+            .build()
+            .unwrap();
         if store.num_reviews() == 0 {
             return Ok(());
         }

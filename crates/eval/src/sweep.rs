@@ -139,10 +139,10 @@ pub fn ablate_discount(synth: &SynthConfig) -> Result<Vec<DiscountRow>> {
     let out = wot_synth::generate(synth)?;
     let mut rows = Vec::new();
     for discount in [true, false] {
-        let cfg = DeriveConfig {
-            experience_discount: discount,
-            ..DeriveConfig::default()
-        };
+        let cfg = DeriveConfig::builder()
+            .experience_discount(discount)
+            .build()
+            .map_err(|e| EvalError::InvalidParameter(e.to_string()))?;
         let wb = Workbench::from_output(out.clone(), &cfg)?;
         let raters = quartiles::rater_quartiles(&wb)?;
         let writers = quartiles::writer_quartiles(&wb)?;
@@ -183,11 +183,11 @@ pub fn ablate_fixpoint(synth: &SynthConfig, budgets: &[usize]) -> Result<Vec<Fix
         if budget == 0 {
             return Err(EvalError::InvalidParameter("budget 0 is invalid".into()));
         }
-        let cfg = DeriveConfig {
-            fixpoint_max_iters: budget,
-            fixpoint_tolerance: 0.0, // force exactly `budget` sweeps
-            ..DeriveConfig::default()
-        };
+        let cfg = DeriveConfig::builder()
+            .fixpoint_max_iters(budget)
+            .fixpoint_tolerance(0.0) // force exactly `budget` sweeps
+            .build()
+            .map_err(|e| EvalError::InvalidParameter(e.to_string()))?;
         let wb = Workbench::from_output(out.clone(), &cfg)?;
         let drift = wot_sparse::linf_distance(
             wb.derived.expertise.as_slice(),

@@ -1,0 +1,128 @@
+//! The bitwise conformance harness every backend is held to.
+//!
+//! One function, [`assert_backend_matches`], drives any
+//! [`TrustQuery`] implementation across its whole
+//! query surface and compares each answer — with `==` on the `f64`
+//! **bits**, never an epsilon — against an oracle [`Derived`] computed
+//! offline for the event prefix the backend claims to serve. The
+//! in-process snapshot, the TCP daemon, and the multi-process
+//! coordinator all run the exact same assertions, so "backend X is
+//! conformant" means the same thing everywhere.
+//!
+//! These helpers panic on mismatch (they are test assertions, not
+//! recoverable errors) and live in the library so the workspace's
+//! integration suites — `tests/serve_smoke.rs` at the root and the
+//! cluster drills in `crates/shardd/tests/` — share one definition of
+//! correctness instead of drifting copies.
+
+use wot_core::{trust, BlockConfig, Derived};
+use wot_eval::streaming;
+
+use crate::TrustQuery;
+
+/// Drives every [`TrustQuery`] method across a deterministic sample of
+/// the oracle's users and categories and asserts bitwise equality,
+/// also requiring every answer to be served at exactly `want_seq`.
+///
+/// Panics on the first mismatch with a message naming the query.
+pub fn assert_backend_matches<B: TrustQuery>(backend: &mut B, oracle: &Derived, want_seq: u64) {
+    let users = oracle.num_users();
+    // Point queries across a deterministic sample of pairs.
+    for i in (0..users).step_by(7) {
+        for j in (0..users).step_by(11) {
+            let (got, seq) = backend.trust(i as u32, j as u32).unwrap();
+            assert_eq!(seq, want_seq, "trust({i},{j}) served at wrong seq");
+            let want = trust::pairwise(&oracle.affiliation, &oracle.expertise, i, j);
+            assert_eq!(got.to_bits(), want.to_bits(), "trust({i},{j})");
+        }
+    }
+    // Top-k against the streaming reducer.
+    let top = streaming::top_k_trusted(oracle, 5, &BlockConfig::sequential()).unwrap();
+    for i in (0..users).step_by(13) {
+        let (got, seq) = backend.top_k(i as u32, 5).unwrap();
+        assert_eq!(seq, want_seq, "top-k({i}) served at wrong seq");
+        assert_eq!(got.len(), top[i].len(), "top-k({i}) length");
+        for (g, w) in got.iter().zip(&top[i]) {
+            assert_eq!(g.0 as usize, w.0, "top-k({i}) member");
+            assert_eq!(g.1.to_bits(), w.1.to_bits(), "top-k({i}) value bits");
+        }
+    }
+    // Per-category reputation tables and point lookups.
+    for (cidx, cr) in oracle.per_category.iter().enumerate() {
+        let (raters, writers, seq) = backend.category_tables(cidx as u32).unwrap();
+        assert_eq!(seq, want_seq, "tables({cidx}) served at wrong seq");
+        assert_eq!(raters.len(), cr.rater_reputation.len(), "raters({cidx})");
+        for (g, w) in raters.iter().zip(&cr.rater_reputation) {
+            assert_eq!(g.0, w.0 .0, "rater id in category {cidx}");
+            assert_eq!(g.1.to_bits(), w.1.to_bits(), "rater rep in {cidx}");
+        }
+        assert_eq!(writers.len(), cr.writer_reputation.len(), "writers({cidx})");
+        for (g, w) in writers.iter().zip(&cr.writer_reputation) {
+            assert_eq!(g.0, w.0 .0, "writer id in category {cidx}");
+            assert_eq!(g.1.to_bits(), w.1.to_bits(), "writer rep in {cidx}");
+        }
+        // Point lookups: a present rater and an absent one.
+        if let Some(&(u, v)) = cr.rater_reputation.first() {
+            let (got, seq) = backend.rater_reputation(cidx as u32, u.0).unwrap();
+            assert_eq!(seq, want_seq);
+            assert_eq!(got.unwrap().to_bits(), v.to_bits(), "rater({cidx},{u})");
+        }
+        let absent = (0..users as u32).find(|u| {
+            cr.rater_reputation
+                .binary_search_by_key(u, |&(x, _)| x.0)
+                .is_err()
+        });
+        if let Some(u) = absent {
+            let (got, _) = backend.rater_reputation(cidx as u32, u).unwrap();
+            assert_eq!(got, None, "absent rater({cidx},{u})");
+        }
+    }
+    // Fig. 3 aggregates against the streaming reducer.
+    let want = streaming::fig3_aggregates(oracle, &BlockConfig::sequential()).unwrap();
+    let (got, seq) = backend.fig3_aggregates().unwrap();
+    assert_eq!(seq, want_seq, "aggregates served at wrong seq");
+    assert_eq!(got.users, want.users as u64);
+    assert_eq!(got.support, want.support);
+    assert_eq!(got.sum.to_bits(), want.sum.to_bits());
+    assert_eq!(got.max.to_bits(), want.max.to_bits());
+    assert_eq!(got.histogram, want.histogram);
+    // Stats: the dataset-shape fields are part of the contract.
+    let (stats, seq) = backend.stats().unwrap();
+    assert_eq!(seq, want_seq, "stats served at wrong seq");
+    assert_eq!(stats.num_users as usize, users, "stats.num_users");
+    assert_eq!(
+        stats.num_categories as usize,
+        oracle.per_category.len(),
+        "stats.num_categories"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::ServeSnapshot;
+    use wot_community::{CommunityBuilder, RatingScale, UserId};
+    use wot_core::{pipeline, DeriveConfig};
+
+    #[test]
+    fn in_process_snapshot_passes_its_own_oracle() {
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        for i in 0..6 {
+            b.add_user(format!("u{i}"));
+        }
+        for c in 0..2 {
+            b.add_category(format!("c{c}"));
+        }
+        let o0 = b.add_object("o0", wot_community::CategoryId(0)).unwrap();
+        let o1 = b.add_object("o1", wot_community::CategoryId(1)).unwrap();
+        let r0 = b.add_review(UserId(0), o0).unwrap();
+        let r1 = b.add_review(UserId(1), o1).unwrap();
+        b.add_rating(UserId(2), r0, 0.8).unwrap();
+        b.add_rating(UserId(3), r1, 1.0).unwrap();
+        b.add_rating(UserId(0), r1, 0.4).unwrap();
+        let store = b.build();
+        let derived = pipeline::derive(&store, &DeriveConfig::default()).unwrap();
+        let mut snap = ServeSnapshot::new(5, derived.clone());
+        assert_backend_matches(&mut snap, &derived, 5);
+    }
+}

@@ -1,0 +1,700 @@
+//! Multi-process coordinator: shard workers behind one [`TrustQuery`].
+//!
+//! The coordinator owns the cluster topology and the *global* event
+//! history; each `wot-shardd` worker process owns a set of categories
+//! end-to-end — their sequence-tagged local WAL, their incremental
+//! model, their per-category solves. The paper's math dictates the
+//! split (see ARCHITECTURE §8): every Step-1 quantity is
+//! category-local, so per-category reputation tables come back from
+//! whichever worker owns the category, while Eq. 4's affiliation
+//! normalizes **across all categories per user** and therefore cannot be
+//! computed by any category-subset worker. The coordinator closes that
+//! gap with exact integers: it routes every event anyway, so it keeps
+//! the per-user activity counts and assembles Eq. 4 itself — through the
+//! very same [`affiliation_matrix`] the flat pipeline uses — and builds
+//! expertise from the workers' writer tables through the very same
+//! [`expertise_matrix_from_pairs`]. The assembled [`ServeSnapshot`] is
+//! therefore **bit-identical** to the flat daemon's at every acked
+//! sequence: same tables (same solves over the same per-category event
+//! order), same assembly code, same query code.
+//!
+//! Transparency is enforced, not assumed: the cluster conformance
+//! drills in `crates/shardd/tests` hold every answer to the offline
+//! batch oracle with `==` on `f64` bits — including after a `kill -9`
+//! of a worker restarted from its log, and across a live category
+//! rebalance.
+//!
+//! # Durability and the consistent cut
+//!
+//! An ingest is acknowledged only after the owning worker reports the
+//! event durable in its tagged log (workers fsync per append by
+//! default). If a worker dies mid-request, the event's fate is unknown:
+//! the coordinator parks it as *in flight* and reconciles at restart —
+//! the worker's [`HelloAck::max_tag`](crate::shard_proto::HelloAck::max_tag)
+//! says whether the tag survived. A
+//! surviving tag is adopted into the global history (it is durable and
+//! will replay forever after); a lost one is dropped (it was never
+//! acknowledged). Either way the acked prefix stays exactly replayable
+//! from the union of worker logs — the same consistent-cut contract the
+//! single-process recovery path proves.
+
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::Arc;
+
+use wot_community::{CategoryId, ReviewId, ShardAssignment, ShardId, StoreEvent, UserId};
+use wot_core::affiliation::{affiliation_matrix, ActivityCounts};
+use wot_core::expertise::expertise_matrix_from_pairs;
+use wot_core::{CategoryReputation, Derived};
+use wot_sparse::Dense;
+
+use crate::client::ReputationTable;
+use crate::protocol::{
+    read_frame, write_frame, AggregateSummary, ErrorCode, FrameRead, ServeStats, WireError,
+};
+use crate::query::TrustQuery;
+use crate::shard_proto::{
+    decode_shard_reply, encode_shard_request, CategoryStateWire, ShardReply, ShardRequest,
+    MAX_SHARD_FRAME_LEN, NO_TAG,
+};
+use crate::snapshot::ServeSnapshot;
+use crate::{Result, ServeError};
+
+/// How a [`Coordinator`] boots its cluster.
+#[derive(Debug, Clone)]
+pub struct CoordinatorOptions {
+    /// Path to the `wot-shardd` worker binary.
+    pub worker_bin: PathBuf,
+    /// Directory for the per-worker tagged WALs (`worker-NN.wal`).
+    /// Created if absent; existing logs are replayed (restart).
+    pub wal_dir: PathBuf,
+    /// Worker process count (clamped to at least 1).
+    pub num_workers: usize,
+    /// Community user count (fixes every model's shape).
+    pub num_users: usize,
+    /// Community category count (fixes every model's shape).
+    pub num_categories: usize,
+}
+
+impl CoordinatorOptions {
+    /// Conventional options: `workers` processes over the binary built
+    /// next to the current executable (override with the
+    /// `WOT_SHARDD_BIN` environment variable).
+    pub fn new(
+        wal_dir: impl Into<PathBuf>,
+        num_workers: usize,
+        num_users: usize,
+        num_categories: usize,
+    ) -> Self {
+        CoordinatorOptions {
+            worker_bin: default_worker_bin(),
+            wal_dir: wal_dir.into(),
+            num_workers,
+            num_users,
+            num_categories,
+        }
+    }
+}
+
+/// Best-effort discovery of the `wot-shardd` binary: the
+/// `WOT_SHARDD_BIN` environment variable, else a sibling of the current
+/// executable (both `target/<profile>/` and `target/<profile>/deps/`
+/// launch points are covered).
+pub fn default_worker_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("WOT_SHARDD_BIN") {
+        return PathBuf::from(p);
+    }
+    let exe = std::env::current_exe().unwrap_or_default();
+    let mut dir = exe.parent().map(PathBuf::from).unwrap_or_default();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir.join("wot-shardd")
+}
+
+/// One live worker process and its framed pipes.
+struct WorkerLink {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: ChildStdout,
+    wal_path: PathBuf,
+}
+
+impl WorkerLink {
+    fn spawn(bin: &PathBuf, wal_path: &PathBuf) -> Result<WorkerLink> {
+        let mut child = Command::new(bin)
+            .arg("--wal")
+            .arg(wal_path)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| ServeError::Protocol(format!("spawning worker {}: {e}", bin.display())))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        Ok(WorkerLink {
+            child,
+            stdin,
+            stdout,
+            wal_path: wal_path.clone(),
+        })
+    }
+
+    /// One strict request/reply round trip.
+    fn call(&mut self, req: &ShardRequest) -> Result<ShardReply> {
+        let mut buf = Vec::new();
+        encode_shard_request(&mut buf, req);
+        write_frame(&mut self.stdin, &buf)?;
+        match read_frame(&mut self.stdout, MAX_SHARD_FRAME_LEN)? {
+            FrameRead::Frame(body) => {
+                match decode_shard_reply(&body).map_err(ServeError::Protocol)? {
+                    Ok(reply) => Ok(reply),
+                    Err(e) => Err(ServeError::Remote(e)),
+                }
+            }
+            FrameRead::Closed => Err(ServeError::Protocol(
+                "worker closed its pipe mid-session".into(),
+            )),
+            FrameRead::Idle => Err(ServeError::Protocol("worker pipe went idle".into())),
+            FrameRead::TooLarge { len } => Err(ServeError::Protocol(format!(
+                "worker reply of {len} bytes exceeds the frame cap"
+            ))),
+        }
+    }
+}
+
+/// The multi-process cluster behind one [`TrustQuery`] surface.
+///
+/// Single-threaded by design: one coordinator call is one global
+/// sequence point, so "cut ingest over at a sequence boundary" — the
+/// rebalancing contract — holds by construction between any two calls.
+pub struct Coordinator {
+    opts: CoordinatorOptions,
+    workers: Vec<WorkerLink>,
+    assignment: ShardAssignment,
+    /// Per global review id: its category (routing key for ratings).
+    review_cat: Vec<u32>,
+    /// Per global review id: its writer (self-rating admission).
+    review_writer: Vec<u32>,
+    /// Per global review id: raters so far, ascending (duplicate
+    /// admission).
+    raters_of_review: Vec<Vec<u32>>,
+    /// Exact `a^r` counts (Eq. 4 input).
+    rating_counts: Dense,
+    /// Exact `a^w` counts (Eq. 4 input).
+    review_counts: Dense,
+    /// Latest solved tables per category, as reported by the owners.
+    per_cat: Vec<Arc<CategoryReputation>>,
+    /// Acked global events — the seq every answer is stamped with.
+    seq: u64,
+    publishes: u64,
+    dirty: bool,
+    snapshot: ServeSnapshot,
+    /// A sent-but-unacknowledged event, reconciled at worker restart.
+    inflight: Option<(u64, StoreEvent)>,
+}
+
+fn empty_rep(c: usize) -> Arc<CategoryReputation> {
+    Arc::new(CategoryReputation {
+        category: CategoryId::from_index(c),
+        rater_reputation: Vec::new(),
+        writer_reputation: Vec::new(),
+        review_quality: Vec::new(),
+        iterations: 0,
+        converged: true,
+    })
+}
+
+fn rep_from_wire(s: &CategoryStateWire) -> CategoryReputation {
+    CategoryReputation {
+        category: CategoryId(s.category),
+        rater_reputation: s.raters.iter().map(|&(u, v)| (UserId(u), v)).collect(),
+        writer_reputation: s.writers.iter().map(|&(u, v)| (UserId(u), v)).collect(),
+        review_quality: s.qualities.iter().map(|&(r, v)| (ReviewId(r), v)).collect(),
+        iterations: s.iterations as usize,
+        converged: s.converged,
+    }
+}
+
+fn rejected(msg: String) -> ServeError {
+    ServeError::Remote(WireError {
+        code: ErrorCode::Rejected,
+        message: msg,
+    })
+}
+
+impl Coordinator {
+    /// Boots the cluster: spawns the workers, hands each its categories,
+    /// and replays any existing worker logs (cold start and restart are
+    /// the same code path). The initial assignment deals categories
+    /// round-robin; [`rebalance`](Self::rebalance) moves them live.
+    ///
+    /// A fresh coordinator starts at seq 0 — its global metadata is
+    /// in-memory, so a coordinator-level restart rebuilds by re-ingesting
+    /// (worker-level crash recovery, the drilled path, goes through
+    /// [`restart_worker`](Self::restart_worker)).
+    pub fn start(opts: CoordinatorOptions) -> Result<Coordinator> {
+        let num_workers = opts.num_workers.max(1);
+        std::fs::create_dir_all(&opts.wal_dir)?;
+        let assignment = ShardAssignment::round_robin(opts.num_categories, num_workers);
+        let mut workers = Vec::with_capacity(num_workers);
+        for w in 0..num_workers {
+            let wal_path = opts.wal_dir.join(format!("worker-{w:02}.wal"));
+            workers.push(WorkerLink::spawn(&opts.worker_bin, &wal_path)?);
+        }
+        let per_cat = (0..opts.num_categories).map(empty_rep).collect();
+        let snapshot = ServeSnapshot::new(
+            0,
+            Derived {
+                expertise: Dense::zeros(opts.num_users, opts.num_categories),
+                affiliation: Dense::zeros(opts.num_users, opts.num_categories),
+                per_category: (0..opts.num_categories).map(empty_rep).collect(),
+            },
+        );
+        let mut coord = Coordinator {
+            rating_counts: Dense::zeros(opts.num_users, opts.num_categories),
+            review_counts: Dense::zeros(opts.num_users, opts.num_categories),
+            opts,
+            workers,
+            assignment,
+            review_cat: Vec::new(),
+            review_writer: Vec::new(),
+            raters_of_review: Vec::new(),
+            per_cat,
+            seq: 0,
+            publishes: 0,
+            dirty: false,
+            snapshot,
+            inflight: None,
+        };
+        for w in 0..num_workers {
+            coord.hello_worker(w)?;
+        }
+        Ok(coord)
+    }
+
+    /// Sends the handshake to worker `w` and folds its recovered state
+    /// in (no-op counts on a fresh log).
+    fn hello_worker(&mut self, w: usize) -> Result<()> {
+        let owned: Vec<u32> = self
+            .assignment
+            .categories_of(ShardId::from_index(w))
+            .into_iter()
+            .map(|c| c.0)
+            .collect();
+        let req = ShardRequest::Hello {
+            num_users: self.opts.num_users as u32,
+            num_categories: self.opts.num_categories as u32,
+            owned,
+        };
+        match self.workers[w].call(&req)? {
+            ShardReply::Hello(ack) => {
+                if ack.max_tag != NO_TAG && ack.max_tag >= self.seq {
+                    // Only the one parked in-flight event may sit past
+                    // the acked prefix; anything else means the logs and
+                    // the coordinator disagree about history.
+                    let expected = self.inflight.as_ref().map(|&(t, _)| t);
+                    if expected != Some(ack.max_tag) {
+                        return Err(ServeError::Protocol(format!(
+                            "worker {w} log reaches tag {} but only {} events are acked",
+                            ack.max_tag, self.seq
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to Hello: {other:?}"
+            ))),
+        }
+    }
+
+    /// The category an event belongs to, per the global review index.
+    fn category_of(&self, event: &StoreEvent) -> Result<u32> {
+        match *event {
+            StoreEvent::Review { category, .. } => Ok(category.0),
+            StoreEvent::Rating { review, .. } => self
+                .review_cat
+                .get(review.index())
+                .copied()
+                .ok_or_else(|| rejected(format!("unknown review {review}"))),
+        }
+    }
+
+    /// Read-only admission: exactly the checks the flat daemon's
+    /// `IncrementalDerived::check_event` applies, over the coordinator's
+    /// global metadata.
+    fn check_event(&self, event: &StoreEvent) -> Result<()> {
+        let (u, c) = (self.opts.num_users, self.opts.num_categories);
+        match *event {
+            StoreEvent::Review {
+                writer,
+                review,
+                category,
+            } => {
+                if writer.index() >= u {
+                    return Err(rejected(format!(
+                        "writer {writer} out of bounds for {u} users"
+                    )));
+                }
+                if category.index() >= c {
+                    return Err(rejected(format!(
+                        "category {category} out of bounds for {c} categories"
+                    )));
+                }
+                let rank = self.review_cat.len();
+                if review.index() != rank {
+                    return Err(rejected(format!(
+                        "review event carries id {review} but arrival rank assigns {rank}"
+                    )));
+                }
+            }
+            StoreEvent::Rating {
+                rater,
+                review,
+                value,
+            } => {
+                if rater.index() >= u {
+                    return Err(rejected(format!(
+                        "rater {rater} out of bounds for {u} users"
+                    )));
+                }
+                if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                    return Err(rejected(format!(
+                        "rating value {value} must be within [0, 1]"
+                    )));
+                }
+                let Some(&writer) = self.review_writer.get(review.index()) else {
+                    return Err(rejected(format!("unknown review {review}")));
+                };
+                if writer == rater.0 {
+                    return Err(rejected(format!(
+                        "user {rater} cannot rate their own review {review}"
+                    )));
+                }
+                let raters = &self.raters_of_review[review.index()];
+                if raters.binary_search(&rater.0).is_ok() {
+                    return Err(rejected(format!(
+                        "user {rater} already rated review {review}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds an admitted-and-durable event into the global metadata.
+    fn apply_admitted(&mut self, event: &StoreEvent, cat: u32) {
+        match *event {
+            StoreEvent::Review { writer, .. } => {
+                self.review_cat.push(cat);
+                self.review_writer.push(writer.0);
+                self.raters_of_review.push(Vec::new());
+                let (i, j) = (writer.index(), cat as usize);
+                self.review_counts
+                    .set(i, j, self.review_counts.get(i, j) + 1.0);
+            }
+            StoreEvent::Rating { rater, review, .. } => {
+                let raters = &mut self.raters_of_review[review.index()];
+                let at = raters.partition_point(|&r| r < rater.0);
+                raters.insert(at, rater.0);
+                let (i, j) = (rater.index(), cat as usize);
+                self.rating_counts
+                    .set(i, j, self.rating_counts.get(i, j) + 1.0);
+            }
+        }
+        self.seq += 1;
+        self.dirty = true;
+    }
+
+    /// Routes one event to its category's owner, waits for durability
+    /// plus the re-solved tables, and acks with the new global seq.
+    ///
+    /// Rejections (the same typed errors the flat daemon produces) leave
+    /// every worker and the global history untouched. A transport
+    /// failure parks the event for restart-time reconciliation.
+    pub fn ingest(&mut self, event: StoreEvent) -> Result<u64> {
+        self.check_event(&event)?;
+        let cat = self.category_of(&event)?;
+        let w = self
+            .assignment
+            .shard_of(CategoryId(cat))
+            .map_err(|e| ServeError::Protocol(e.to_string()))?
+            .index();
+        let tag = self.seq;
+        self.inflight = Some((tag, event));
+        match self.workers[w].call(&ShardRequest::IngestTagged { tag, event }) {
+            Ok(ShardReply::State(state)) => {
+                self.inflight = None;
+                self.per_cat[cat as usize] = Arc::new(rep_from_wire(&state));
+                self.apply_admitted(&event, cat);
+                Ok(self.seq)
+            }
+            Ok(other) => Err(ServeError::Protocol(format!(
+                "unexpected reply to ingest: {other:?}"
+            ))),
+            Err(ServeError::Remote(e)) => {
+                // A typed rejection happens before the WAL append —
+                // nothing durable, nothing in flight.
+                self.inflight = None;
+                Err(ServeError::Remote(e))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Re-assembles the served snapshot if events arrived since the last
+    /// one. Assembly mirrors the flat pipeline exactly: worker writer
+    /// tables through [`expertise_matrix_from_pairs`], coordinator
+    /// integer counts through [`affiliation_matrix`].
+    fn refresh_snapshot(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let writer_pairs: Vec<&[(UserId, f64)]> = self
+            .per_cat
+            .iter()
+            .map(|cr| cr.writer_reputation.as_slice())
+            .collect();
+        let expertise = expertise_matrix_from_pairs(self.opts.num_users, &writer_pairs);
+        let affiliation = affiliation_matrix(&ActivityCounts {
+            ratings: self.rating_counts.clone(),
+            reviews: self.review_counts.clone(),
+        });
+        self.snapshot = ServeSnapshot::new(
+            self.seq,
+            Derived {
+                expertise,
+                affiliation,
+                per_category: self.per_cat.clone(),
+            },
+        );
+        self.publishes += 1;
+        self.dirty = false;
+    }
+
+    /// The acked global sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of worker processes.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The worker currently owning a category.
+    pub fn owner_of(&self, category: u32) -> Result<usize> {
+        Ok(self
+            .assignment
+            .shard_of(CategoryId(category))
+            .map_err(|e| ServeError::Protocol(e.to_string()))?
+            .index())
+    }
+
+    /// OS process id of worker `w` — what a failure drill sends
+    /// `SIGKILL` to.
+    pub fn worker_pid(&self, w: usize) -> u32 {
+        self.workers[w].child.id()
+    }
+
+    /// Hard-kills worker `w` (SIGKILL — no flush, no goodbye), leaving
+    /// its WAL exactly as the crash left it.
+    pub fn kill_worker(&mut self, w: usize) -> Result<()> {
+        self.workers[w].child.kill()?;
+        self.workers[w].child.wait()?;
+        Ok(())
+    }
+
+    /// Respawns worker `w` over its surviving WAL and reconciles: the
+    /// worker replays its log (filtered to the categories it currently
+    /// owns, deduplicated, in tag order), reports its highest durable
+    /// tag, and the coordinator resolves any in-flight event — adopted
+    /// if durable, dropped if lost — before refreshing the category
+    /// tables from the worker's recovered solves.
+    pub fn restart_worker(&mut self, w: usize) -> Result<()> {
+        let wal_path = self.workers[w].wal_path.clone();
+        // Reap the old process if the caller hasn't already.
+        let _ = self.workers[w].child.kill();
+        let _ = self.workers[w].child.wait();
+        self.workers[w] = WorkerLink::spawn(&self.opts.worker_bin, &wal_path)?;
+        // Resolve the parked event *before* the handshake sanity check:
+        // whether its tag survived decides what the acked prefix is.
+        if let Some((tag, event)) = self.inflight {
+            let cat = self.category_of(&event)?;
+            if self.owner_of(cat)? == w {
+                let max_tag = self.peek_max_tag(w)?;
+                self.inflight = None;
+                if max_tag == Some(tag) {
+                    // Durable right before the crash: the event is part
+                    // of history now — adopt it.
+                    self.apply_admitted(&event, cat);
+                }
+            }
+        }
+        self.hello_worker(w)?;
+        // Refresh every owned category's tables from the recovered
+        // worker (bit-identical re-solves over the replayed log).
+        match self.workers[w].call(&ShardRequest::FullState)? {
+            ShardReply::FullState(states) => {
+                for s in &states {
+                    self.per_cat[s.category as usize] = Arc::new(rep_from_wire(s));
+                }
+                self.dirty = true;
+                Ok(())
+            }
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to FullState: {other:?}"
+            ))),
+        }
+    }
+
+    /// Reads the worker's durable max tag by probing its log file
+    /// directly — the worker hasn't been handshaken yet, and the file is
+    /// quiescent (the process that wrote it is dead).
+    fn peek_max_tag(&self, w: usize) -> Result<Option<u64>> {
+        let recovered = wot_wal::read_tagged_log(&self.workers[w].wal_path)?;
+        Ok(recovered.events.iter().map(|&(t, _)| t).max())
+    }
+
+    /// Moves a category to another worker **live**: the source replays
+    /// its local sub-log out, the target makes it durable and re-solves,
+    /// and ingest cuts over at the current sequence boundary (the
+    /// coordinator is synchronous, so no event can interleave with the
+    /// move). The re-solved tables must be bit-identical to the tables
+    /// the source reported — same events, same order, same solver — and
+    /// the coordinator verifies that before switching routes.
+    pub fn rebalance(&mut self, category: u32, to: usize) -> Result<()> {
+        if category as usize >= self.opts.num_categories {
+            return Err(ServeError::Protocol(format!(
+                "category {category} out of range"
+            )));
+        }
+        if to >= self.workers.len() {
+            return Err(ServeError::Protocol(format!("worker {to} out of range")));
+        }
+        let from = self.owner_of(category)?;
+        if from == to {
+            return Ok(());
+        }
+        let events = match self.workers[from].call(&ShardRequest::DropCategory { category })? {
+            ShardReply::SubLog(events) => events,
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "unexpected reply to DropCategory: {other:?}"
+                )))
+            }
+        };
+        let state =
+            match self.workers[to].call(&ShardRequest::AdoptCategory { category, events })? {
+                ShardReply::State(state) => state,
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "unexpected reply to AdoptCategory: {other:?}"
+                    )))
+                }
+            };
+        let adopted = rep_from_wire(&state);
+        let held = &*self.per_cat[category as usize];
+        // Bitwise on the tables (the served quantities); solve metadata
+        // like iteration counts is not compared because a never-active
+        // category's coordinator placeholder was never solved at all.
+        let same = adopted.rater_reputation == held.rater_reputation
+            && adopted.writer_reputation == held.writer_reputation
+            && adopted.review_quality == held.review_quality;
+        if !same {
+            return Err(ServeError::Protocol(format!(
+                "rebalance of category {category} changed its solved state — \
+                 transparency violation"
+            )));
+        }
+        self.assignment
+            .reassign(CategoryId(category), ShardId::from_index(to))
+            .map_err(|e| ServeError::Protocol(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Graceful shutdown: every worker flushes its log and exits.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> Result<()> {
+        let mut first_err = None;
+        for w in &mut self.workers {
+            match w.call(&ShardRequest::Shutdown) {
+                Ok(ShardReply::Bye) | Ok(_) => {}
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+            let _ = w.child.wait();
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            let _ = w.child.kill();
+            let _ = w.child.wait();
+        }
+    }
+}
+
+impl TrustQuery for Coordinator {
+    fn trust(&mut self, i: u32, j: u32) -> Result<(f64, u64)> {
+        self.refresh_snapshot();
+        TrustQuery::trust(&mut self.snapshot, i, j)
+    }
+
+    fn top_k(&mut self, user: u32, k: u32) -> Result<(Vec<(u32, f64)>, u64)> {
+        self.refresh_snapshot();
+        TrustQuery::top_k(&mut self.snapshot, user, k)
+    }
+
+    fn rater_reputation(&mut self, category: u32, user: u32) -> Result<(Option<f64>, u64)> {
+        // Category-scoped: scatter to the owning worker.
+        let w = self.owner_of(category)?;
+        match self.workers[w].call(&ShardRequest::RaterRep { category, user })? {
+            ShardReply::RaterRep(rep) => Ok((rep, self.seq)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to RaterRep: {other:?}"
+            ))),
+        }
+    }
+
+    fn category_tables(
+        &mut self,
+        category: u32,
+    ) -> Result<(ReputationTable, ReputationTable, u64)> {
+        let w = self.owner_of(category)?;
+        match self.workers[w].call(&ShardRequest::Tables { category })? {
+            ShardReply::Tables(raters, writers) => Ok((raters, writers, self.seq)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to Tables: {other:?}"
+            ))),
+        }
+    }
+
+    fn fig3_aggregates(&mut self) -> Result<(AggregateSummary, u64)> {
+        self.refresh_snapshot();
+        TrustQuery::fig3_aggregates(&mut self.snapshot)
+    }
+
+    fn stats(&mut self) -> Result<(ServeStats, u64)> {
+        self.refresh_snapshot();
+        let stats = ServeStats {
+            events: self.seq,
+            publishes: self.publishes,
+            num_users: self.opts.num_users as u32,
+            num_categories: self.opts.num_categories as u32,
+            // Every acked event is durable in exactly one worker log.
+            wal_len: self.seq,
+            reader_threads: self.workers.len() as u32,
+        };
+        Ok((stats, self.seq))
+    }
+}

@@ -32,15 +32,21 @@
 //! the blocking typed counterpart.
 
 pub mod client;
+pub mod conformance;
+pub mod coord;
 pub mod protocol;
+pub mod query;
 pub mod server;
+pub mod shard_proto;
 pub mod snapshot;
 
 pub use client::{Client, ReputationTable};
+pub use coord::{Coordinator, CoordinatorOptions};
 pub use protocol::{
     AggregateSummary, ErrorCode, OkBody, Opcode, Request, Response, ServeStats, WireError,
 };
-pub use server::{ServeOptions, Server, ServerHandle};
+pub use query::TrustQuery;
+pub use server::{ServeOptions, ServeOptionsBuilder, Server, ServerHandle};
 pub use snapshot::{ReaderCache, ServeSnapshot, SnapshotCell};
 
 /// Errors surfaced by the serving layer.

@@ -282,30 +282,30 @@ pub struct WireError {
 // Primitive codec helpers
 // ---------------------------------------------------------------------
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
 /// Bounds-checked little-endian reader over one frame body.
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Cursor { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
         if self.buf.len() - self.pos < n {
             return Err(format!(
                 "truncated frame: wanted {n} bytes for {what}, {} left",
@@ -317,25 +317,25 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, what: &str) -> Result<u8, String> {
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, String> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u32(&mut self, what: &str) -> Result<u32, String> {
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, String> {
         Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self, what: &str) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, String> {
         Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
     }
 
-    fn f64(&mut self, what: &str) -> Result<f64, String> {
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, String> {
         Ok(f64::from_bits(self.u64(what)?))
     }
 
     /// A `u32` element count, validated against what the remaining bytes
     /// could hold so a corrupt count cannot trigger an absurd allocation.
-    fn count(&mut self, min_elem_bytes: usize, what: &str) -> Result<usize, String> {
+    pub(crate) fn count(&mut self, min_elem_bytes: usize, what: &str) -> Result<usize, String> {
         let n = self.u32(what)? as usize;
         let cap = (self.buf.len() - self.pos) / min_elem_bytes.max(1);
         if n > cap {
@@ -346,13 +346,13 @@ impl<'a> Cursor<'a> {
         Ok(n)
     }
 
-    fn rest(&mut self) -> &'a [u8] {
+    pub(crate) fn rest(&mut self) -> &'a [u8] {
         let s = &self.buf[self.pos..];
         self.pos = self.buf.len();
         s
     }
 
-    fn finish(&self, what: &str) -> Result<(), String> {
+    pub(crate) fn finish(&self, what: &str) -> Result<(), String> {
         if self.pos != self.buf.len() {
             return Err(format!(
                 "{} trailing bytes after {what}",
@@ -363,7 +363,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn put_pairs(out: &mut Vec<u8>, pairs: &[(u32, f64)]) {
+pub(crate) fn put_pairs(out: &mut Vec<u8>, pairs: &[(u32, f64)]) {
     put_u32(out, pairs.len() as u32);
     for &(id, v) in pairs {
         put_u32(out, id);
@@ -371,7 +371,7 @@ fn put_pairs(out: &mut Vec<u8>, pairs: &[(u32, f64)]) {
     }
 }
 
-fn read_pairs(c: &mut Cursor<'_>, what: &str) -> Result<Vec<(u32, f64)>, String> {
+pub(crate) fn read_pairs(c: &mut Cursor<'_>, what: &str) -> Result<Vec<(u32, f64)>, String> {
     let n = c.count(12, what)?;
     let mut v = Vec::with_capacity(n);
     for _ in 0..n {

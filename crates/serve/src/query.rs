@@ -1,0 +1,219 @@
+//! The unified query surface every trust backend answers.
+//!
+//! Three very different deployments answer the same six questions: an
+//! in-process [`ServeSnapshot`] (no I/O at all), the TCP [`Client`]
+//! talking to the single-process daemon, and the multi-process
+//! [`Coordinator`](crate::coord::Coordinator) scatter-gathering over
+//! shard workers. [`TrustQuery`] pins the shared contract — each answer
+//! carries the **snapshot sequence number** it was computed at, so a
+//! conformance harness can name the exact event prefix an answer must
+//! match and hold every backend to the same bitwise oracle
+//! ([`crate::conformance`]).
+//!
+//! Methods take `&mut self` because the remote backends own a
+//! connection (a request mutates stream state); the in-process
+//! implementation simply ignores the mutability.
+
+use crate::client::{Client, ReputationTable};
+use crate::protocol::{AggregateSummary, ServeStats};
+use crate::snapshot::ServeSnapshot;
+use crate::{Result, ServeError};
+
+/// A backend that can answer the paper's derived-trust queries, each
+/// answer tagged with the sequence number of the snapshot it came from.
+///
+/// The contract shared by all implementations: an answer at seq `s` is
+/// **bit-identical** (`==` on `f64`) to what the offline batch pipeline
+/// derives from the first `s` events of the global history.
+pub trait TrustQuery {
+    /// Eq. 5 pairwise trust `T̂_ij`, with the serving seq.
+    fn trust(&mut self, i: u32, j: u32) -> Result<(f64, u64)>;
+
+    /// Top-k most trusted users for `user` (positive scores only,
+    /// descending, ascending-id tie-break), with the serving seq.
+    fn top_k(&mut self, user: u32, k: u32) -> Result<(Vec<(u32, f64)>, u64)>;
+
+    /// One rater's converged reputation in one category (`None` if the
+    /// user never rated there), with the serving seq.
+    fn rater_reputation(&mut self, category: u32, user: u32) -> Result<(Option<f64>, u64)>;
+
+    /// The full rater and writer reputation tables of one category
+    /// (ascending user id), with the serving seq.
+    fn category_tables(&mut self, category: u32)
+        -> Result<(ReputationTable, ReputationTable, u64)>;
+
+    /// The Fig. 3 trust-distribution aggregates over all pairs, with the
+    /// serving seq.
+    fn fig3_aggregates(&mut self) -> Result<(AggregateSummary, u64)>;
+
+    /// Backend statistics, with the serving seq. Only the dataset-shape
+    /// fields (`num_users`, `num_categories`, `events`) are part of the
+    /// cross-backend contract; the rest describe the specific deployment.
+    fn stats(&mut self) -> Result<(ServeStats, u64)>;
+}
+
+impl TrustQuery for ServeSnapshot {
+    fn trust(&mut self, i: u32, j: u32) -> Result<(f64, u64)> {
+        let (u, s) = (self.num_users(), self.seq);
+        if i as usize >= u || j as usize >= u {
+            return Err(ServeError::Protocol(format!(
+                "user pair ({i},{j}) out of range for {u} users"
+            )));
+        }
+        Ok((ServeSnapshot::trust(self, i as usize, j as usize), s))
+    }
+
+    fn top_k(&mut self, user: u32, k: u32) -> Result<(Vec<(u32, f64)>, u64)> {
+        if user as usize >= self.num_users() {
+            return Err(ServeError::Protocol(format!(
+                "user {user} out of range for {} users",
+                self.num_users()
+            )));
+        }
+        let top = ServeSnapshot::top_k(self, user as usize, k as usize)
+            .into_iter()
+            .map(|(j, v)| (j as u32, v))
+            .collect();
+        Ok((top, self.seq))
+    }
+
+    fn rater_reputation(&mut self, category: u32, user: u32) -> Result<(Option<f64>, u64)> {
+        let cr = self
+            .derived
+            .per_category
+            .get(category as usize)
+            .ok_or_else(|| ServeError::Protocol(format!("category {category} out of range")))?;
+        let rep = cr
+            .rater_reputation
+            .binary_search_by_key(&user, |&(u, _)| u.0)
+            .ok()
+            .map(|at| cr.rater_reputation[at].1);
+        Ok((rep, self.seq))
+    }
+
+    fn category_tables(
+        &mut self,
+        category: u32,
+    ) -> Result<(ReputationTable, ReputationTable, u64)> {
+        let cr = self
+            .derived
+            .per_category
+            .get(category as usize)
+            .ok_or_else(|| ServeError::Protocol(format!("category {category} out of range")))?;
+        let raters = cr.rater_reputation.iter().map(|&(u, v)| (u.0, v)).collect();
+        let writers = cr
+            .writer_reputation
+            .iter()
+            .map(|&(u, v)| (u.0, v))
+            .collect();
+        Ok((raters, writers, self.seq))
+    }
+
+    fn fig3_aggregates(&mut self) -> Result<(AggregateSummary, u64)> {
+        let agg = ServeSnapshot::aggregates(self)
+            .map_err(ServeError::Protocol)?
+            .clone();
+        Ok((agg, self.seq))
+    }
+
+    fn stats(&mut self) -> Result<(ServeStats, u64)> {
+        let stats = ServeStats {
+            events: self.seq,
+            publishes: 0,
+            num_users: self.num_users() as u32,
+            num_categories: self.num_categories() as u32,
+            wal_len: 0,
+            reader_threads: 0,
+        };
+        Ok((stats, self.seq))
+    }
+}
+
+impl TrustQuery for Client {
+    fn trust(&mut self, i: u32, j: u32) -> Result<(f64, u64)> {
+        let v = Client::trust(self, i, j)?;
+        Ok((v, self.last_seq()))
+    }
+
+    fn top_k(&mut self, user: u32, k: u32) -> Result<(Vec<(u32, f64)>, u64)> {
+        let v = Client::top_k(self, user, k)?;
+        Ok((v, self.last_seq()))
+    }
+
+    fn rater_reputation(&mut self, category: u32, user: u32) -> Result<(Option<f64>, u64)> {
+        let v = Client::rater_reputation(self, category, user)?;
+        Ok((v, self.last_seq()))
+    }
+
+    fn category_tables(
+        &mut self,
+        category: u32,
+    ) -> Result<(ReputationTable, ReputationTable, u64)> {
+        let (raters, writers) = Client::category_reputations(self, category)?;
+        Ok((raters, writers, self.last_seq()))
+    }
+
+    fn fig3_aggregates(&mut self) -> Result<(AggregateSummary, u64)> {
+        let v = Client::aggregates(self)?;
+        Ok((v, self.last_seq()))
+    }
+
+    fn stats(&mut self) -> Result<(ServeStats, u64)> {
+        let v = Client::stats(self)?;
+        Ok((v, self.last_seq()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wot_community::{CommunityBuilder, RatingScale, UserId};
+    use wot_core::{pipeline, DeriveConfig};
+
+    fn tiny_snapshot() -> ServeSnapshot {
+        let mut b = CommunityBuilder::new(RatingScale::five_step());
+        for i in 0..4 {
+            b.add_user(format!("u{i}"));
+        }
+        b.add_category("c0");
+        let o = b.add_object("o0", wot_community::CategoryId(0)).unwrap();
+        let r = b.add_review(UserId(0), o).unwrap();
+        b.add_rating(UserId(1), r, 0.8).unwrap();
+        let store = b.build();
+        let derived = pipeline::derive(&store, &DeriveConfig::default()).unwrap();
+        ServeSnapshot::new(7, derived)
+    }
+
+    #[test]
+    fn snapshot_backend_reports_its_seq_everywhere() {
+        let mut s = tiny_snapshot();
+        assert_eq!(TrustQuery::trust(&mut s, 0, 1).unwrap().1, 7);
+        assert_eq!(TrustQuery::top_k(&mut s, 1, 3).unwrap().1, 7);
+        assert_eq!(TrustQuery::rater_reputation(&mut s, 0, 1).unwrap().1, 7);
+        assert_eq!(TrustQuery::category_tables(&mut s, 0).unwrap().2, 7);
+        assert_eq!(TrustQuery::fig3_aggregates(&mut s).unwrap().1, 7);
+        let (stats, seq) = TrustQuery::stats(&mut s).unwrap();
+        assert_eq!(seq, 7);
+        assert_eq!(stats.num_users, 4);
+        assert_eq!(stats.num_categories, 1);
+    }
+
+    #[test]
+    fn snapshot_backend_rejects_out_of_range() {
+        let mut s = tiny_snapshot();
+        assert!(TrustQuery::trust(&mut s, 0, 99).is_err());
+        assert!(TrustQuery::top_k(&mut s, 99, 3).is_err());
+        assert!(TrustQuery::rater_reputation(&mut s, 9, 0).is_err());
+        assert!(TrustQuery::category_tables(&mut s, 9).is_err());
+    }
+
+    #[test]
+    fn snapshot_rater_lookup_matches_table() {
+        let mut s = tiny_snapshot();
+        let (raters, _, _) = TrustQuery::category_tables(&mut s, 0).unwrap();
+        let (got, _) = TrustQuery::rater_reputation(&mut s, 0, 1).unwrap();
+        let want = raters.iter().find(|&&(u, _)| u == 1).map(|&(_, v)| v);
+        assert_eq!(got.map(f64::to_bits), want.map(f64::to_bits));
+        assert_eq!(TrustQuery::rater_reputation(&mut s, 0, 3).unwrap().0, None);
+    }
+}

@@ -89,13 +89,94 @@ impl ServeOptions {
     /// Loopback on a free port, given WAL path, `EveryMs(50)` fsync,
     /// auto-sized reader pool.
     pub fn local(wal_path: impl Into<PathBuf>) -> Self {
-        ServeOptions {
+        ServeOptions::builder(wal_path)
+            .build()
+            .expect("local defaults validate")
+    }
+
+    /// Starts a validating [`ServeOptionsBuilder`] over the local
+    /// defaults. Prefer this over struct-literal construction: the
+    /// builder rejects nonsense (empty bind address, zero-interval
+    /// fsync policies) at build time instead of at bind/append time.
+    pub fn builder(wal_path: impl Into<PathBuf>) -> ServeOptionsBuilder {
+        ServeOptionsBuilder {
             addr: "127.0.0.1:0".into(),
             reader_threads: 0,
             wal_path: wal_path.into(),
             fsync: FsyncPolicy::EveryMs(50),
             delta_publish: false,
         }
+    }
+}
+
+/// Validating builder for [`ServeOptions`] — the supported construction
+/// path (struct literals remain possible for the fields are public, but
+/// skip validation).
+#[derive(Debug, Clone)]
+pub struct ServeOptionsBuilder {
+    addr: String,
+    reader_threads: usize,
+    wal_path: PathBuf,
+    fsync: FsyncPolicy,
+    delta_publish: bool,
+}
+
+impl ServeOptionsBuilder {
+    /// Bind address (`"host:port"`; port `0` picks a free port).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Reader pool size; `0` auto-sizes to the hardware parallelism.
+    pub fn reader_threads(mut self, n: usize) -> Self {
+        self.reader_threads = n;
+        self
+    }
+
+    /// Durability policy for ingest appends.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Publish from the warm delta solver instead of the canonical cold
+    /// re-solve (within-tolerance snapshots; see [`ServeOptions`]).
+    pub fn delta_publish(mut self, on: bool) -> Self {
+        self.delta_publish = on;
+        self
+    }
+
+    /// Validates and produces the options.
+    pub fn build(self) -> Result<ServeOptions> {
+        if self.addr.is_empty() {
+            return Err(ServeError::Protocol(
+                "bind address must not be empty".into(),
+            ));
+        }
+        if self.wal_path.as_os_str().is_empty() {
+            return Err(ServeError::Protocol("WAL path must not be empty".into()));
+        }
+        match self.fsync {
+            FsyncPolicy::EveryN(0) => {
+                return Err(ServeError::Protocol(
+                    "FsyncPolicy::EveryN(0) is ambiguous; use Always".into(),
+                ))
+            }
+            FsyncPolicy::EveryMs(0) => {
+                return Err(ServeError::Protocol(
+                    "FsyncPolicy::EveryMs(0) is ambiguous; use Always".into(),
+                ))
+            }
+            _ => {}
+        }
+        Ok(ServeOptions {
+            addr: self.addr,
+            reader_threads: self.reader_threads,
+            wal_path: self.wal_path,
+            fsync: self.fsync,
+            delta_publish: self.delta_publish,
+        })
     }
 }
 

@@ -1,0 +1,543 @@
+//! `wot-shardd` — one shard worker process.
+//!
+//! A worker owns a subset of categories *end-to-end*: their
+//! sequence-tagged local WAL, their [`IncrementalDerived`] model, their
+//! per-category solves. It speaks the coordinator's length-prefixed
+//! request/reply protocol ([`wot_serve::shard_proto`]) over
+//! stdin/stdout and answers every request synchronously — one frame in,
+//! one frame out — so the coordinator's global sequence points double as
+//! the worker's.
+//!
+//! The paper's math makes this partition exact, not approximate: every
+//! Step-1 quantity (Eq. 1/2 reputations, review qualities, the
+//! experience discounts) is category-local, so a worker that sees
+//! exactly one category's event subsequence — in global order — solves
+//! exactly the tables the flat single-process pipeline solves, bit for
+//! bit. The cross-category parts of the model (Eq. 4's per-user
+//! normalization) are the coordinator's job; the worker never computes
+//! them.
+//!
+//! Durability contract, mirroring the flat daemon's writer:
+//!
+//! ```text
+//! check (read-only admission) → WAL append+fsync → apply → solve → reply
+//! ```
+//!
+//! so an acknowledged event is durable before it is visible, and nothing
+//! that fails admission ever poisons the log. After `kill -9`, a
+//! restarted worker replays its log — filtered to the categories the
+//! coordinator's handshake says it owns, deduplicated by tag (a category
+//! may have left and come back), in tag order — and reports the highest
+//! durable tag so the coordinator can reconcile an event that became
+//! durable right before the crash but was never acknowledged.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use wot_community::StoreEvent;
+use wot_core::{DeriveConfig, DerivedCache, IncrementalDerived};
+use wot_serve::protocol::{read_frame, write_frame, ErrorCode, FrameRead};
+use wot_serve::shard_proto::{
+    decode_shard_request, encode_shard_err, encode_shard_ok, CategoryStateWire, HelloAck,
+    ShardReply, ShardRequest, MAX_SHARD_FRAME_LEN, NO_TAG,
+};
+use wot_wal::{read_tagged_log, FsyncPolicy, LogKind, WalWriter};
+
+fn main() -> ExitCode {
+    let Some(wal_path) = parse_args() else {
+        eprintln!("usage: wot-shardd --wal <path>");
+        return ExitCode::from(2);
+    };
+    match run(&wal_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wot-shardd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_args() -> Option<PathBuf> {
+    let mut args = std::env::args_os().skip(1);
+    let mut wal = None;
+    while let Some(a) = args.next() {
+        if a == "--wal" {
+            wal = args.next().map(PathBuf::from);
+        } else {
+            return None;
+        }
+    }
+    wal
+}
+
+/// Worker state; `model` exists only after the handshake fixed the
+/// community shape.
+struct Worker {
+    wal: WalWriter,
+    /// The raw replayed log, held until the handshake tells us which
+    /// categories to fold in.
+    raw_log: Vec<(u64, StoreEvent)>,
+    model: Option<Shard>,
+}
+
+/// The post-handshake shard: model plus ownership bookkeeping.
+struct Shard {
+    cfg: DeriveConfig,
+    num_users: usize,
+    num_categories: usize,
+    model: IncrementalDerived,
+    cache: DerivedCache,
+    owned: BTreeSet<u32>,
+    /// Per owned category: its tagged event sub-log, in tag order —
+    /// what a `DropCategory` ships to the next owner.
+    sublogs: BTreeMap<u32, Vec<(u64, StoreEvent)>>,
+    /// Review id → category, for every review this worker has applied.
+    review_cat: HashMap<u32, u32>,
+}
+
+impl Shard {
+    fn new(num_users: usize, num_categories: usize, owned: &[u32]) -> Result<Shard, String> {
+        let cfg = DeriveConfig::default();
+        let model =
+            IncrementalDerived::new(num_users, num_categories, &cfg).map_err(|e| e.to_string())?;
+        Ok(Shard {
+            cfg,
+            num_users,
+            num_categories,
+            model,
+            cache: DerivedCache::default(),
+            owned: owned.iter().copied().collect(),
+            sublogs: owned.iter().map(|&c| (c, Vec::new())).collect(),
+            review_cat: HashMap::new(),
+        })
+    }
+
+    /// The category an event belongs to, if this worker can tell.
+    fn category_of(&self, event: &StoreEvent) -> Option<u32> {
+        match *event {
+            StoreEvent::Review { category, .. } => Some(category.0),
+            StoreEvent::Rating { review, .. } => self.review_cat.get(&review.0).copied(),
+        }
+    }
+
+    /// Applies one admitted event to the model and the bookkeeping.
+    fn apply(&mut self, tag: u64, event: StoreEvent, cat: u32) -> Result<(), String> {
+        match event {
+            StoreEvent::Review {
+                writer,
+                review,
+                category,
+            } => {
+                self.model
+                    .add_review(writer, review, category)
+                    .map_err(|e| e.to_string())?;
+                self.review_cat.insert(review.0, category.0);
+            }
+            StoreEvent::Rating {
+                rater,
+                review,
+                value,
+            } => {
+                self.model
+                    .add_rating(rater, review, value)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        self.sublogs.entry(cat).or_default().push((tag, event));
+        Ok(())
+    }
+
+    /// Read-only admission for an ingest. Reviews can't go through the
+    /// model's `check_event` (its dense-rank rule is global, and this
+    /// worker only holds a category subset), so they get the equivalent
+    /// subset-safe checks; ratings use the model's own admission.
+    fn check(&self, event: &StoreEvent) -> Result<(), String> {
+        match *event {
+            StoreEvent::Review {
+                writer,
+                review,
+                category,
+            } => {
+                if writer.index() >= self.num_users {
+                    return Err(format!(
+                        "writer {writer} out of bounds for {} users",
+                        self.num_users
+                    ));
+                }
+                if category.index() >= self.num_categories {
+                    return Err(format!(
+                        "category {category} out of bounds for {} categories",
+                        self.num_categories
+                    ));
+                }
+                if !self.owned.contains(&category.0) {
+                    return Err(format!("category {category} is not owned by this worker"));
+                }
+                if self.review_cat.contains_key(&review.0) {
+                    return Err(format!("review {review} already registered"));
+                }
+            }
+            StoreEvent::Rating { .. } => {
+                self.model.check_event(event).map_err(|e| e.to_string())?;
+                // Ownership is implied: the rated review is known to the
+                // model, and the model only holds owned categories.
+            }
+        }
+        Ok(())
+    }
+
+    /// The canonical solved state of one category (cold-solve semantics,
+    /// memoized per data version — bit-identical to a from-scratch
+    /// batch derivation of this worker's event subset).
+    fn state_of(&mut self, cat: u32) -> CategoryStateWire {
+        let derived = self.model.to_derived_cached(&mut self.cache);
+        let cr = &derived.per_category[cat as usize];
+        CategoryStateWire {
+            category: cat,
+            raters: cr.rater_reputation.iter().map(|&(u, v)| (u.0, v)).collect(),
+            writers: cr
+                .writer_reputation
+                .iter()
+                .map(|&(u, v)| (u.0, v))
+                .collect(),
+            qualities: cr.review_quality.iter().map(|&(r, v)| (r.0, v)).collect(),
+            iterations: cr.iterations as u64,
+            converged: cr.converged,
+        }
+    }
+
+    /// Rebuilds the model from the remaining sub-logs — the drop path.
+    /// A fresh replay (in tag order across categories) leaves the model
+    /// holding *exactly* the owned events, so a later re-adoption of the
+    /// dropped category can replay it back in without collisions.
+    fn rebuild(&mut self) -> Result<(), String> {
+        self.model = IncrementalDerived::new(self.num_users, self.num_categories, &self.cfg)
+            .map_err(|e| e.to_string())?;
+        self.cache = DerivedCache::default();
+        self.review_cat.clear();
+        let mut all: Vec<(u64, StoreEvent)> = self
+            .sublogs
+            .values()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        all.sort_by_key(|&(t, _)| t);
+        for (_, event) in all {
+            match event {
+                StoreEvent::Review {
+                    writer,
+                    review,
+                    category,
+                } => {
+                    self.model
+                        .add_review(writer, review, category)
+                        .map_err(|e| e.to_string())?;
+                    self.review_cat.insert(review.0, category.0);
+                }
+                StoreEvent::Rating {
+                    rater,
+                    review,
+                    value,
+                } => {
+                    self.model
+                        .add_rating(rater, review, value)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn run(wal_path: &Path) -> io::Result<()> {
+    let (wal, raw_log) = if wal_path.exists() {
+        let recovered = read_tagged_log(wal_path)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let (wal, _torn) = WalWriter::open_append(wal_path, FsyncPolicy::Always)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        (wal, recovered.events)
+    } else {
+        let wal = WalWriter::create(wal_path, LogKind::TaggedEvents, FsyncPolicy::Always)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        (wal, Vec::new())
+    };
+    let mut worker = Worker {
+        wal,
+        raw_log,
+        model: None,
+    };
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    loop {
+        let body = match read_frame(&mut input, MAX_SHARD_FRAME_LEN)? {
+            FrameRead::Frame(body) => body,
+            // A closed pipe is the coordinator going away: exit cleanly
+            // (everything acknowledged is already durable).
+            FrameRead::Closed => return Ok(()),
+            FrameRead::Idle => continue,
+            FrameRead::TooLarge { len } => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("request frame of {len} bytes exceeds the cap"),
+                ));
+            }
+        };
+        let mut reply = Vec::new();
+        let shutting_down = match decode_shard_request(&body) {
+            Err(msg) => {
+                encode_shard_err(&mut reply, ErrorCode::BadRequest, &msg);
+                false
+            }
+            Ok(req) => {
+                let is_shutdown = matches!(req, ShardRequest::Shutdown);
+                match handle(&mut worker, req) {
+                    Ok(r) => encode_shard_ok(&mut reply, &r),
+                    Err((code, msg)) => encode_shard_err(&mut reply, code, &msg),
+                }
+                is_shutdown
+            }
+        };
+        write_frame(&mut output, &reply)?;
+        if shutting_down {
+            output.flush()?;
+            return Ok(());
+        }
+    }
+}
+
+type HandlerResult = Result<ShardReply, (ErrorCode, String)>;
+
+fn rejected(msg: String) -> (ErrorCode, String) {
+    (ErrorCode::Rejected, msg)
+}
+
+fn bad(msg: String) -> (ErrorCode, String) {
+    (ErrorCode::BadRequest, msg)
+}
+
+fn internal(msg: String) -> (ErrorCode, String) {
+    (ErrorCode::Internal, msg)
+}
+
+fn handle(worker: &mut Worker, req: ShardRequest) -> HandlerResult {
+    match req {
+        ShardRequest::Hello {
+            num_users,
+            num_categories,
+            owned,
+        } => hello(worker, num_users as usize, num_categories as usize, &owned),
+        ShardRequest::Shutdown => {
+            worker.wal.sync().map_err(|e| internal(e.to_string()))?;
+            Ok(ShardReply::Bye)
+        }
+        other => {
+            let Some(shard) = worker.model.as_mut() else {
+                return Err(bad("request before handshake".into()));
+            };
+            match other {
+                ShardRequest::IngestTagged { tag, event } => ingest(worker, tag, event),
+                ShardRequest::RaterRep { category, user } => {
+                    require_owned(shard, category)?;
+                    let derived = shard.model.to_derived_cached(&mut shard.cache);
+                    let table = &derived.per_category[category as usize].rater_reputation;
+                    let rep = table
+                        .binary_search_by_key(&user, |&(u, _)| u.0)
+                        .ok()
+                        .map(|i| table[i].1);
+                    Ok(ShardReply::RaterRep(rep))
+                }
+                ShardRequest::Tables { category } => {
+                    require_owned(shard, category)?;
+                    let derived = shard.model.to_derived_cached(&mut shard.cache);
+                    let cr = &derived.per_category[category as usize];
+                    Ok(ShardReply::Tables(
+                        cr.rater_reputation.iter().map(|&(u, v)| (u.0, v)).collect(),
+                        cr.writer_reputation
+                            .iter()
+                            .map(|&(u, v)| (u.0, v))
+                            .collect(),
+                    ))
+                }
+                ShardRequest::FullState => {
+                    let cats: Vec<u32> = shard.owned.iter().copied().collect();
+                    let states = cats.into_iter().map(|c| shard.state_of(c)).collect();
+                    Ok(ShardReply::FullState(states))
+                }
+                ShardRequest::DropCategory { category } => drop_category(shard, category),
+                ShardRequest::AdoptCategory { category, events } => {
+                    adopt_category(worker, category, events)
+                }
+                ShardRequest::Hello { .. } | ShardRequest::Shutdown => unreachable!(),
+            }
+        }
+    }
+}
+
+fn require_owned(shard: &Shard, category: u32) -> Result<(), (ErrorCode, String)> {
+    if category as usize >= shard.num_categories {
+        return Err((
+            ErrorCode::OutOfRange,
+            format!("category {category} out of range"),
+        ));
+    }
+    if !shard.owned.contains(&category) {
+        return Err(bad(format!(
+            "category {category} is not owned by this worker"
+        )));
+    }
+    Ok(())
+}
+
+/// The handshake: fix the community shape, fold the replayed log in
+/// (filtered to the owned categories, deduplicated by tag, in tag
+/// order), and report what the durable log held.
+fn hello(
+    worker: &mut Worker,
+    num_users: usize,
+    num_categories: usize,
+    owned: &[u32],
+) -> HandlerResult {
+    if owned.iter().any(|&c| c as usize >= num_categories) {
+        return Err(bad("owned category out of range".into()));
+    }
+    let mut shard = Shard::new(num_users, num_categories, owned).map_err(internal)?;
+    // The log may hold Review events for categories we no longer own
+    // (dropped since): they still resolve rating → category routing.
+    let mut log_review_cat: HashMap<u32, u32> = HashMap::new();
+    for &(_, event) in &worker.raw_log {
+        if let StoreEvent::Review {
+            review, category, ..
+        } = event
+        {
+            log_review_cat.insert(review.0, category.0);
+        }
+    }
+    let max_tag = worker.raw_log.iter().map(|&(t, _)| t).max();
+    let mut mine: Vec<(u64, StoreEvent)> = worker
+        .raw_log
+        .iter()
+        .copied()
+        .filter(|(_, e)| {
+            let cat = match *e {
+                StoreEvent::Review { category, .. } => Some(category.0),
+                StoreEvent::Rating { review, .. } => log_review_cat.get(&review.0).copied(),
+            };
+            cat.is_some_and(|c| shard.owned.contains(&c))
+        })
+        .collect();
+    // Tag order is global ingest order; a stable sort plus tag-dedup
+    // collapses the drop-then-readopt case (the adoption re-appended
+    // events the log already had).
+    mine.sort_by_key(|&(t, _)| t);
+    mine.dedup_by_key(|e| e.0);
+    let recovered = mine.len() as u64;
+    for (tag, event) in mine {
+        let cat = match event {
+            StoreEvent::Review { category, .. } => category.0,
+            StoreEvent::Rating { review, .. } => log_review_cat[&review.0],
+        };
+        shard
+            .apply(tag, event, cat)
+            .map_err(|e| internal(format!("log replay failed at tag {tag}: {e}")))?;
+    }
+    worker.model = Some(shard);
+    Ok(ShardReply::Hello(HelloAck {
+        recovered,
+        max_tag: max_tag.unwrap_or(NO_TAG),
+    }))
+}
+
+/// One tagged event: admit, make durable, apply, re-solve, reply with
+/// the dirtied category's tables.
+fn ingest(worker: &mut Worker, tag: u64, event: StoreEvent) -> HandlerResult {
+    let shard = worker.model.as_mut().expect("handshake done");
+    shard.check(&event).map_err(rejected)?;
+    let cat = shard
+        .category_of(&event)
+        .expect("admitted event has a resolvable category");
+    worker
+        .wal
+        .append_tagged(tag, &event)
+        .and_then(|_| worker.wal.sync())
+        .map_err(|e| internal(e.to_string()))?;
+    shard.apply(tag, event, cat).map_err(internal)?;
+    Ok(ShardReply::State(shard.state_of(cat)))
+}
+
+/// Stops owning a category: ship its sub-log out and rebuild the model
+/// without it. The WAL keeps the old entries — replay filtering at the
+/// next handshake ignores them.
+fn drop_category(shard: &mut Shard, category: u32) -> HandlerResult {
+    require_owned(shard, category)?;
+    shard.owned.remove(&category);
+    let events = shard.sublogs.remove(&category).unwrap_or_default();
+    shard.rebuild().map_err(internal)?;
+    Ok(ShardReply::SubLog(events))
+}
+
+/// Starts owning a category: make its history durable locally, apply it
+/// in tag order, and reply with the re-solved state (which the
+/// coordinator holds bit-identical against the previous owner's).
+fn adopt_category(
+    worker: &mut Worker,
+    category: u32,
+    events: Vec<(u64, StoreEvent)>,
+) -> HandlerResult {
+    let shard = worker.model.as_mut().expect("handshake done");
+    if category as usize >= shard.num_categories {
+        return Err((
+            ErrorCode::OutOfRange,
+            format!("category {category} out of range"),
+        ));
+    }
+    if shard.owned.contains(&category) {
+        return Err(bad(format!("category {category} already owned")));
+    }
+    // Admission before durability: every event must belong to the
+    // adopted category, with tags strictly ascending.
+    let mut seen_reviews: HashSet<u32> = HashSet::new();
+    let mut last_tag = None;
+    for &(tag, ref event) in &events {
+        if last_tag.is_some_and(|t| tag <= t) {
+            return Err(bad(format!("sub-log tags not ascending at {tag}")));
+        }
+        last_tag = Some(tag);
+        match *event {
+            StoreEvent::Review {
+                review,
+                category: c,
+                ..
+            } => {
+                if c.0 != category {
+                    return Err(bad(format!(
+                        "sub-log event for category {c} in adoption of {category}"
+                    )));
+                }
+                seen_reviews.insert(review.0);
+            }
+            StoreEvent::Rating { review, .. } => {
+                if !seen_reviews.contains(&review.0) {
+                    return Err(bad(format!(
+                        "sub-log rates review {review} before its review event"
+                    )));
+                }
+            }
+        }
+    }
+    for &(tag, ref event) in &events {
+        worker
+            .wal
+            .append_tagged(tag, event)
+            .map_err(|e| internal(e.to_string()))?;
+    }
+    worker.wal.sync().map_err(|e| internal(e.to_string()))?;
+    let shard = worker.model.as_mut().expect("handshake done");
+    shard.owned.insert(category);
+    for (tag, event) in events {
+        shard.apply(tag, event, category).map_err(internal)?;
+    }
+    Ok(ShardReply::State(shard.state_of(category)))
+}

@@ -1,14 +1,22 @@
 //! The generation pipeline: factors → reviews → ratings → trust → labels.
+//!
+//! Every phase samples its per-user randomness from an independent
+//! counter-based stream ([`rng::stream`]), so the per-user work fans out
+//! across worker threads while the emitted dataset stays **bit-identical
+//! for any thread count** — the draws of user `i` depend only on the
+//! phase key and `i`, never on which thread ran them or in what order.
+//! Mutation of the [`CommunityBuilder`] happens in a sequential merge in
+//! user order, which also pins every id assignment.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use rand::Rng;
 use wot_community::{CategoryId, CommunityBuilder, ObjectId, RatingScale, ReviewId, UserId};
 use wot_sparse::Dense;
 
 use crate::dist::{self, WeightedIndex};
-use crate::latent::sample_population;
-use crate::rng::Xoshiro256pp;
+use crate::latent::UserFactors;
+use crate::rng::{stream, Xoshiro256pp};
 use crate::{GroundTruth, SynthConfig, SynthConfigError, SynthOutput};
 
 /// How many times a rejected draw (duplicate review/rating, self-edge) is
@@ -22,19 +30,37 @@ struct ReviewInfo {
     quality: f64,
 }
 
-/// Generates a community from `cfg`. Deterministic in `cfg.seed`.
+/// Generates a community from `cfg` on all hardware threads.
+/// Deterministic in `cfg.seed` — the thread count cannot change a single
+/// bit of the output (see [`generate_with_threads`]).
 pub fn generate(cfg: &SynthConfig) -> Result<SynthOutput, SynthConfigError> {
+    generate_with_threads(cfg, 0)
+}
+
+/// [`generate`] with an explicit worker-thread count (`0` = all hardware
+/// threads, `1` = sequential). The dataset is a pure function of `cfg`:
+/// every per-user sampling task draws from its own counter-based RNG
+/// stream and results merge in user order, so any two thread counts
+/// produce bit-identical stores and ground truth.
+pub fn generate_with_threads(
+    cfg: &SynthConfig,
+    threads: usize,
+) -> Result<SynthOutput, SynthConfigError> {
     cfg.validate()?;
     let mut master = Xoshiro256pp::seed_from_u64(cfg.seed);
-    let mut rng_factors = master.fork(0xFAC7);
-    let mut rng_reviews = master.fork(0x7EF1);
-    let mut rng_ratings = master.fork(0x2A71);
-    let mut rng_trust = master.fork(0x7277);
-    let mut rng_labels = master.fork(0x1ABE);
+    // One key per phase, in a fixed order: adding a phase (or re-keying
+    // one) never perturbs the draws of the others.
+    let k_factors = master.fork(0xFAC7).next_u64_impl();
+    let k_reviews = master.fork(0x7EF1).next_u64_impl();
+    let k_ratings = master.fork(0x2A71).next_u64_impl();
+    let k_trust = master.fork(0x7277).next_u64_impl();
+    let k_labels = master.fork(0x1ABE).next_u64_impl();
 
-    let factors = sample_population(&mut rng_factors, cfg);
     let u = cfg.num_users;
     let c = cfg.num_categories;
+    let factors: Vec<UserFactors> = wot_par::par_map_indexed(u, threads, |i| {
+        UserFactors::sample(&mut stream(k_factors, i), cfg)
+    });
 
     let mut b = CommunityBuilder::new(RatingScale::five_step());
     for i in 0..u {
@@ -55,33 +81,49 @@ pub fn generate(cfg: &SynthConfig) -> Result<SynthOutput, SynthConfigError> {
     let object_id = |cat: usize, o: usize| ObjectId::from_index(cat * cfg.objects_per_category + o);
 
     // ---- phase 1: reviews -------------------------------------------------
+    // Parallel sampling: each user picks (category, object, quality)
+    // triples against only their own dedup set — a review collides only
+    // with the same user reviewing the same object, so the draw is
+    // embarrassingly parallel. The sequential merge assigns ReviewIds.
+    let max_reviews_per_user = c * cfg.objects_per_category;
+    let review_plans: Vec<Vec<(usize, usize, f64)>> = wot_par::par_map_indexed(u, threads, |i| {
+        let f = &factors[i];
+        let mut rng = stream(k_reviews, i);
+        let Some(affinity_idx) = WeightedIndex::new(&f.affinity) else {
+            return Vec::new();
+        };
+        let n = (dist::poisson(&mut rng, cfg.mean_reviews_per_user * f.activity) as usize)
+            .min(max_reviews_per_user);
+        let mut taken: HashSet<(usize, usize)> = HashSet::new();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            for _attempt in 0..MAX_RETRIES {
+                let cat = affinity_idx.sample(&mut rng);
+                let o = rng.gen_range(0..cfg.objects_per_category);
+                if !taken.insert((cat, o)) {
+                    continue; // already reviewed this object; retry
+                }
+                let quality = (f.expertise[cat] + dist::normal(&mut rng, 0.0, cfg.quality_noise))
+                    .clamp(0.0, 1.0);
+                out.push((cat, o, quality));
+                break;
+            }
+        }
+        out
+    });
+
     let mut reviews: Vec<ReviewInfo> = Vec::new();
     let mut reviews_by_cat: Vec<Vec<ReviewId>> = vec![Vec::new(); c];
     let mut review_counts = vec![vec![0u32; c]; u]; // n^w per user per category
-    let max_reviews_per_user = c * cfg.objects_per_category;
-    for (i, f) in factors.iter().enumerate() {
-        let affinity_idx = WeightedIndex::new(&f.affinity);
-        let n = (dist::poisson(&mut rng_reviews, cfg.mean_reviews_per_user * f.activity) as usize)
-            .min(max_reviews_per_user);
-        let Some(affinity_idx) = affinity_idx else {
-            continue;
-        };
-        for _ in 0..n {
-            for _attempt in 0..MAX_RETRIES {
-                let cat = affinity_idx.sample(&mut rng_reviews);
-                let o = rng_reviews.gen_range(0..cfg.objects_per_category);
-                let Ok(rid) = b.add_review(UserId::from_index(i), object_id(cat, o)) else {
-                    continue; // already reviewed this object; retry
-                };
-                let quality = (f.expertise[cat]
-                    + dist::normal(&mut rng_reviews, 0.0, cfg.quality_noise))
-                .clamp(0.0, 1.0);
-                debug_assert_eq!(rid.index(), reviews.len());
-                reviews.push(ReviewInfo { writer: i, quality });
-                reviews_by_cat[cat].push(rid);
-                review_counts[i][cat] += 1;
-                break;
-            }
+    for (i, plan) in review_plans.iter().enumerate() {
+        for &(cat, o, quality) in plan {
+            let rid = b
+                .add_review(UserId::from_index(i), object_id(cat, o))
+                .expect("deduplicated per user; reviews cannot collide across users");
+            debug_assert_eq!(rid.index(), reviews.len());
+            reviews.push(ReviewInfo { writer: i, quality });
+            reviews_by_cat[cat].push(rid);
+            review_counts[i][cat] += 1;
         }
     }
 
@@ -104,53 +146,65 @@ pub fn generate(cfg: &SynthConfig) -> Result<SynthOutput, SynthConfigError> {
             WeightedIndex::new(&weights)
         })
         .collect();
-    // Per user: writers they rated and the sum/count of values given —
-    // the direct-experience candidate pool for trust formation.
-    let mut rated_writers: Vec<HashMap<u32, (f64, u32)>> = vec![HashMap::new(); u];
+    // Parallel sampling against the read-only review tables: a rating
+    // collides only with the same user rating the same review, so each
+    // user's dedup set is again local.
     let total_reviews = reviews.len();
-    for (i, f) in factors.iter().enumerate() {
+    let rating_plans: Vec<Vec<(ReviewId, f64)>> = wot_par::par_map_indexed(u, threads, |i| {
         if total_reviews == 0 {
-            break;
+            return Vec::new();
         }
+        let f = &factors[i];
+        let mut rng = stream(k_ratings, i);
         let Some(affinity_idx) = WeightedIndex::new(&f.affinity) else {
-            continue;
+            return Vec::new();
         };
-        let m = (dist::poisson(&mut rng_ratings, cfg.mean_ratings_per_user * f.activity) as usize)
+        let m = (dist::poisson(&mut rng, cfg.mean_ratings_per_user * f.activity) as usize)
             .min(total_reviews);
         let sd = f.rating_noise_sd(cfg);
+        let mut taken: HashSet<u32> = HashSet::new();
+        let mut out = Vec::with_capacity(m);
         for _ in 0..m {
             for _attempt in 0..MAX_RETRIES {
-                let cat = affinity_idx.sample(&mut rng_ratings);
+                let cat = affinity_idx.sample(&mut rng);
                 if reviews_by_cat[cat].is_empty() {
                     continue;
                 }
                 let pick = match review_popularity[cat].as_ref() {
-                    Some(pop) if rng_ratings.gen::<f64>() < cfg.popularity_bias => {
-                        pop.sample(&mut rng_ratings)
-                    }
-                    _ => rng_ratings.gen_range(0..reviews_by_cat[cat].len()),
+                    Some(pop) if rng.gen::<f64>() < cfg.popularity_bias => pop.sample(&mut rng),
+                    _ => rng.gen_range(0..reviews_by_cat[cat].len()),
                 };
                 let rid = reviews_by_cat[cat][pick];
                 let info = &reviews[rid.index()];
                 if info.writer == i {
                     continue; // own review
                 }
-                let observed = scale.quantize(
-                    (info.quality
-                        + cfg.rating_generosity
-                        + dist::normal(&mut rng_ratings, 0.0, sd))
-                    .clamp(0.0, 1.0),
-                );
-                if b.add_rating(UserId::from_index(i), rid, observed).is_err() {
+                if !taken.insert(rid.index() as u32) {
                     continue; // duplicate rating; retry elsewhere
                 }
-                let entry = rated_writers[i]
-                    .entry(info.writer as u32)
-                    .or_insert((0.0, 0));
-                entry.0 += observed;
-                entry.1 += 1;
+                let observed = scale.quantize(
+                    (info.quality + cfg.rating_generosity + dist::normal(&mut rng, 0.0, sd))
+                        .clamp(0.0, 1.0),
+                );
+                out.push((rid, observed));
                 break;
             }
+        }
+        out
+    });
+
+    // Per user: writers they rated and the sum/count of values given —
+    // the direct-experience candidate pool for trust formation.
+    let mut rated_writers: Vec<HashMap<u32, (f64, u32)>> = vec![HashMap::new(); u];
+    for (i, plan) in rating_plans.iter().enumerate() {
+        for &(rid, observed) in plan {
+            b.add_rating(UserId::from_index(i), rid, observed)
+                .expect("deduplicated per user; on-scale by quantization");
+            let entry = rated_writers[i]
+                .entry(reviews[rid.index()].writer as u32)
+                .or_insert((0.0, 0));
+            entry.0 += observed;
+            entry.1 += 1;
         }
     }
 
@@ -174,8 +228,14 @@ pub fn generate(cfg: &SynthConfig) -> Result<SynthOutput, SynthConfigError> {
         visibility.push(WeightedIndex::new(&weights));
     }
     let max_trust_per_user = u.saturating_sub(1);
-    for (i, f) in factors.iter().enumerate() {
-        let k = (dist::poisson(&mut rng_trust, cfg.trust_edges_per_user * f.activity) as usize)
+    // Parallel sampling of each user's outgoing edges (plus a reciprocity
+    // flag per edge). Each user dedups only their own targets; the rare
+    // cross-user duplicate — an edge a reciprocity pass already added —
+    // is dropped at merge time, deterministically.
+    let trust_plans: Vec<Vec<(u32, bool)>> = wot_par::par_map_indexed(u, threads, |i| {
+        let f = &factors[i];
+        let mut rng = stream(k_trust, i);
+        let k = (dist::poisson(&mut rng, cfg.trust_edges_per_user * f.activity) as usize)
             .min(max_trust_per_user);
         let affinity_idx = WeightedIndex::new(&f.affinity);
         // Direct pool: writers i has rated. Pool *composition* is already
@@ -209,41 +269,54 @@ pub fn generate(cfg: &SynthConfig) -> Result<SynthOutput, SynthConfigError> {
                 // (keeping the mean-rating baseline weak) but imperfect, so
                 // the very top T̂ pairs are *under*-sampled into stated
                 // trust and surface in R−T instead (§IV.C).
-                let perceived = match_score * dist::normal(&mut rng_trust, 0.0, 0.8).exp();
+                let perceived = match_score * dist::normal(&mut rng, 0.0, 0.8).exp();
                 let satisfaction = 0.25 + sum / cnt as f64;
                 (w, (0.05 + perceived) * satisfaction)
             })
             .collect();
         let direct_idx = WeightedIndex::new(&direct.iter().map(|&(_, w)| w).collect::<Vec<f64>>());
+        let mut chosen: HashSet<u32> = HashSet::new();
+        let mut out = Vec::with_capacity(k);
         for _ in 0..k {
             for _attempt in 0..MAX_RETRIES {
-                let roll: f64 = rng_trust.gen();
+                let roll: f64 = rng.gen();
                 let target: usize = if roll < cfg.trust_noise {
-                    rng_trust.gen_range(0..u)
+                    rng.gen_range(0..u)
                 } else if roll < cfg.trust_noise + cfg.trust_direct_bias && direct_idx.is_some() {
                     let idx = direct_idx.as_ref().expect("checked is_some");
-                    direct[idx.sample(&mut rng_trust)].0 as usize
+                    direct[idx.sample(&mut rng)].0 as usize
                 } else {
                     // Word of mouth: category by affinity, then an expert
                     // visible in it.
                     let Some(aff) = affinity_idx.as_ref() else {
                         continue;
                     };
-                    let cat = aff.sample(&mut rng_trust);
+                    let cat = aff.sample(&mut rng);
                     let Some(vis) = visibility[cat].as_ref() else {
                         continue;
                     };
-                    vis.sample(&mut rng_trust)
+                    vis.sample(&mut rng)
                 };
-                if b.add_trust(UserId::from_index(i), UserId::from_index(target))
-                    .is_err()
-                {
+                if target == i || !chosen.insert(target as u32) {
                     continue; // self or duplicate; retry
                 }
-                if rng_trust.gen::<f64>() < cfg.reciprocity {
-                    let _ = b.add_trust(UserId::from_index(target), UserId::from_index(i));
-                }
+                let reciprocal = rng.gen::<f64>() < cfg.reciprocity;
+                out.push((target as u32, reciprocal));
                 break;
+            }
+        }
+        out
+    });
+    for (i, plan) in trust_plans.iter().enumerate() {
+        for &(target, reciprocal) in plan {
+            let target = target as usize;
+            // A duplicate here means an earlier user's reciprocity pass
+            // already created the edge; the draw is simply dropped.
+            let added = b
+                .add_trust(UserId::from_index(i), UserId::from_index(target))
+                .is_ok();
+            if added && reciprocal {
+                let _ = b.add_trust(UserId::from_index(target), UserId::from_index(i));
             }
         }
     }
@@ -267,35 +340,44 @@ pub fn generate(cfg: &SynthConfig) -> Result<SynthOutput, SynthConfigError> {
         rating_err_sum[rt.rater.index()] += (rt.value - consensus).abs();
         rating_cnt[rt.rater.index()] += 1;
     }
-    let advisor_scores: Vec<f64> = (0..u)
-        .map(|i| {
-            if rating_cnt[i] == 0 {
-                return 0.0;
-            }
-            let mean_err = rating_err_sum[i] / rating_cnt[i] as f64;
-            let editorial = dist::normal(&mut rng_labels, 0.0, cfg.label_noise).exp();
-            // Cubing the quality term keeps "quality of ratings" dominant
-            // over sheer volume, as Epinions' Advisor selection describes.
-            (1.0 - mean_err).max(0.0).powi(3) * (1.0 + (rating_cnt[i] as f64).ln_1p()) * editorial
-        })
-        .collect();
-    let advisors = top_k_users(&advisor_scores, cfg.num_advisors);
-
-    // Top Reviewers: quality × quantity of reviews written.
     let mut quality_sum = vec![0.0f64; u];
     let mut written_cnt = vec![0u32; u];
     for info in &reviews {
         quality_sum[info.writer] += info.quality;
         written_cnt[info.writer] += 1;
     }
+    // Each user's editorial noise pair (advisor draw, then reviewer draw)
+    // comes from their own stream, drawn unconditionally so the streams
+    // stay aligned however the activity counts fall.
+    let editorial: Vec<(f64, f64)> = wot_par::par_map_indexed(u, threads, |i| {
+        let mut rng = stream(k_labels, i);
+        let advisor = dist::normal(&mut rng, 0.0, cfg.label_noise).exp();
+        let reviewer = dist::normal(&mut rng, 0.0, cfg.label_noise).exp();
+        (advisor, reviewer)
+    });
+    let advisor_scores: Vec<f64> = (0..u)
+        .map(|i| {
+            if rating_cnt[i] == 0 {
+                return 0.0;
+            }
+            let mean_err = rating_err_sum[i] / rating_cnt[i] as f64;
+            // Cubing the quality term keeps "quality of ratings" dominant
+            // over sheer volume, as Epinions' Advisor selection describes.
+            (1.0 - mean_err).max(0.0).powi(3)
+                * (1.0 + (rating_cnt[i] as f64).ln_1p())
+                * editorial[i].0
+        })
+        .collect();
+    let advisors = top_k_users(&advisor_scores, cfg.num_advisors);
+
+    // Top Reviewers: quality × quantity of reviews written.
     let reviewer_scores: Vec<f64> = (0..u)
         .map(|i| {
             if written_cnt[i] == 0 {
                 return 0.0;
             }
             let mean_q = quality_sum[i] / written_cnt[i] as f64;
-            let editorial = dist::normal(&mut rng_labels, 0.0, cfg.label_noise).exp();
-            mean_q * (1.0 + (written_cnt[i] as f64).ln_1p()) * editorial
+            mean_q * (1.0 + (written_cnt[i] as f64).ln_1p()) * editorial[i].1
         })
         .collect();
     let top_reviewers = top_k_users(&reviewer_scores, cfg.num_top_reviewers);
@@ -336,6 +418,51 @@ fn top_k_users(scores: &[f64], k: usize) -> Vec<UserId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::hash::{Hash, Hasher};
+
+    /// A digest over every bit of an output: review topology, rating
+    /// values, the trust pattern, and the ground-truth payloads.
+    fn digest(out: &SynthOutput) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for r in out.store.reviews() {
+            (r.writer.0, r.object.0, r.category.0).hash(&mut h);
+        }
+        for rt in out.store.ratings() {
+            (rt.rater.0, rt.review.0, rt.value.to_bits()).hash(&mut h);
+        }
+        for (i, j, _) in out.store.trust_matrix().iter() {
+            (i as u64, j as u64).hash(&mut h);
+        }
+        for &x in out.truth.affinity.as_slice() {
+            x.to_bits().hash(&mut h);
+        }
+        for &x in out.truth.expertise.as_slice() {
+            x.to_bits().hash(&mut h);
+        }
+        for &x in &out.truth.review_quality {
+            x.to_bits().hash(&mut h);
+        }
+        for &x in &out.truth.reliability {
+            x.to_bits().hash(&mut h);
+        }
+        out.truth.advisors.hash(&mut h);
+        out.truth.top_reviewers.hash(&mut h);
+        h.finish()
+    }
+
+    /// The satellite's core claim: the worker-thread count cannot change
+    /// one bit of the emitted dataset.
+    #[test]
+    fn thread_count_never_changes_the_dataset() {
+        let cfg = SynthConfig::tiny(42);
+        let sequential = digest(&generate_with_threads(&cfg, 1).unwrap());
+        for threads in [2usize, 5, 0] {
+            let parallel = digest(&generate_with_threads(&cfg, threads).unwrap());
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        // And `generate` itself is the all-hardware spelling of the same.
+        assert_eq!(digest(&generate(&cfg).unwrap()), sequential);
+    }
 
     #[test]
     fn tiny_generation_produces_activity() {

@@ -81,13 +81,6 @@ impl UserFactors {
     }
 }
 
-/// Samples factors for the whole population.
-pub fn sample_population(rng: &mut Xoshiro256pp, cfg: &SynthConfig) -> Vec<UserFactors> {
-    (0..cfg.num_users)
-        .map(|_| UserFactors::sample(rng, cfg))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,8 +153,13 @@ mod tests {
     #[test]
     fn population_is_deterministic() {
         let cfg = SynthConfig::tiny(3);
-        let a = sample_population(&mut Xoshiro256pp::seed_from_u64(3), &cfg);
-        let b = sample_population(&mut Xoshiro256pp::seed_from_u64(3), &cfg);
+        let sample = |seed: u64| -> Vec<UserFactors> {
+            (0..cfg.num_users)
+                .map(|i| UserFactors::sample(&mut crate::rng::stream(seed, i), &cfg))
+                .collect()
+        };
+        let a = sample(3);
+        let b = sample(3);
         assert_eq!(a, b);
         assert_eq!(a.len(), cfg.num_users);
     }

@@ -29,7 +29,10 @@
 //!
 //! Everything is driven by an explicit `u64` seed through a from-scratch
 //! xoshiro256++ generator, so datasets are bit-for-bit reproducible across
-//! platforms and releases.
+//! platforms and releases. Generation fans the per-user sampling out
+//! across worker threads ([`generate_with_threads`]) with one
+//! counter-based RNG stream per user per phase, so the thread count
+//! cannot change a single bit of the output either.
 //!
 //! ## Example
 //!
@@ -58,6 +61,6 @@ pub mod rng;
 
 pub use config::{SynthConfig, SynthConfigError};
 pub use events::{sharded_event_logs, shuffled_event_log, tagged_event_log};
-pub use generator::generate;
+pub use generator::{generate, generate_with_threads};
 pub use latent::UserFactors;
 pub use output::{GroundTruth, SynthOutput};

@@ -1,0 +1,124 @@
+//! Routing invariants of the multi-process coordinator, property-tested
+//! without processes: for **any** category→worker assignment, **any**
+//! causal interleaving, and **any** schedule of live reassignments
+//! (rebalances) between events, the coordinator's routing rule — an
+//! event goes to the worker owning its category *at that sequence
+//! point* — sends every event to exactly one worker, keeps every
+//! worker's local sequence tags strictly ascending, and leaves the
+//! union of the per-worker logs an exact, gap-free copy of the global
+//! history (so [`merge_shard_logs`]'s exact-global-history guarantee
+//! applies to whatever the cluster's WALs hold).
+
+use proptest::prelude::*;
+use webtrust::community::shard::merge_shard_logs;
+use webtrust::community::{CategoryId, ShardAssignment, ShardId, StoreEvent};
+use webtrust::synth::{generate, shuffled_event_log, SynthConfig};
+
+/// A seeded random assignment over exactly `num_shards` workers
+/// (deterministic per seed). Built by reassigning from round-robin so
+/// the worker count stays fixed even when some worker ends up owning
+/// nothing — `from_shards` would infer a smaller cluster.
+fn permuted_assignment(num_categories: usize, num_shards: usize, seed: u64) -> ShardAssignment {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut a = ShardAssignment::round_robin(num_categories, num_shards);
+    for c in 0..num_categories {
+        a.reassign(
+            CategoryId::from_index(c),
+            ShardId::from_index(next() % num_shards),
+        )
+        .unwrap();
+    }
+    a
+}
+
+/// Asserts the ownership tables are a partition: every category owned by
+/// exactly one worker, and `categories_of` inverts `shard_of`.
+fn assert_partition(assignment: &ShardAssignment) {
+    let mut owners = vec![0usize; assignment.num_categories()];
+    for s in 0..assignment.num_shards() {
+        for c in assignment.categories_of(ShardId::from_index(s)) {
+            owners[c.index()] += 1;
+            assert_eq!(assignment.shard_of(c).unwrap().index(), s);
+        }
+    }
+    assert!(owners.iter().all(|&n| n == 1), "ownership must partition");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_event_routes_to_exactly_one_worker_with_ascending_tags(
+        synth_seed in 1u64..40,
+        shuffle_seed in 1u64..1000,
+        num_workers in 1usize..6,
+        perm_seed in 0u64..1000,
+        rebalance_seed in 0u64..1000,
+    ) {
+        let store = generate(&SynthConfig::tiny(synth_seed)).unwrap().store;
+        let log = shuffled_event_log(&store, shuffle_seed);
+        let mut assignment =
+            permuted_assignment(store.num_categories(), num_workers, perm_seed);
+        assert_partition(&assignment);
+
+        // A deterministic schedule of live rebalances: roughly one every
+        // 64 events, each moving a pseudo-random category to a
+        // pseudo-random worker.
+        let mut state = rebalance_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+
+        let mut logs: Vec<Vec<(u64, StoreEvent)>> = vec![Vec::new(); num_workers];
+        let mut category_of_review: Vec<CategoryId> = Vec::new();
+        for (tag, &event) in log.iter().enumerate() {
+            if tag % 64 == 63 {
+                let cat = CategoryId::from_index(next() % store.num_categories());
+                let to = ShardId::from_index(next() % num_workers);
+                let from = assignment.reassign(cat, to).unwrap();
+                prop_assert!(from.index() < num_workers);
+                assert_partition(&assignment);
+            }
+            let category = match event {
+                StoreEvent::Review { category, .. } => {
+                    category_of_review.push(category);
+                    category
+                }
+                StoreEvent::Rating { review, .. } => category_of_review[review.index()],
+            };
+            // Exactly one owner at this sequence point.
+            let owner = assignment.shard_of(category).unwrap();
+            logs[owner.index()].push((tag as u64, event));
+        }
+
+        // Per-worker tags strictly ascend (each local WAL is a
+        // subsequence of the global history)…
+        for wlog in &logs {
+            for w in wlog.windows(2) {
+                prop_assert!(w[0].0 < w[1].0, "local tags must ascend");
+            }
+        }
+        // …their union is gap-free (exactly-one routing: n events, n
+        // tags, no duplicates across workers)…
+        let total: usize = logs.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, log.len());
+        let mut seen = vec![false; log.len()];
+        for &(t, _) in logs.iter().flatten() {
+            prop_assert!(!seen[t as usize], "tag {} routed twice", t);
+            seen[t as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every tag routed somewhere");
+        // …and the merged logs are the global history, verbatim.
+        let merged = merge_shard_logs(&logs).unwrap();
+        prop_assert_eq!(merged, log);
+    }
+}

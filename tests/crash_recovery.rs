@@ -209,10 +209,7 @@ fn snapshot_resumed_recovery_is_bit_identical_at_every_thread_count() {
     write_wal(&path, &log);
 
     for threads in [1usize, 2, 4] {
-        let cfg = DeriveConfig {
-            threads,
-            ..DeriveConfig::default()
-        };
+        let cfg = DeriveConfig::builder().threads(threads).build().unwrap();
         // The batch oracle: fold the log into a store, derive it whole.
         let replayed = replay_into_store(
             store.scale().clone(),

@@ -48,13 +48,12 @@ fn frontier_thresholds() -> Vec<f64> {
 }
 
 fn delta_cfg(threads: usize, threshold: f64) -> DeriveConfig {
-    DeriveConfig {
-        parallel: threads != 1,
-        threads,
-        delta_refresh: true,
-        delta_frontier_threshold: threshold,
-        ..DeriveConfig::default()
-    }
+    DeriveConfig::builder()
+        .thread_count(threads)
+        .delta_refresh(true)
+        .delta_frontier_threshold(threshold)
+        .build()
+        .unwrap()
 }
 
 /// Splices per-category and full refreshes into an ingestion log at

@@ -24,21 +24,18 @@ fn parallel_derive_is_bit_identical_to_sequential() {
     let store = tiny_store();
     let sequential = pipeline::derive(
         &store,
-        &DeriveConfig {
-            parallel: false,
-            ..DeriveConfig::default()
-        },
+        &DeriveConfig::builder().parallel(false).build().unwrap(),
     )
     .unwrap();
 
     for threads in [0usize, 2, 3, 8] {
         let parallel = pipeline::derive(
             &store,
-            &DeriveConfig {
-                parallel: true,
-                threads,
-                ..DeriveConfig::default()
-            },
+            &DeriveConfig::builder()
+                .parallel(true)
+                .threads(threads)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         // Full structural equality: expertise, affiliation and every
@@ -59,10 +56,7 @@ fn parallel_derive_is_bit_identical_to_sequential() {
 #[test]
 fn baseline_pipeline_is_bit_identical_to_index_dense() {
     let store = tiny_store();
-    let cfg = DeriveConfig {
-        parallel: false,
-        ..DeriveConfig::default()
-    };
+    let cfg = DeriveConfig::builder().parallel(false).build().unwrap();
     let dense = pipeline::derive(&store, &cfg).unwrap();
     let baseline = pipeline::derive_baseline(&store, &cfg).unwrap();
     assert_eq!(dense, baseline);

@@ -78,10 +78,10 @@ fn derive_config_ablations_change_results_predictably() {
     let with = pipeline::derive(&out.store, &DeriveConfig::default()).unwrap();
     let without = pipeline::derive(
         &out.store,
-        &DeriveConfig {
-            experience_discount: false,
-            ..DeriveConfig::default()
-        },
+        &DeriveConfig::builder()
+            .experience_discount(false)
+            .build()
+            .unwrap(),
     )
     .unwrap();
     // The discount only shrinks reputations, so per-user expertise cannot

@@ -33,11 +33,10 @@ fn thread_counts() -> Vec<usize> {
 }
 
 fn cfg_with(threads: usize) -> DeriveConfig {
-    DeriveConfig {
-        parallel: threads != 1,
-        threads,
-        ..DeriveConfig::default()
-    }
+    DeriveConfig::builder()
+        .thread_count(threads)
+        .build()
+        .unwrap()
 }
 
 /// Interleaves deterministic refresh events into an ingestion log:

@@ -2,7 +2,9 @@
 //! synthetic community, run a scripted client session covering every
 //! opcode, ingest a live suffix of the event history, and hold **every
 //! served answer bit-identical** (`==` on `f64`) to the offline batch
-//! pipeline on the same event prefix. Finishes with a graceful shutdown
+//! pipeline on the same event prefix — via the backend-generic
+//! [`conformance::assert_backend_matches`] harness, the same one the
+//! multi-process cluster drills run. Finishes with a graceful shutdown
 //! and verifies the WAL holds exactly the ingested suffix — the
 //! recovery contract.
 
@@ -15,6 +17,7 @@ use webtrust::core::{
     pipeline, BlockConfig, DeriveConfig, Derived, IncrementalDerived, ReplayEvent,
 };
 use webtrust::eval::streaming;
+use webtrust::serve::conformance::assert_backend_matches;
 use webtrust::serve::{Client, ErrorCode, ServeError, ServeOptions, Server};
 use webtrust::synth::{generate, shuffled_event_log, SynthConfig};
 use webtrust::wal::read_log;
@@ -85,7 +88,7 @@ fn scripted_session_is_bit_identical_to_offline_oracle() {
     // --- Bootstrapped state ---------------------------------------
     assert_eq!(c.ping().unwrap(), fx.split as u64);
     let before = fx.oracle(fx.split);
-    assert_served_state_matches(&mut c, &before, fx.split as u64);
+    assert_backend_matches(&mut c, &before, fx.split as u64);
 
     // --- Live ingest of the suffix --------------------------------
     let mut last_seq = fx.split as u64;
@@ -102,7 +105,7 @@ fn scripted_session_is_bit_identical_to_offline_oracle() {
 
     // --- Post-ingest state matches the full-log oracle -------------
     let after = fx.oracle(fx.log.len());
-    assert_served_state_matches(&mut c, &after, fx.log.len() as u64);
+    assert_backend_matches(&mut c, &after, fx.log.len() as u64);
 
     // A duplicate of an already-applied rating is refused with a typed
     // error and moves nothing.
@@ -145,66 +148,6 @@ fn scripted_session_is_bit_identical_to_offline_oracle() {
         "the WAL holds exactly the ingested suffix, bit for bit"
     );
     std::fs::remove_dir_all(&dir).ok();
-}
-
-/// Compares every read opcode against an oracle `Derived`, bitwise.
-fn assert_served_state_matches(c: &mut Client, oracle: &Derived, want_seq: u64) {
-    let users = oracle.num_users();
-    // Point queries across a deterministic sample of pairs.
-    for i in (0..users).step_by(7) {
-        for j in (0..users).step_by(11) {
-            let got = c.trust(i as u32, j as u32).unwrap();
-            assert_eq!(c.last_seq(), want_seq);
-            let want =
-                webtrust::core::trust::pairwise(&oracle.affiliation, &oracle.expertise, i, j);
-            assert_eq!(got.to_bits(), want.to_bits(), "trust({i},{j})");
-        }
-    }
-    // Top-k against the streaming reducer.
-    let top = streaming::top_k_trusted(oracle, 5, &BlockConfig::sequential()).unwrap();
-    for i in (0..users).step_by(13) {
-        let got = c.top_k(i as u32, 5).unwrap();
-        assert_eq!(got.len(), top[i].len(), "top-k({i}) length");
-        for (g, w) in got.iter().zip(&top[i]) {
-            assert_eq!(g.0 as usize, w.0, "top-k({i}) member");
-            assert_eq!(g.1.to_bits(), w.1.to_bits(), "top-k({i}) value bits");
-        }
-    }
-    // Per-category reputation tables.
-    for (cidx, cr) in oracle.per_category.iter().enumerate() {
-        let (raters, writers) = c.category_reputations(cidx as u32).unwrap();
-        assert_eq!(raters.len(), cr.rater_reputation.len());
-        for (g, w) in raters.iter().zip(&cr.rater_reputation) {
-            assert_eq!(g.0, w.0 .0);
-            assert_eq!(g.1.to_bits(), w.1.to_bits());
-        }
-        assert_eq!(writers.len(), cr.writer_reputation.len());
-        for (g, w) in writers.iter().zip(&cr.writer_reputation) {
-            assert_eq!(g.0, w.0 .0);
-            assert_eq!(g.1.to_bits(), w.1.to_bits());
-        }
-        // Point lookups: a present rater and an absent one.
-        if let Some(&(u, v)) = cr.rater_reputation.first() {
-            let got = c.rater_reputation(cidx as u32, u.0).unwrap().unwrap();
-            assert_eq!(got.to_bits(), v.to_bits());
-        }
-        let absent = (0..users as u32).find(|u| {
-            cr.rater_reputation
-                .binary_search_by_key(u, |&(x, _)| x.0)
-                .is_err()
-        });
-        if let Some(u) = absent {
-            assert_eq!(c.rater_reputation(cidx as u32, u).unwrap(), None);
-        }
-    }
-    // Fig. 3 aggregates against the streaming reducer.
-    let want = streaming::fig3_aggregates(oracle, &BlockConfig::sequential()).unwrap();
-    let got = c.aggregates().unwrap();
-    assert_eq!(got.users, want.users as u64);
-    assert_eq!(got.support, want.support);
-    assert_eq!(got.sum.to_bits(), want.sum.to_bits());
-    assert_eq!(got.max.to_bits(), want.max.to_bits());
-    assert_eq!(got.histogram, want.histogram);
 }
 
 /// Shutting down via the handle alone (no client shutdown request) also
@@ -269,10 +212,10 @@ fn restart_from_recovered_wal_resumes_identically() {
 fn concurrent_readers_during_ingest_see_only_whole_snapshots() {
     let fx = Fixture::new(61);
     let dir = temp_dir("torn");
-    let opts = ServeOptions {
-        reader_threads: 6,
-        ..ServeOptions::local(dir.join("serve.wal"))
-    };
+    let opts = ServeOptions::builder(dir.join("serve.wal"))
+        .reader_threads(6)
+        .build()
+        .unwrap();
     let handle = Server::start(fx.bootstrap_model(), fx.split as u64, &opts).unwrap();
 
     // Oracle per reachable seq: fold the suffix one event at a time,
@@ -358,11 +301,11 @@ fn concurrent_readers_during_ingest_see_only_whole_snapshots() {
 #[test]
 fn delta_publish_daemon_serves_warm_snapshots_conformantly() {
     let fx = Fixture::new(73);
-    let delta_cfg = DeriveConfig {
-        delta_refresh: true,
-        delta_frontier_threshold: 0.5,
-        ..DeriveConfig::default()
-    };
+    let delta_cfg = DeriveConfig::builder()
+        .delta_refresh(true)
+        .delta_frontier_threshold(0.5)
+        .build()
+        .unwrap();
     let bootstrap = || {
         let mut inc = IncrementalDerived::new(fx.num_users, fx.num_categories, &delta_cfg).unwrap();
         for e in &fx.log[..fx.split] {
@@ -400,11 +343,11 @@ fn delta_publish_daemon_serves_warm_snapshots_conformantly() {
     let oracles = Arc::new(oracles);
 
     let dir = temp_dir("delta");
-    let opts = ServeOptions {
-        reader_threads: 5,
-        delta_publish: true,
-        ..ServeOptions::local(dir.join("serve.wal"))
-    };
+    let opts = ServeOptions::builder(dir.join("serve.wal"))
+        .reader_threads(5)
+        .delta_publish(true)
+        .build()
+        .unwrap();
     let handle = Server::start(bootstrap(), fx.split as u64, &opts).unwrap();
     let base = fx.split as u64;
     let users = fx.num_users;
@@ -456,7 +399,7 @@ fn delta_publish_daemon_serves_warm_snapshots_conformantly() {
 
     // The final served state bit-matches the replica's last snapshot
     // across read opcodes, and the WAL recovery contract holds.
-    assert_served_state_matches(&mut w, oracles.last().unwrap(), fx.log.len() as u64);
+    assert_backend_matches(&mut w, oracles.last().unwrap(), fx.log.len() as u64);
     drop(w);
     handle.shutdown().unwrap();
     let recovered = read_log(&dir.join("serve.wal")).unwrap();

@@ -23,11 +23,10 @@ use webtrust::core::{pipeline, DeriveConfig, IncrementalDerived};
 use webtrust::synth::{generate, sharded_event_logs, shuffled_event_log, SynthConfig};
 
 fn cfg_with(threads: usize) -> DeriveConfig {
-    DeriveConfig {
-        parallel: threads != 1,
-        threads,
-        ..DeriveConfig::default()
-    }
+    DeriveConfig::builder()
+        .thread_count(threads)
+        .build()
+        .unwrap()
 }
 
 /// 1, 2, all-hardware (0), plus whatever `WOT_REPLAY_THREADS` pins (the
