@@ -1170,13 +1170,15 @@ fn serve_bench(
 
 /// `cluster-bench`: launch the multi-process shard cluster — three
 /// `wot-shardd` worker subprocesses behind the scatter-gather
-/// `Coordinator` — and measure the two costs the process split adds on
-/// top of the flat daemon: the per-event ingest ack (category routing,
-/// the owning worker's durable WAL append + category re-solve, and the
-/// coordinator's exact-count bookkeeping), reported per worker, and
-/// scatter-gather query latency (point queries against the assembled
-/// snapshot, table queries scattered to the owning worker). Rows merge
-/// into `BENCH_pipeline.json` where `bench-compare` tracks them.
+/// `Coordinator` — and measure the costs the process split adds on top
+/// of the flat daemon: the per-event ingest ack (category routing, the
+/// owning worker's durable WAL append, and the coordinator's
+/// exact-count bookkeeping), reported per worker; the pipelined batch
+/// path (consecutive same-worker runs in flight concurrently, one
+/// group fsync per burst); and scatter-gather query latency (point
+/// queries against the assembled snapshot, table queries scattered to
+/// the owning worker). Rows merge into `BENCH_pipeline.json` where
+/// `bench-compare` tracks them.
 fn cluster_bench(
     wb: &Workbench,
     scale: Scale,
@@ -1188,18 +1190,25 @@ fn cluster_bench(
     const WORKERS: usize = 3;
     /// Untimed warm-up prefix: enough history that the per-category
     /// models and the coordinator snapshot carry realistic state without
-    /// paying a per-event solve for the whole 90% bootstrap.
+    /// paying a per-event ack for the whole 90% bootstrap.
     const BOOT_CAP: usize = 6_000;
-    /// Timed ingest tail (each ack includes the worker's fsync'd append
-    /// and category re-solve).
+    /// Timed one-event-per-call tail (each ack includes the worker's
+    /// fsync'd append; solves are deferred to the query refresh).
     const INGEST_CAP: usize = 1_000;
+    /// Timed pipelined tail: 256-event batches through `ingest_batch`,
+    /// same-worker runs coalesced into single frames.
+    const PIPE_CAP: usize = 2_000;
     const POINT_QUERIES: usize = 2_000;
     const SCATTER_QUERIES: usize = 400;
 
     let store = &wb.out.store;
     let log = wot_synth::shuffled_event_log(store, seed);
-    let boot = log.len().saturating_sub(INGEST_CAP).min(BOOT_CAP);
+    let boot = log
+        .len()
+        .saturating_sub(INGEST_CAP + PIPE_CAP)
+        .min(BOOT_CAP);
     let ingested = (log.len() - boot).min(INGEST_CAP);
+    let piped = (log.len() - boot - ingested).min(PIPE_CAP);
 
     // Category of each event, for per-worker attribution (ratings
     // resolve through the review they rate; reviews precede ratings in
@@ -1225,12 +1234,12 @@ fn cluster_bench(
         store.num_categories(),
     ))?;
 
-    for e in &log[..boot] {
-        coord.ingest(*e)?;
+    for chunk in log[..boot].chunks(512) {
+        coord.ingest_batch(chunk)?;
     }
 
-    // Timed tail: one durable, solved ack per event, attributed to the
-    // worker that owned the event's category at that sequence point.
+    // Timed tail: one durable ack per event, attributed to the worker
+    // that owned the event's category at that sequence point.
     let mut per_worker_secs = [0.0f64; WORKERS];
     let mut per_worker_events = [0usize; WORKERS];
     let t_all = std::time::Instant::now();
@@ -1251,6 +1260,18 @@ fn cluster_bench(
         .map(|w| per_worker_events[w] as f64 / per_worker_secs[w].max(1e-9))
         .collect();
     let worker_events_per_sec = worker_rates.iter().sum::<f64>() / worker_rates.len().max(1) as f64;
+
+    // Pipelined tail: 256-event batches. Consecutive same-worker runs
+    // coalesce into single frames, routed runs to different workers are
+    // concurrently in flight, and each worker pays one group fsync per
+    // burst — the wall clock amortises both the round trips and the
+    // syncs that the one-event-per-call phase pays per event.
+    let t_pipe = std::time::Instant::now();
+    for chunk in log[boot + ingested..boot + ingested + piped].chunks(256) {
+        coord.ingest_batch(chunk)?;
+    }
+    let pipe_secs = t_pipe.elapsed().as_secs_f64();
+    let pipelined_events_per_sec = piped as f64 / pipe_secs.max(1e-9);
 
     // Scatter-gather reads: both shapes round-trip to the owning worker
     // over its pipe — a point lookup (one rater's reputation, a few
@@ -1293,6 +1314,10 @@ fn cluster_bench(
             "cluster_worker_ingest_events_per_sec",
             worker_events_per_sec,
         ),
+        (
+            "cluster_pipelined_ingest_events_per_sec",
+            pipelined_events_per_sec,
+        ),
     ];
     let scale_name = match scale {
         Scale::Tiny => "tiny",
@@ -1303,7 +1328,7 @@ fn cluster_bench(
 
     let mut out = format!(
         "cluster-bench — {WORKERS} wot-shardd workers behind the coordinator \
-         ({users} users, {boot} bootstrap + {ingested} timed events, \
+         ({users} users, {boot} bootstrap + {ingested} timed + {piped} pipelined events, \
          {POINT_QUERIES} point / {SCATTER_QUERIES} table queries)\n",
     );
     for (name, v) in &rows {

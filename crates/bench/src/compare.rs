@@ -58,6 +58,11 @@
 /// * `cluster_ingest_events_per_sec` /
 ///   `cluster_worker_ingest_events_per_sec` — the cluster's routed
 ///   durable ingest rate, aggregate and per worker (rates: the gate
+///   inverts);
+/// * `cluster_pipelined_ingest_events_per_sec` — the cluster's batched
+///   ingest rate through `ingest_batch`: same-worker runs coalesce into
+///   single frames, routed runs to different workers are concurrently
+///   in flight, and each worker fsyncs once per burst (rate: the gate
 ///   inverts).
 pub const TRACKED_METRICS: &[&str] = &[
     "derive_index_dense_mt",
@@ -80,6 +85,7 @@ pub const TRACKED_METRICS: &[&str] = &[
     "cluster_scatter_tables_p99",
     "cluster_ingest_events_per_sec",
     "cluster_worker_ingest_events_per_sec",
+    "cluster_pipelined_ingest_events_per_sec",
 ];
 
 /// Whether a tracked metric is a rate (named `*_per_sec`) rather than a

@@ -15,10 +15,11 @@
 //! cluster drills in `crates/shardd/tests/` — share one definition of
 //! correctness instead of drifting copies.
 
+use wot_community::StoreEvent;
 use wot_core::{trust, BlockConfig, Derived};
 use wot_eval::streaming;
 
-use crate::TrustQuery;
+use crate::{TrustIngest, TrustQuery};
 
 /// Drives every [`TrustQuery`] method across a deterministic sample of
 /// the oracle's users and categories and asserts bitwise equality,
@@ -95,6 +96,47 @@ pub fn assert_backend_matches<B: TrustQuery>(backend: &mut B, oracle: &Derived, 
         oracle.per_category.len(),
         "stats.num_categories"
     );
+}
+
+/// Drives a [`TrustIngest`] + [`TrustQuery`] backend through the event
+/// log in deterministically varied batch sizes — so routed runs to
+/// different owners are pipelined and interleaved however the backend
+/// pleases — and holds every acked boundary to the oracle produced by
+/// `oracle_at(seq)`. The `base` offset is the backend's seq before the
+/// first batch (events before it must already be ingested).
+///
+/// Batch sizes cycle through a pattern seeded by `seed` (1 up to 97
+/// events per batch), so different seeds exercise different
+/// worker-interleaving shapes without any randomness at run time.
+pub fn assert_pipelined_ingest_matches<B, F>(
+    backend: &mut B,
+    events: &[StoreEvent],
+    base: u64,
+    seed: u64,
+    mut oracle_at: F,
+) where
+    B: TrustIngest + TrustQuery,
+    F: FnMut(u64) -> Derived,
+{
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+    let mut at = 0usize;
+    while at < events.len() {
+        // xorshift64* — deterministic, dependency-free batch sizing.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let size = 1 + (state.wrapping_mul(0x2545f4914f6cdd1d) % 97) as usize;
+        let end = (at + size).min(events.len());
+        let acked = backend.ingest_batch(&events[at..end]).unwrap();
+        assert_eq!(
+            acked,
+            base + end as u64,
+            "batch [{at}..{end}) acked the wrong horizon"
+        );
+        let oracle = oracle_at(acked);
+        assert_backend_matches(backend, &oracle, acked);
+        at = end;
+    }
 }
 
 #[cfg(test)]

@@ -21,26 +21,56 @@
 //! Transparency is enforced, not assumed: the cluster conformance
 //! drills in `crates/shardd/tests` hold every answer to the offline
 //! batch oracle with `==` on `f64` bits — including after a `kill -9`
-//! of a worker restarted from its log, and across a live category
-//! rebalance.
+//! of a worker restarted from its log, across a live category
+//! rebalance, and under pipelined multi-worker ingest rounds.
+//!
+//! # Pipelined worker I/O
+//!
+//! Each worker gets a dedicated **writer queue** (a thread draining
+//! encoded frames onto the worker's stdin) and a dedicated **reader
+//! thread** (decoding reply frames off its stdout into one shared
+//! channel), so the coordinator never blocks on a pipe and frames
+//! routed to *different* workers are in flight concurrently. Replies
+//! correlate positionally — each worker answers in request order — and
+//! an ingest batch is closed by a single [`ShardReply::Ingested`] ack
+//! naming its durability horizon. All waits honour
+//! [`CoordinatorOptions::worker_timeout`]: a worker that misses the
+//! deadline is declared unresponsive with a typed error
+//! ([`ServeError::WorkerUnresponsive`]), quarantined, and brought back
+//! through [`Coordinator::restart_worker`] — never hung on.
+//!
+//! Acks no longer carry solved tables: a worker acknowledges
+//! durability-plus-apply only, and the coordinator fetches re-solved
+//! tables lazily ([`ShardRequest::States`] over the dirtied categories)
+//! when a query forces a snapshot refresh. That keeps the ingest path
+//! free of per-event solves — the other half of the throughput win.
 //!
 //! # Durability and the consistent cut
 //!
-//! An ingest is acknowledged only after the owning worker reports the
-//! event durable in its tagged log (workers fsync per append by
-//! default). If a worker dies mid-request, the event's fate is unknown:
-//! the coordinator parks it as *in flight* and reconciles at restart —
-//! the worker's [`HelloAck::max_tag`](crate::shard_proto::HelloAck::max_tag)
-//! says whether the tag survived. A
-//! surviving tag is adopted into the global history (it is durable and
-//! will replay forever after); a lost one is dropped (it was never
-//! acknowledged). Either way the acked prefix stays exactly replayable
-//! from the union of worker logs — the same consistent-cut contract the
-//! single-process recovery path proves.
+//! An ingest round is acknowledged only after every owning worker
+//! reports the routed events durable in its tagged log. The coordinator
+//! applies the round's global metadata *speculatively* while the frames
+//! are in flight; if any worker fails mid-round, the whole round rolls
+//! back to its base sequence — the speculative state is undone, the
+//! healthy workers discard their round events through
+//! [`ShardRequest::Truncate`] (queued behind their in-flight ingests,
+//! so per-worker FIFO ordering makes the rollback total), and the
+//! failed worker's routed events are parked as *in flight*. Restart
+//! reconciles them against the quiescent log: durable tags that extend
+//! the acked prefix contiguously are adopted into history, everything
+//! else is physically truncated by the handshake's `cut` so no dead tag
+//! can ever be re-issued to a different event. Per-worker ordering is
+//! enough for a global consistent cut because nothing in a failed round
+//! was globally acked — the acked prefix is, by construction, exactly
+//! the union of the worker logs below the cut.
 
-use std::path::PathBuf;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use wot_community::{CategoryId, ReviewId, ShardAssignment, ShardId, StoreEvent, UserId};
 use wot_core::affiliation::{affiliation_matrix, ActivityCounts};
@@ -52,13 +82,18 @@ use crate::client::ReputationTable;
 use crate::protocol::{
     read_frame, write_frame, AggregateSummary, ErrorCode, FrameRead, ServeStats, WireError,
 };
-use crate::query::TrustQuery;
+use crate::query::{TrustIngest, TrustQuery};
 use crate::shard_proto::{
     decode_shard_reply, encode_shard_request, CategoryStateWire, ShardReply, ShardRequest,
     MAX_SHARD_FRAME_LEN, NO_TAG,
 };
 use crate::snapshot::ServeSnapshot;
 use crate::{Result, ServeError};
+
+/// Largest consecutive same-worker run shipped as one
+/// [`ShardRequest::Ingest`] frame — the batch ack horizon, mirroring the
+/// flat daemon's 256-deep shared publish cycle.
+const MAX_BATCH_RUN: usize = 256;
 
 /// How a [`Coordinator`] boots its cluster.
 #[derive(Debug, Clone)]
@@ -74,12 +109,18 @@ pub struct CoordinatorOptions {
     pub num_users: usize,
     /// Community category count (fixes every model's shape).
     pub num_categories: usize,
+    /// Deadline for any single worker reply. A worker that misses it is
+    /// declared unresponsive ([`ServeError::WorkerUnresponsive`]) and
+    /// quarantined until [`Coordinator::restart_worker`] — the
+    /// coordinator never hangs on a wedged pipe.
+    pub worker_timeout: Duration,
 }
 
 impl CoordinatorOptions {
     /// Conventional options: `workers` processes over the binary built
     /// next to the current executable (override with the
-    /// `WOT_SHARDD_BIN` environment variable).
+    /// `WOT_SHARDD_BIN` environment variable), with a generous
+    /// 60-second worker deadline.
     pub fn new(
         wal_dir: impl Into<PathBuf>,
         num_workers: usize,
@@ -92,6 +133,7 @@ impl CoordinatorOptions {
             num_workers,
             num_users,
             num_categories,
+            worker_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -112,16 +154,54 @@ pub fn default_worker_bin() -> PathBuf {
     dir.join("wot-shardd")
 }
 
-/// One live worker process and its framed pipes.
-struct WorkerLink {
-    child: Child,
-    stdin: ChildStdin,
-    stdout: ChildStdout,
-    wal_path: PathBuf,
+/// What a worker's reader thread saw on its reply stream.
+#[derive(Debug)]
+enum WorkerPayload {
+    /// One complete reply frame body.
+    Frame(Vec<u8>),
+    /// The worker closed its pipe (exit or crash).
+    Closed,
+    /// The reply stream broke (I/O error, oversized frame).
+    Failed(String),
 }
 
-impl WorkerLink {
-    fn spawn(bin: &PathBuf, wal_path: &PathBuf) -> Result<WorkerLink> {
+/// One reader-thread observation, routed through the shared channel.
+struct WorkerMsg {
+    worker: usize,
+    /// Spawn generation — late messages from a pre-restart reader carry
+    /// a stale generation and are discarded.
+    gen: u64,
+    payload: WorkerPayload,
+}
+
+/// One live worker process with its dedicated writer queue and reader
+/// thread.
+struct WorkerHandle {
+    child: Child,
+    wal_path: PathBuf,
+    gen: u64,
+    /// Set on any transport failure or missed deadline: the session with
+    /// this process is unrecoverable and every further use is refused
+    /// until [`Coordinator::restart_worker`] replaces it.
+    poisoned: bool,
+    /// The writer queue: encoded frames a dedicated thread drains onto
+    /// the worker's stdin, so the coordinator never blocks on a pipe.
+    tx: Option<Sender<Vec<u8>>>,
+    /// Replies that arrived while the coordinator was waiting on a
+    /// different worker (per-worker FIFO order preserved).
+    inbox: VecDeque<WorkerPayload>,
+    writer: Option<JoinHandle<()>>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    fn spawn(
+        bin: &Path,
+        wal_path: &Path,
+        worker: usize,
+        gen: u64,
+        events: Sender<WorkerMsg>,
+    ) -> Result<WorkerHandle> {
         let mut child = Command::new(bin)
             .arg("--wal")
             .arg(wal_path)
@@ -129,36 +209,86 @@ impl WorkerLink {
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
             .spawn()
-            .map_err(|e| ServeError::Protocol(format!("spawning worker {}: {e}", bin.display())))?;
-        let stdin = child.stdin.take().expect("piped stdin");
-        let stdout = child.stdout.take().expect("piped stdout");
-        Ok(WorkerLink {
-            child,
-            stdin,
-            stdout,
-            wal_path: wal_path.clone(),
-        })
-    }
-
-    /// One strict request/reply round trip.
-    fn call(&mut self, req: &ShardRequest) -> Result<ShardReply> {
-        let mut buf = Vec::new();
-        encode_shard_request(&mut buf, req);
-        write_frame(&mut self.stdin, &buf)?;
-        match read_frame(&mut self.stdout, MAX_SHARD_FRAME_LEN)? {
-            FrameRead::Frame(body) => {
-                match decode_shard_reply(&body).map_err(ServeError::Protocol)? {
-                    Ok(reply) => Ok(reply),
-                    Err(e) => Err(ServeError::Remote(e)),
+            .map_err(|e| {
+                ServeError::WorkerSpawn(format!(
+                    "spawning worker {worker} from {}: {e}",
+                    bin.display()
+                ))
+            })?;
+        let Some(mut stdin) = child.stdin.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(ServeError::WorkerSpawn(format!(
+                "worker {worker} came up without a piped stdin"
+            )));
+        };
+        let Some(mut stdout) = child.stdout.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(ServeError::WorkerSpawn(format!(
+                "worker {worker} came up without a piped stdout"
+            )));
+        };
+        let (tx, rx) = mpsc::channel::<Vec<u8>>();
+        let writer = std::thread::spawn(move || {
+            // A dead pipe surfaces as a write error here and as EOF on
+            // the reader — the reader's report is the one the
+            // coordinator acts on.
+            while let Ok(frame) = rx.recv() {
+                if write_frame(&mut stdin, &frame).is_err() {
+                    break;
                 }
             }
-            FrameRead::Closed => Err(ServeError::Protocol(
-                "worker closed its pipe mid-session".into(),
-            )),
-            FrameRead::Idle => Err(ServeError::Protocol("worker pipe went idle".into())),
-            FrameRead::TooLarge { len } => Err(ServeError::Protocol(format!(
-                "worker reply of {len} bytes exceeds the frame cap"
-            ))),
+            // Dropping stdin closes the worker's request stream.
+        });
+        let reader = std::thread::spawn(move || loop {
+            let payload = match read_frame(&mut stdout, MAX_SHARD_FRAME_LEN) {
+                Ok(FrameRead::Frame(body)) => WorkerPayload::Frame(body),
+                Ok(FrameRead::Idle) => continue,
+                Ok(FrameRead::Closed) => WorkerPayload::Closed,
+                Ok(FrameRead::TooLarge { len }) => {
+                    WorkerPayload::Failed(format!("reply of {len} bytes exceeds the frame cap"))
+                }
+                Err(e) => WorkerPayload::Failed(format!("reply stream error: {e}")),
+            };
+            let terminal = !matches!(payload, WorkerPayload::Frame(_));
+            let gone = events
+                .send(WorkerMsg {
+                    worker,
+                    gen,
+                    payload,
+                })
+                .is_err();
+            if terminal || gone {
+                return;
+            }
+        });
+        Ok(WorkerHandle {
+            child,
+            wal_path: wal_path.to_path_buf(),
+            gen,
+            poisoned: false,
+            tx: Some(tx),
+            inbox: VecDeque::new(),
+            writer: Some(writer),
+            reader: Some(reader),
+        })
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        // Reap unconditionally so no zombie survives any teardown path;
+        // kill/wait after a graceful exit are harmless no-ops.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        // Closing the queue stops the writer; the kill EOFs the reader.
+        drop(self.tx.take());
+        if let Some(t) = self.writer.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.reader.take() {
+            let _ = t.join();
         }
     }
 }
@@ -168,10 +298,20 @@ impl WorkerLink {
 /// Single-threaded by design: one coordinator call is one global
 /// sequence point, so "cut ingest over at a sequence boundary" — the
 /// rebalancing contract — holds by construction between any two calls.
+/// Pipelining lives *inside* [`ingest_batch`](Self::ingest_batch):
+/// every reply a call solicits is collected before the call returns, so
+/// no reply is outstanding at any public API boundary.
 pub struct Coordinator {
     opts: CoordinatorOptions,
-    workers: Vec<WorkerLink>,
+    workers: Vec<WorkerHandle>,
+    /// The shared reply channel all reader threads feed. The coordinator
+    /// keeps its own sender clone so the channel never disconnects.
+    events_rx: Receiver<WorkerMsg>,
+    events_tx: Sender<WorkerMsg>,
     assignment: ShardAssignment,
+    /// Validated wire-width copies of the community shape.
+    num_users_wire: u32,
+    num_categories_wire: u32,
     /// Per global review id: its category (routing key for ratings).
     review_cat: Vec<u32>,
     /// Per global review id: its writer (self-rating admission).
@@ -183,15 +323,21 @@ pub struct Coordinator {
     rating_counts: Dense,
     /// Exact `a^w` counts (Eq. 4 input).
     review_counts: Dense,
-    /// Latest solved tables per category, as reported by the owners.
+    /// Latest solved tables per category, as fetched from the owners.
     per_cat: Vec<Arc<CategoryReputation>>,
+    /// Categories dirtied since their tables were last fetched — the
+    /// lazy [`ShardRequest::States`] fetch set.
+    stale_cats: BTreeSet<u32>,
     /// Acked global events — the seq every answer is stamped with.
     seq: u64,
     publishes: u64,
     dirty: bool,
     snapshot: ServeSnapshot,
-    /// A sent-but-unacknowledged event, reconciled at worker restart.
-    inflight: Option<(u64, StoreEvent)>,
+    /// Events of an aborted round routed to the failed worker
+    /// ([`inflight_worker`](field@Coordinator::inflight_worker)),
+    /// ascending tags; reconciled at that worker's restart.
+    inflight: Vec<(u64, StoreEvent)>,
+    inflight_worker: Option<usize>,
 }
 
 fn empty_rep(c: usize) -> Arc<CategoryReputation> {
@@ -235,12 +381,31 @@ impl Coordinator {
     /// [`restart_worker`](Self::restart_worker)).
     pub fn start(opts: CoordinatorOptions) -> Result<Coordinator> {
         let num_workers = opts.num_workers.max(1);
+        let num_users_wire = u32::try_from(opts.num_users).map_err(|_| {
+            ServeError::Config(format!(
+                "num_users {} exceeds the wire's u32 range",
+                opts.num_users
+            ))
+        })?;
+        let num_categories_wire = u32::try_from(opts.num_categories).map_err(|_| {
+            ServeError::Config(format!(
+                "num_categories {} exceeds the wire's u32 range",
+                opts.num_categories
+            ))
+        })?;
         std::fs::create_dir_all(&opts.wal_dir)?;
         let assignment = ShardAssignment::round_robin(opts.num_categories, num_workers);
+        let (events_tx, events_rx) = mpsc::channel();
         let mut workers = Vec::with_capacity(num_workers);
         for w in 0..num_workers {
             let wal_path = opts.wal_dir.join(format!("worker-{w:02}.wal"));
-            workers.push(WorkerLink::spawn(&opts.worker_bin, &wal_path)?);
+            workers.push(WorkerHandle::spawn(
+                &opts.worker_bin,
+                &wal_path,
+                w,
+                0,
+                events_tx.clone(),
+            )?);
         }
         let per_cat = (0..opts.num_categories).map(empty_rep).collect();
         let snapshot = ServeSnapshot::new(
@@ -256,26 +421,126 @@ impl Coordinator {
             review_counts: Dense::zeros(opts.num_users, opts.num_categories),
             opts,
             workers,
+            events_rx,
+            events_tx,
             assignment,
+            num_users_wire,
+            num_categories_wire,
             review_cat: Vec::new(),
             review_writer: Vec::new(),
             raters_of_review: Vec::new(),
             per_cat,
+            stale_cats: BTreeSet::new(),
             seq: 0,
             publishes: 0,
             dirty: false,
             snapshot,
-            inflight: None,
+            inflight: Vec::new(),
+            inflight_worker: None,
         };
         for w in 0..num_workers {
-            coord.hello_worker(w)?;
+            coord.hello_worker(w, NO_TAG)?;
         }
         Ok(coord)
     }
 
+    fn timeout_ms(&self) -> u64 {
+        self.opts.worker_timeout.as_millis() as u64
+    }
+
+    /// Quarantines worker `w` and builds the matching typed error.
+    fn gone(&mut self, w: usize, detail: impl Into<String>) -> ServeError {
+        self.workers[w].poisoned = true;
+        ServeError::WorkerGone {
+            worker: w,
+            detail: detail.into(),
+        }
+    }
+
+    /// Enqueues one request frame on worker `w`'s writer queue. Returns
+    /// immediately — the frame is in flight, not yet answered.
+    fn send(&mut self, w: usize, req: &ShardRequest) -> Result<()> {
+        if self.workers[w].poisoned {
+            return Err(ServeError::WorkerGone {
+                worker: w,
+                detail: "quarantined after an earlier failure; restart_worker first".into(),
+            });
+        }
+        let mut buf = Vec::new();
+        encode_shard_request(&mut buf, req);
+        let ok = self.workers[w]
+            .tx
+            .as_ref()
+            .is_some_and(|tx| tx.send(buf).is_ok());
+        if ok {
+            Ok(())
+        } else {
+            Err(self.gone(w, "writer queue closed"))
+        }
+    }
+
+    /// Pops the next transport payload from worker `w`, honouring the
+    /// I/O deadline. Replies from other workers arriving meanwhile are
+    /// parked in their inboxes; messages from a pre-restart reader
+    /// generation are discarded. A missed deadline quarantines `w`.
+    fn wait_payload(&mut self, w: usize) -> Result<WorkerPayload> {
+        if let Some(p) = self.workers[w].inbox.pop_front() {
+            return Ok(p);
+        }
+        let deadline = Instant::now() + self.opts.worker_timeout;
+        while let Some(left) = deadline.checked_duration_since(Instant::now()) {
+            match self.events_rx.recv_timeout(left) {
+                Ok(msg) => {
+                    if msg.gen != self.workers[msg.worker].gen {
+                        continue;
+                    }
+                    if msg.worker == w {
+                        return Ok(msg.payload);
+                    }
+                    self.workers[msg.worker].inbox.push_back(msg.payload);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                // Unreachable: the coordinator holds its own sender
+                // clone, so the channel cannot disconnect.
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.workers[w].poisoned = true;
+        Err(ServeError::WorkerUnresponsive {
+            worker: w,
+            timeout_ms: self.timeout_ms(),
+        })
+    }
+
+    /// One reply from worker `w`: a decoded [`ShardReply`], a typed
+    /// remote error ([`ServeError::Remote`] — the session stays
+    /// healthy), or a transport failure (the worker is quarantined).
+    fn recv_reply(&mut self, w: usize) -> Result<ShardReply> {
+        match self.wait_payload(w)? {
+            WorkerPayload::Frame(body) => match decode_shard_reply(&body) {
+                Ok(Ok(reply)) => Ok(reply),
+                Ok(Err(e)) => Err(ServeError::Remote(e)),
+                Err(msg) => Err(self.gone(w, format!("undecodable reply: {msg}"))),
+            },
+            WorkerPayload::Closed => Err(self.gone(w, "closed its pipe mid-session")),
+            WorkerPayload::Failed(detail) => Err(self.gone(w, detail)),
+        }
+    }
+
+    /// Synchronous request/reply against one worker (handshakes,
+    /// scatter queries, rebalance legs — everything except the
+    /// pipelined ingest rounds).
+    fn call(&mut self, w: usize, req: &ShardRequest) -> Result<ShardReply> {
+        self.send(w, req)?;
+        self.recv_reply(w)
+    }
+
     /// Sends the handshake to worker `w` and folds its recovered state
-    /// in (no-op counts on a fresh log).
-    fn hello_worker(&mut self, w: usize) -> Result<()> {
+    /// in (no-op counts on a fresh log). `cut` = [`NO_TAG`] keeps every
+    /// durable entry (cold boot); a real cut physically truncates
+    /// orphan tags ≥ cut before replay (the restart path, after
+    /// in-flight reconciliation fixed the acked prefix).
+    fn hello_worker(&mut self, w: usize, cut: u64) -> Result<()> {
         let owned: Vec<u32> = self
             .assignment
             .categories_of(ShardId::from_index(w))
@@ -283,23 +548,22 @@ impl Coordinator {
             .map(|c| c.0)
             .collect();
         let req = ShardRequest::Hello {
-            num_users: self.opts.num_users as u32,
-            num_categories: self.opts.num_categories as u32,
+            num_users: self.num_users_wire,
+            num_categories: self.num_categories_wire,
+            cut,
             owned,
         };
-        match self.workers[w].call(&req)? {
+        match self.call(w, &req)? {
             ShardReply::Hello(ack) => {
                 if ack.max_tag != NO_TAG && ack.max_tag >= self.seq {
-                    // Only the one parked in-flight event may sit past
-                    // the acked prefix; anything else means the logs and
-                    // the coordinator disagree about history.
-                    let expected = self.inflight.as_ref().map(|&(t, _)| t);
-                    if expected != Some(ack.max_tag) {
-                        return Err(ServeError::Protocol(format!(
-                            "worker {w} log reaches tag {} but only {} events are acked",
-                            ack.max_tag, self.seq
-                        )));
-                    }
+                    // Reconciliation (adopt-or-truncate) runs before the
+                    // handshake, so a surviving tag past the acked
+                    // prefix means the logs and the coordinator disagree
+                    // about history.
+                    return Err(ServeError::Protocol(format!(
+                        "worker {w} log reaches tag {} but only {} events are acked",
+                        ack.max_tag, self.seq
+                    )));
                 }
                 Ok(())
             }
@@ -383,7 +647,7 @@ impl Coordinator {
         Ok(())
     }
 
-    /// Folds an admitted-and-durable event into the global metadata.
+    /// Folds an admitted event into the global metadata.
     fn apply_admitted(&mut self, event: &StoreEvent, cat: u32) {
         match *event {
             StoreEvent::Review { writer, .. } => {
@@ -405,51 +669,256 @@ impl Coordinator {
         }
         self.seq += 1;
         self.dirty = true;
+        self.stale_cats.insert(cat);
     }
 
-    /// Routes one event to its category's owner, waits for durability
-    /// plus the re-solved tables, and acks with the new global seq.
-    ///
-    /// Rejections (the same typed errors the flat daemon produces) leave
-    /// every worker and the global history untouched. A transport
-    /// failure parks the event for restart-time reconciliation.
+    /// Reverses the most recent [`apply_admitted`](Self::apply_admitted)
+    /// of `event` — exact, because the activity counts are integers
+    /// stored in `f64` (+1.0 then −1.0 restores the bit pattern).
+    /// Rollback must run newest-first across the aborted round.
+    fn undo_admitted(&mut self, event: &StoreEvent) {
+        match *event {
+            StoreEvent::Review { writer, .. } => {
+                let cat = self.review_cat.pop().expect("review to undo");
+                self.review_writer.pop();
+                self.raters_of_review.pop();
+                let (i, j) = (writer.index(), cat as usize);
+                self.review_counts
+                    .set(i, j, self.review_counts.get(i, j) - 1.0);
+            }
+            StoreEvent::Rating { rater, review, .. } => {
+                let cat = self.review_cat[review.index()];
+                let raters = &mut self.raters_of_review[review.index()];
+                let at = raters.partition_point(|&r| r < rater.0);
+                debug_assert_eq!(raters.get(at), Some(&rater.0));
+                raters.remove(at);
+                let (i, j) = (rater.index(), cat as usize);
+                self.rating_counts
+                    .set(i, j, self.rating_counts.get(i, j) - 1.0);
+            }
+        }
+        self.seq -= 1;
+    }
+
+    /// Routes one event to its category's owner and waits for
+    /// durability. Equivalent to a one-event
+    /// [`ingest_batch`](Self::ingest_batch).
     pub fn ingest(&mut self, event: StoreEvent) -> Result<u64> {
-        self.check_event(&event)?;
-        let cat = self.category_of(&event)?;
-        let w = self
-            .assignment
-            .shard_of(CategoryId(cat))
-            .map_err(|e| ServeError::Protocol(e.to_string()))?
-            .index();
-        let tag = self.seq;
-        self.inflight = Some((tag, event));
-        match self.workers[w].call(&ShardRequest::IngestTagged { tag, event }) {
-            Ok(ShardReply::State(state)) => {
-                self.inflight = None;
-                self.per_cat[cat as usize] = Arc::new(rep_from_wire(&state));
-                self.apply_admitted(&event, cat);
-                Ok(self.seq)
+        self.ingest_batch(std::slice::from_ref(&event))
+    }
+
+    /// Routes a slice of events through the pipelined worker I/O:
+    /// consecutive same-worker events coalesce into one
+    /// [`ShardRequest::Ingest`] frame (up to `MAX_BATCH_RUN` deep),
+    /// all frames are enqueued before any ack is awaited, and the call
+    /// returns once every owning worker has reported its run durable.
+    ///
+    /// On success, returns the new acked global sequence. A rejection
+    /// (the same typed errors the flat daemon produces) stops admission
+    /// at the offending event; the admitted prefix is still flushed,
+    /// acked, and kept — the caller reads the reached horizon from
+    /// [`seq`](Self::seq). A worker failure mid-round rolls the whole
+    /// round back to its base sequence (nothing from this call is
+    /// acked) and parks the failed worker's events for restart-time
+    /// reconciliation.
+    pub fn ingest_batch(&mut self, events: &[StoreEvent]) -> Result<u64> {
+        let base = self.seq;
+        // Admission + routing, applied speculatively, grouped into
+        // consecutive same-worker runs.
+        let mut runs: Vec<(usize, Vec<(u64, StoreEvent)>)> = Vec::new();
+        let mut rejection: Option<ServeError> = None;
+        for &event in events {
+            let cat = match self
+                .check_event(&event)
+                .and_then(|()| self.category_of(&event))
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    rejection = Some(e);
+                    break;
+                }
+            };
+            let w = match self.owner_of(cat) {
+                Ok(w) => w,
+                Err(e) => {
+                    rejection = Some(e);
+                    break;
+                }
+            };
+            if self.workers[w].poisoned {
+                rejection = Some(ServeError::WorkerGone {
+                    worker: w,
+                    detail: "quarantined after an earlier failure; restart_worker first".into(),
+                });
+                break;
             }
-            Ok(other) => Err(ServeError::Protocol(format!(
-                "unexpected reply to ingest: {other:?}"
-            ))),
-            Err(ServeError::Remote(e)) => {
-                // A typed rejection happens before the WAL append —
-                // nothing durable, nothing in flight.
-                self.inflight = None;
-                Err(ServeError::Remote(e))
+            let tag = self.seq;
+            match runs.last_mut() {
+                Some((run_w, run)) if *run_w == w && run.len() < MAX_BATCH_RUN => {
+                    run.push((tag, event));
+                }
+                _ => runs.push((w, vec![(tag, event)])),
             }
-            Err(e) => Err(e),
+            self.apply_admitted(&event, cat);
+        }
+        // Pipelined flush: every run enqueued before any ack is read,
+        // so frames to different workers are concurrently in flight.
+        let mut sent = 0usize;
+        let mut failed: Option<(usize, ServeError)> = None;
+        for (w, run) in &runs {
+            match self.send(
+                *w,
+                &ShardRequest::Ingest {
+                    events: run.clone(),
+                },
+            ) {
+                Ok(()) => sent += 1,
+                Err(e) => {
+                    failed = Some((*w, e));
+                    break;
+                }
+            }
+        }
+        // Ack collection: FIFO per worker, round order overall. One
+        // `Ingested` closes one run; its horizon must be the run's last
+        // tag.
+        if failed.is_none() {
+            for (w, run) in &runs[..sent] {
+                let horizon = run.last().map(|&(t, _)| t).unwrap_or(0);
+                match self.recv_reply(*w) {
+                    Ok(ShardReply::Ingested { max_tag }) if max_tag == horizon => {}
+                    Ok(other) => {
+                        let e = self.gone(*w, format!("unexpected reply to Ingest: {other:?}"));
+                        failed = Some((*w, e));
+                        break;
+                    }
+                    Err(e) => {
+                        // A typed rejection here means the worker
+                        // refused an event the coordinator admitted: a
+                        // prefix of its run may already be durable, so
+                        // treat the worker as failed and reconcile at
+                        // restart like any other mid-round loss.
+                        if matches!(e, ServeError::Remote(_)) {
+                            self.workers[*w].poisoned = true;
+                        }
+                        failed = Some((*w, e));
+                        break;
+                    }
+                }
+            }
+        }
+        match failed {
+            None => match rejection {
+                None => Ok(self.seq),
+                Some(e) => Err(e),
+            },
+            Some((w, e)) => {
+                self.abort_round(base, &runs, w);
+                Err(e)
+            }
         }
     }
 
+    /// Rolls an aborted pipeline round back to its base sequence: the
+    /// speculative global metadata is undone newest-first, every healthy
+    /// worker the round touched discards its round entries through a
+    /// [`ShardRequest::Truncate`] queued *behind* its in-flight ingests
+    /// (per-worker FIFO makes the rollback total), and the failed
+    /// worker's routed events are parked for restart-time
+    /// reconciliation. Nothing from the round was globally acked, so
+    /// all-or-nothing rollback preserves the consistent cut.
+    fn abort_round(&mut self, base: u64, runs: &[(usize, Vec<(u64, StoreEvent)>)], failed: usize) {
+        let round: Vec<StoreEvent> = runs
+            .iter()
+            .flat_map(|(_, r)| r.iter().map(|&(_, e)| e))
+            .collect();
+        for event in round.iter().rev() {
+            self.undo_admitted(event);
+        }
+        debug_assert_eq!(self.seq, base);
+        let touched: BTreeSet<usize> = runs
+            .iter()
+            .map(|&(w, _)| w)
+            .filter(|&w| w != failed)
+            .collect();
+        for &w in &touched {
+            if self.workers[w].poisoned {
+                continue;
+            }
+            if self.send(w, &ShardRequest::Truncate { cut: base }).is_err() {
+                continue;
+            }
+            // Drain the pending ingest acks (or per-run error replies)
+            // ahead of the truncate ack, bounded by the round's own
+            // size — a worker that keeps talking past that is broken.
+            let mut budget = runs.len() + 1;
+            loop {
+                match self.recv_reply(w) {
+                    Ok(ShardReply::Truncated { .. }) => break,
+                    Ok(ShardReply::Ingested { .. }) | Err(ServeError::Remote(_)) => {
+                        budget -= 1;
+                        if budget == 0 {
+                            self.workers[w].poisoned = true;
+                            break;
+                        }
+                    }
+                    Ok(other) => {
+                        let _ = self.gone(w, format!("unexpected rollback reply: {other:?}"));
+                        break;
+                    }
+                    // Transport failure: recv_reply already quarantined.
+                    Err(_) => break,
+                }
+            }
+        }
+        self.inflight = runs
+            .iter()
+            .filter(|&&(w, _)| w == failed)
+            .flat_map(|(_, r)| r.iter().copied())
+            .collect();
+        self.inflight_worker = Some(failed);
+        self.workers[failed].poisoned = true;
+    }
+
     /// Re-assembles the served snapshot if events arrived since the last
-    /// one. Assembly mirrors the flat pipeline exactly: worker writer
+    /// one: first the dirtied categories' re-solved tables are fetched
+    /// from their owners (grouped per owner, pipelined across owners),
+    /// then assembly mirrors the flat pipeline exactly — worker writer
     /// tables through [`expertise_matrix_from_pairs`], coordinator
     /// integer counts through [`affiliation_matrix`].
-    fn refresh_snapshot(&mut self) {
+    fn refresh_snapshot(&mut self) -> Result<()> {
         if !self.dirty {
-            return;
+            return Ok(());
+        }
+        if !self.stale_cats.is_empty() {
+            let mut by_owner: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+            for &c in &self.stale_cats {
+                by_owner.entry(self.owner_of(c)?).or_default().push(c);
+            }
+            let groups: Vec<(usize, Vec<u32>)> = by_owner.into_iter().collect();
+            for (w, cats) in &groups {
+                self.send(
+                    *w,
+                    &ShardRequest::States {
+                        categories: cats.clone(),
+                    },
+                )?;
+            }
+            for (w, _) in &groups {
+                match self.recv_reply(*w)? {
+                    ShardReply::FullState(states) => {
+                        for s in &states {
+                            self.per_cat[s.category as usize] = Arc::new(rep_from_wire(s));
+                        }
+                    }
+                    other => {
+                        return Err(ServeError::Protocol(format!(
+                            "unexpected reply to States: {other:?}"
+                        )))
+                    }
+                }
+            }
+            self.stale_cats.clear();
         }
         let writer_pairs: Vec<&[(UserId, f64)]> = self
             .per_cat
@@ -471,6 +940,7 @@ impl Coordinator {
         );
         self.publishes += 1;
         self.dirty = false;
+        Ok(())
     }
 
     /// The acked global sequence number.
@@ -506,39 +976,74 @@ impl Coordinator {
         Ok(())
     }
 
-    /// Respawns worker `w` over its surviving WAL and reconciles: the
-    /// worker replays its log (filtered to the categories it currently
-    /// owns, deduplicated, in tag order), reports its highest durable
-    /// tag, and the coordinator resolves any in-flight event — adopted
-    /// if durable, dropped if lost — before refreshing the category
-    /// tables from the worker's recovered solves.
+    /// Fault injection for failure drills: worker `w` sleeps `millis`
+    /// before handling each subsequent request, so tests can exercise
+    /// the `worker_timeout` quarantine-and-restart path without
+    /// patching the worker binary. Not a production surface.
+    pub fn inject_stall(&mut self, w: usize, millis: u64) -> Result<()> {
+        match self.call(w, &ShardRequest::Stall { millis })? {
+            ShardReply::Ack => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to Stall: {other:?}"
+            ))),
+        }
+    }
+
+    /// Respawns worker `w` over its surviving WAL and reconciles: parked
+    /// in-flight events whose tags are durable *and* contiguous with the
+    /// acked prefix are adopted into history (in tag order, stopping at
+    /// the first gap); the handshake's `cut = seq` then physically
+    /// truncates every orphan tag from the log before the worker
+    /// replays it, so no dead tag can collide with a future event. The
+    /// category tables are refreshed from the recovered worker's
+    /// re-solves (bit-identical over the replayed log).
     pub fn restart_worker(&mut self, w: usize) -> Result<()> {
         let wal_path = self.workers[w].wal_path.clone();
-        // Reap the old process if the caller hasn't already.
+        let gen = self.workers[w].gen + 1;
+        // Reap the old process first (if the drill hasn't already) so
+        // the log file is quiescent for peeking.
         let _ = self.workers[w].child.kill();
         let _ = self.workers[w].child.wait();
-        self.workers[w] = WorkerLink::spawn(&self.opts.worker_bin, &wal_path)?;
-        // Resolve the parked event *before* the handshake sanity check:
-        // whether its tag survived decides what the acked prefix is.
-        if let Some((tag, event)) = self.inflight {
-            let cat = self.category_of(&event)?;
-            if self.owner_of(cat)? == w {
-                let max_tag = self.peek_max_tag(w)?;
-                self.inflight = None;
-                if max_tag == Some(tag) {
-                    // Durable right before the crash: the event is part
-                    // of history now — adopt it.
+        // Resolve the parked round *before* the handshake: whether its
+        // tags survived decides what the acked prefix is.
+        if self.inflight_worker == Some(w) {
+            let parked = std::mem::take(&mut self.inflight);
+            self.inflight_worker = None;
+            if !parked.is_empty() {
+                let durable = self.peek_tags(&wal_path)?;
+                for (tag, event) in parked {
+                    // Adoption must extend the acked prefix
+                    // contiguously; the first lost tag (or an event
+                    // whose routing context rolled back with the round)
+                    // orphans the rest.
+                    if tag != self.seq || !durable.contains(&tag) {
+                        break;
+                    }
+                    let Ok(cat) = self.category_of(&event) else {
+                        break;
+                    };
                     self.apply_admitted(&event, cat);
                 }
             }
         }
-        self.hello_worker(w)?;
+        // The new generation number makes any late message from the old
+        // reader thread discardable; replacing the handle reaps it.
+        let handle = WorkerHandle::spawn(
+            &self.opts.worker_bin,
+            &wal_path,
+            w,
+            gen,
+            self.events_tx.clone(),
+        )?;
+        self.workers[w] = handle;
+        self.hello_worker(w, self.seq)?;
         // Refresh every owned category's tables from the recovered
         // worker (bit-identical re-solves over the replayed log).
-        match self.workers[w].call(&ShardRequest::FullState)? {
+        match self.call(w, &ShardRequest::FullState)? {
             ShardReply::FullState(states) => {
                 for s in &states {
                     self.per_cat[s.category as usize] = Arc::new(rep_from_wire(s));
+                    self.stale_cats.remove(&s.category);
                 }
                 self.dirty = true;
                 Ok(())
@@ -549,12 +1054,12 @@ impl Coordinator {
         }
     }
 
-    /// Reads the worker's durable max tag by probing its log file
-    /// directly — the worker hasn't been handshaken yet, and the file is
-    /// quiescent (the process that wrote it is dead).
-    fn peek_max_tag(&self, w: usize) -> Result<Option<u64>> {
-        let recovered = wot_wal::read_tagged_log(&self.workers[w].wal_path)?;
-        Ok(recovered.events.iter().map(|&(t, _)| t).max())
+    /// Reads a dead worker's durable tag set by probing its log file
+    /// directly — the process that wrote it has been reaped, so the
+    /// file is quiescent.
+    fn peek_tags(&self, wal_path: &Path) -> Result<BTreeSet<u64>> {
+        let recovered = wot_wal::read_tagged_log(wal_path)?;
+        Ok(recovered.events.iter().map(|&(t, _)| t).collect())
     }
 
     /// Moves a category to another worker **live**: the source replays
@@ -562,7 +1067,7 @@ impl Coordinator {
     /// and ingest cuts over at the current sequence boundary (the
     /// coordinator is synchronous, so no event can interleave with the
     /// move). The re-solved tables must be bit-identical to the tables
-    /// the source reported — same events, same order, same solver — and
+    /// the source holds — same events, same order, same solver — and
     /// the coordinator verifies that before switching routes.
     pub fn rebalance(&mut self, category: u32, to: usize) -> Result<()> {
         if category as usize >= self.opts.num_categories {
@@ -573,11 +1078,15 @@ impl Coordinator {
         if to >= self.workers.len() {
             return Err(ServeError::Protocol(format!("worker {to} out of range")));
         }
+        // Settle the lazy table fetches first: the transparency check
+        // below compares against the *source's* latest solves, and the
+        // stale set's owners change under reassignment.
+        self.refresh_snapshot()?;
         let from = self.owner_of(category)?;
         if from == to {
             return Ok(());
         }
-        let events = match self.workers[from].call(&ShardRequest::DropCategory { category })? {
+        let events = match self.call(from, &ShardRequest::DropCategory { category })? {
             ShardReply::SubLog(events) => events,
             other => {
                 return Err(ServeError::Protocol(format!(
@@ -585,15 +1094,14 @@ impl Coordinator {
                 )))
             }
         };
-        let state =
-            match self.workers[to].call(&ShardRequest::AdoptCategory { category, events })? {
-                ShardReply::State(state) => state,
-                other => {
-                    return Err(ServeError::Protocol(format!(
-                        "unexpected reply to AdoptCategory: {other:?}"
-                    )))
-                }
-            };
+        let state = match self.call(to, &ShardRequest::AdoptCategory { category, events })? {
+            ShardReply::State(state) => state,
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "unexpected reply to AdoptCategory: {other:?}"
+                )))
+            }
+        };
         let adopted = rep_from_wire(&state);
         let held = &*self.per_cat[category as usize];
         // Bitwise on the tables (the served quantities); solve metadata
@@ -614,51 +1122,87 @@ impl Coordinator {
         Ok(())
     }
 
-    /// Graceful shutdown: every worker flushes its log and exits.
+    /// Graceful shutdown: every worker flushes its log and exits. A
+    /// worker that cannot say goodbye (stalled, crashed, quarantined)
+    /// is killed — either way every child is reaped before this
+    /// returns; no zombie survives a failed teardown.
     pub fn shutdown(mut self) -> Result<()> {
         self.shutdown_inner()
     }
 
     fn shutdown_inner(&mut self) -> Result<()> {
         let mut first_err = None;
-        for w in &mut self.workers {
-            match w.call(&ShardRequest::Shutdown) {
-                Ok(ShardReply::Bye) | Ok(_) => {}
-                Err(e) => first_err = first_err.or(Some(e)),
+        for w in 0..self.workers.len() {
+            match self.call(w, &ShardRequest::Shutdown) {
+                Ok(_) => {
+                    // Graceful: the worker exits after its Bye. Hold it
+                    // to the same deadline; a lingerer is killed.
+                    if !self.reap_with_deadline(w) {
+                        let _ = self.workers[w].child.kill();
+                        let _ = self.workers[w].child.wait();
+                    }
+                }
+                Err(e) => {
+                    let _ = self.workers[w].child.kill();
+                    let _ = self.workers[w].child.wait();
+                    first_err = first_err.or(Some(e));
+                }
             }
-            let _ = w.child.wait();
         }
         match first_err {
             None => Ok(()),
             Some(e) => Err(e),
         }
     }
+
+    /// Waits up to the worker deadline for child `w` to exit on its
+    /// own. Returns whether it did.
+    fn reap_with_deadline(&mut self, w: usize) -> bool {
+        let deadline = Instant::now() + self.opts.worker_timeout;
+        loop {
+            match self.workers[w].child.try_wait() {
+                Ok(Some(_)) => return true,
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        return false;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => return false,
+            }
+        }
+    }
 }
 
-impl Drop for Coordinator {
-    fn drop(&mut self) {
-        for w in &mut self.workers {
-            let _ = w.child.kill();
-            let _ = w.child.wait();
-        }
+// No `Drop` for `Coordinator` itself: dropping `workers` runs
+// `WorkerHandle::drop` for each — kill, reap, join — on every path,
+// including a panic or an errored shutdown.
+
+impl TrustIngest for Coordinator {
+    fn ingest(&mut self, event: StoreEvent) -> Result<u64> {
+        Coordinator::ingest(self, event)
+    }
+
+    fn ingest_batch(&mut self, events: &[StoreEvent]) -> Result<u64> {
+        Coordinator::ingest_batch(self, events)
     }
 }
 
 impl TrustQuery for Coordinator {
     fn trust(&mut self, i: u32, j: u32) -> Result<(f64, u64)> {
-        self.refresh_snapshot();
+        self.refresh_snapshot()?;
         TrustQuery::trust(&mut self.snapshot, i, j)
     }
 
     fn top_k(&mut self, user: u32, k: u32) -> Result<(Vec<(u32, f64)>, u64)> {
-        self.refresh_snapshot();
+        self.refresh_snapshot()?;
         TrustQuery::top_k(&mut self.snapshot, user, k)
     }
 
     fn rater_reputation(&mut self, category: u32, user: u32) -> Result<(Option<f64>, u64)> {
         // Category-scoped: scatter to the owning worker.
         let w = self.owner_of(category)?;
-        match self.workers[w].call(&ShardRequest::RaterRep { category, user })? {
+        match self.call(w, &ShardRequest::RaterRep { category, user })? {
             ShardReply::RaterRep(rep) => Ok((rep, self.seq)),
             other => Err(ServeError::Protocol(format!(
                 "unexpected reply to RaterRep: {other:?}"
@@ -671,7 +1215,7 @@ impl TrustQuery for Coordinator {
         category: u32,
     ) -> Result<(ReputationTable, ReputationTable, u64)> {
         let w = self.owner_of(category)?;
-        match self.workers[w].call(&ShardRequest::Tables { category })? {
+        match self.call(w, &ShardRequest::Tables { category })? {
             ShardReply::Tables(raters, writers) => Ok((raters, writers, self.seq)),
             other => Err(ServeError::Protocol(format!(
                 "unexpected reply to Tables: {other:?}"
@@ -680,20 +1224,20 @@ impl TrustQuery for Coordinator {
     }
 
     fn fig3_aggregates(&mut self) -> Result<(AggregateSummary, u64)> {
-        self.refresh_snapshot();
+        self.refresh_snapshot()?;
         TrustQuery::fig3_aggregates(&mut self.snapshot)
     }
 
     fn stats(&mut self) -> Result<(ServeStats, u64)> {
-        self.refresh_snapshot();
+        self.refresh_snapshot()?;
         let stats = ServeStats {
             events: self.seq,
             publishes: self.publishes,
-            num_users: self.opts.num_users as u32,
-            num_categories: self.opts.num_categories as u32,
+            num_users: self.num_users_wire,
+            num_categories: self.num_categories_wire,
             // Every acked event is durable in exactly one worker log.
             wal_len: self.seq,
-            reader_threads: self.workers.len() as u32,
+            reader_threads: u32::try_from(self.workers.len()).unwrap_or(u32::MAX),
         };
         Ok((stats, self.seq))
     }

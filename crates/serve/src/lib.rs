@@ -45,7 +45,7 @@ pub use coord::{Coordinator, CoordinatorOptions};
 pub use protocol::{
     AggregateSummary, ErrorCode, OkBody, Opcode, Request, Response, ServeStats, WireError,
 };
-pub use query::TrustQuery;
+pub use query::{TrustIngest, TrustQuery};
 pub use server::{ServeOptions, ServeOptionsBuilder, Server, ServerHandle};
 pub use snapshot::{ReaderCache, ServeSnapshot, SnapshotCell};
 
@@ -62,6 +62,28 @@ pub enum ServeError {
     Wal(wot_wal::WalError),
     /// The derivation core refused an operation.
     Core(wot_core::CoreError),
+    /// A cluster configuration was rejected before boot (e.g. a
+    /// community shape the wire's `u32` fields cannot represent).
+    Config(String),
+    /// Launching or pipe-wiring a worker process failed.
+    WorkerSpawn(String),
+    /// A worker missed the coordinator's I/O deadline
+    /// ([`CoordinatorOptions::worker_timeout`]) and has been quarantined;
+    /// [`Coordinator::restart_worker`] brings it back.
+    WorkerUnresponsive {
+        /// Index of the unresponsive worker.
+        worker: usize,
+        /// The deadline it missed, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// A worker's pipe closed or errored mid-session (crash, kill, torn
+    /// write); the worker is quarantined until restarted.
+    WorkerGone {
+        /// Index of the dead worker.
+        worker: usize,
+        /// What the transport observed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -74,6 +96,15 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Wal(e) => write!(f, "wal error: {e}"),
             ServeError::Core(e) => write!(f, "core error: {e}"),
+            ServeError::Config(m) => write!(f, "configuration rejected: {m}"),
+            ServeError::WorkerSpawn(m) => write!(f, "worker spawn failed: {m}"),
+            ServeError::WorkerUnresponsive { worker, timeout_ms } => write!(
+                f,
+                "worker {worker} unresponsive: no reply within {timeout_ms} ms"
+            ),
+            ServeError::WorkerGone { worker, detail } => {
+                write!(f, "worker {worker} gone: {detail}")
+            }
         }
     }
 }

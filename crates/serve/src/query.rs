@@ -14,10 +14,47 @@
 //! connection (a request mutates stream state); the in-process
 //! implementation simply ignores the mutability.
 
+use wot_community::StoreEvent;
+
 use crate::client::{Client, ReputationTable};
 use crate::protocol::{AggregateSummary, ServeStats};
 use crate::snapshot::ServeSnapshot;
 use crate::{Result, ServeError};
+
+/// A backend that accepts live events, acking with the new global
+/// sequence number once they are durable.
+///
+/// The durability contract shared by all implementations: when
+/// `ingest_batch` returns `Ok(s)`, every event of the slice is durable
+/// in a write-ahead log and a [`TrustQuery`] answer at seq `s` reflects
+/// the whole slice. Implementations are free to pipeline and batch
+/// internally (the [`Coordinator`](crate::coord::Coordinator) keeps
+/// frames to different workers concurrently in flight) — the
+/// conformance harness only observes the public ack boundary.
+pub trait TrustIngest {
+    /// Ingests one event; acks with the new global seq.
+    fn ingest(&mut self, event: StoreEvent) -> Result<u64>;
+
+    /// Ingests a slice of events; acks with the new global seq once the
+    /// whole slice is durable (the current seq for an empty slice).
+    fn ingest_batch(&mut self, events: &[StoreEvent]) -> Result<u64>;
+}
+
+impl TrustIngest for Client {
+    fn ingest(&mut self, event: StoreEvent) -> Result<u64> {
+        Client::ingest(self, event)
+    }
+
+    fn ingest_batch(&mut self, events: &[StoreEvent]) -> Result<u64> {
+        // The wire has no batch frame; the daemon's writer batches
+        // behind its own publish cycle.
+        let mut seq = self.last_seq();
+        for &e in events {
+            seq = Client::ingest(self, e)?;
+        }
+        Ok(seq)
+    }
+}
 
 /// A backend that can answer the paper's derived-trust queries, each
 /// answer tagged with the sequence number of the snapshot it came from.

@@ -10,7 +10,13 @@
 //! transport are identical to [`crate::protocol`], so one codec audit
 //! covers both.
 //!
-//! Every exchange is strict request/reply; the coordinator is the only
+//! Every request produces exactly one reply, in request order, but the
+//! transport is **pipelined**: the coordinator may have many frames in
+//! flight to one worker (and to different workers concurrently) before
+//! reading any reply. Correlation is positional — replies come back in
+//! the order the requests were written, and ingest acknowledgments name
+//! the highest sequence tag they cover ([`ShardReply::Ingested`]), so a
+//! single ack closes a whole routed batch. The coordinator is the only
 //! requester. Like the client protocol, malformed bodies produce a
 //! typed error reply and leave the stream framed (the next request
 //! parses cleanly) — the frame-abuse tests in `crates/shardd/tests`
@@ -27,7 +33,8 @@ use crate::protocol::{
 /// the client protocol rather than its small request cap.
 pub const MAX_SHARD_FRAME_LEN: usize = 256 * 1024 * 1024;
 
-/// Sentinel for "no durable event yet" in [`HelloAck::max_tag`].
+/// Sentinel for "no durable event yet" in [`HelloAck::max_tag`], and for
+/// "keep everything" in [`ShardRequest::Hello`]'s `cut`.
 pub const NO_TAG: u64 = u64::MAX;
 
 /// Request opcodes (coordinator → worker).
@@ -35,10 +42,12 @@ pub const NO_TAG: u64 = u64::MAX;
 #[repr(u8)]
 pub enum ShardOpcode {
     /// Handshake: community shape + owned categories; the worker opens
-    /// its WAL and replays it before answering.
+    /// its WAL, discards orphans at or past the coordinator's cut, and
+    /// replays the rest before answering.
     Hello = 0,
-    /// One sequence-tagged event to make durable, apply, and re-solve.
-    IngestTagged = 1,
+    /// A batch of sequence-tagged events to make durable and apply,
+    /// acknowledged with one durability horizon.
+    Ingest = 1,
     /// Point lookup: one rater's reputation in one owned category.
     RaterRep = 2,
     /// Full rater/writer tables of one owned category.
@@ -51,6 +60,12 @@ pub enum ShardOpcode {
     AdoptCategory = 6,
     /// Flush and exit after replying.
     Shutdown = 7,
+    /// States of an explicit category subset (lazy snapshot refresh).
+    States = 8,
+    /// Roll durable state back to a sequence cut (pipeline abort).
+    Truncate = 9,
+    /// Fault injection: delay every subsequent request (drills only).
+    Stall = 10,
 }
 
 impl ShardOpcode {
@@ -58,13 +73,16 @@ impl ShardOpcode {
     pub fn from_code(b: u8) -> Option<ShardOpcode> {
         Some(match b {
             0 => ShardOpcode::Hello,
-            1 => ShardOpcode::IngestTagged,
+            1 => ShardOpcode::Ingest,
             2 => ShardOpcode::RaterRep,
             3 => ShardOpcode::Tables,
             4 => ShardOpcode::FullState,
             5 => ShardOpcode::DropCategory,
             6 => ShardOpcode::AdoptCategory,
             7 => ShardOpcode::Shutdown,
+            8 => ShardOpcode::States,
+            9 => ShardOpcode::Truncate,
+            10 => ShardOpcode::Stall,
             _ => return None,
         })
     }
@@ -79,15 +97,21 @@ pub enum ShardRequest {
         num_users: u32,
         /// Community category count (fixes the model shape).
         num_categories: u32,
+        /// The coordinator's acked sequence horizon: log entries tagged
+        /// `>= cut` are orphans of an aborted pipeline round and must be
+        /// **physically truncated** before replay, so a dead tag can
+        /// never be re-issued to a different event. [`NO_TAG`] keeps
+        /// everything (cold boot, where the coordinator instead audits
+        /// the reported [`HelloAck::max_tag`]).
+        cut: u64,
         /// Categories this worker owns, ascending.
         owned: Vec<u32>,
     },
-    /// One globally sequence-tagged event for an owned category.
-    IngestTagged {
-        /// The event's 0-based position in the global history.
-        tag: u64,
-        /// The event itself.
-        event: StoreEvent,
+    /// A batch of globally sequence-tagged events for owned categories,
+    /// ascending by tag — one frame, one durability sync, one ack.
+    Ingest {
+        /// The events, each with its 0-based global history position.
+        events: Vec<(u64, StoreEvent)>,
     },
     /// Point rater lookup.
     RaterRep {
@@ -117,6 +141,29 @@ pub enum ShardRequest {
     },
     /// Flush the WAL and exit after replying.
     Shutdown,
+    /// The solved states of an explicit (owned) category subset — the
+    /// coordinator's lazy snapshot refresh fetches only what ingest
+    /// dirtied since the last publish.
+    States {
+        /// The categories wanted, ascending.
+        categories: Vec<u32>,
+    },
+    /// Abort an in-flight pipeline round: discard every durable event
+    /// tagged `>= cut` (physically, from the WAL) and rebuild the model
+    /// without them. Sent to the *healthy* workers of a round another
+    /// worker failed, so the whole cluster rolls back to the last
+    /// globally acked sequence.
+    Truncate {
+        /// The global sequence to roll back to.
+        cut: u64,
+    },
+    /// Fault injection for failure drills: sleep this long before
+    /// handling each subsequent request (0 clears the stall). Never sent
+    /// by production paths.
+    Stall {
+        /// The per-request delay, in milliseconds.
+        millis: u64,
+    },
 }
 
 impl ShardRequest {
@@ -124,13 +171,16 @@ impl ShardRequest {
     pub fn opcode(&self) -> ShardOpcode {
         match self {
             ShardRequest::Hello { .. } => ShardOpcode::Hello,
-            ShardRequest::IngestTagged { .. } => ShardOpcode::IngestTagged,
+            ShardRequest::Ingest { .. } => ShardOpcode::Ingest,
             ShardRequest::RaterRep { .. } => ShardOpcode::RaterRep,
             ShardRequest::Tables { .. } => ShardOpcode::Tables,
             ShardRequest::FullState => ShardOpcode::FullState,
             ShardRequest::DropCategory { .. } => ShardOpcode::DropCategory,
             ShardRequest::AdoptCategory { .. } => ShardOpcode::AdoptCategory,
             ShardRequest::Shutdown => ShardOpcode::Shutdown,
+            ShardRequest::States { .. } => ShardOpcode::States,
+            ShardRequest::Truncate { .. } => ShardOpcode::Truncate,
+            ShardRequest::Stall { .. } => ShardOpcode::Stall,
         }
     }
 }
@@ -174,8 +224,16 @@ pub struct HelloAck {
 pub enum ShardReply {
     /// Reply to [`ShardRequest::Hello`].
     Hello(HelloAck),
-    /// Reply to ingest and adoption: the solved state of the category
-    /// the request dirtied.
+    /// Reply to [`ShardRequest::Ingest`]: the batch's durability
+    /// horizon. Every event tagged up to and including `max_tag` is on
+    /// stable storage and applied — the single ack that closes a whole
+    /// routed burst. No solved tables ride along; the coordinator
+    /// fetches those lazily ([`ShardRequest::States`]) at publish time.
+    Ingested {
+        /// Highest tag the batch made durable.
+        max_tag: u64,
+    },
+    /// Reply to adoption: the solved state of the adopted category.
     State(CategoryStateWire),
     /// Reply to [`ShardRequest::RaterRep`].
     RaterRep(Option<f64>),
@@ -189,6 +247,14 @@ pub enum ShardReply {
     SubLog(Vec<(u64, StoreEvent)>),
     /// Acknowledges [`ShardRequest::Shutdown`].
     Bye,
+    /// Reply to [`ShardRequest::Truncate`]: how many durable events the
+    /// rollback discarded.
+    Truncated {
+        /// Events removed from the log and the model.
+        dropped: u64,
+    },
+    /// Acknowledges [`ShardRequest::Stall`].
+    Ack,
 }
 
 // ---------------------------------------------------------------------
@@ -234,18 +300,19 @@ pub fn encode_shard_request(out: &mut Vec<u8>, req: &ShardRequest) {
         ShardRequest::Hello {
             num_users,
             num_categories,
+            cut,
             ref owned,
         } => {
             put_u32(out, num_users);
             put_u32(out, num_categories);
+            put_u64(out, cut);
             put_u32(out, owned.len() as u32);
             for &c in owned {
                 put_u32(out, c);
             }
         }
-        ShardRequest::IngestTagged { tag, ref event } => {
-            put_u64(out, tag);
-            put_event(out, event);
+        ShardRequest::Ingest { ref events } => {
+            put_tagged_events(out, events);
         }
         ShardRequest::RaterRep { category, user } => {
             put_u32(out, category);
@@ -262,6 +329,14 @@ pub fn encode_shard_request(out: &mut Vec<u8>, req: &ShardRequest) {
             put_u32(out, category);
             put_tagged_events(out, events);
         }
+        ShardRequest::States { ref categories } => {
+            put_u32(out, categories.len() as u32);
+            for &c in categories {
+                put_u32(out, c);
+            }
+        }
+        ShardRequest::Truncate { cut } => put_u64(out, cut),
+        ShardRequest::Stall { millis } => put_u64(out, millis),
     }
 }
 
@@ -276,6 +351,7 @@ pub fn decode_shard_request(body: &[u8]) -> Result<ShardRequest, String> {
         ShardOpcode::Hello => {
             let num_users = c.u32("num_users")?;
             let num_categories = c.u32("num_categories")?;
+            let cut = c.u64("cut")?;
             let n = c.count(4, "owned categories")?;
             let mut owned = Vec::with_capacity(n);
             for _ in 0..n {
@@ -284,14 +360,13 @@ pub fn decode_shard_request(body: &[u8]) -> Result<ShardRequest, String> {
             ShardRequest::Hello {
                 num_users,
                 num_categories,
+                cut,
                 owned,
             }
         }
-        ShardOpcode::IngestTagged => {
-            let tag = c.u64("tag")?;
-            let event = read_event(&mut c, "event")?;
-            ShardRequest::IngestTagged { tag, event }
-        }
+        ShardOpcode::Ingest => ShardRequest::Ingest {
+            events: read_tagged_events(&mut c, "ingest batch")?,
+        },
         ShardOpcode::RaterRep => ShardRequest::RaterRep {
             category: c.u32("category")?,
             user: c.u32("user")?,
@@ -309,6 +384,18 @@ pub fn decode_shard_request(body: &[u8]) -> Result<ShardRequest, String> {
             ShardRequest::AdoptCategory { category, events }
         }
         ShardOpcode::Shutdown => ShardRequest::Shutdown,
+        ShardOpcode::States => {
+            let n = c.count(4, "state categories")?;
+            let mut categories = Vec::with_capacity(n);
+            for _ in 0..n {
+                categories.push(c.u32("state category")?);
+            }
+            ShardRequest::States { categories }
+        }
+        ShardOpcode::Truncate => ShardRequest::Truncate { cut: c.u64("cut")? },
+        ShardOpcode::Stall => ShardRequest::Stall {
+            millis: c.u64("millis")?,
+        },
     };
     c.finish("shard request")?;
     Ok(req)
@@ -350,8 +437,12 @@ pub fn encode_shard_ok(out: &mut Vec<u8>, reply: &ShardReply) {
             put_u64(out, ack.recovered);
             put_u64(out, ack.max_tag);
         }
+        ShardReply::Ingested { max_tag } => {
+            out.push(ShardOpcode::Ingest as u8);
+            put_u64(out, max_tag);
+        }
         ShardReply::State(ref s) => {
-            out.push(ShardOpcode::IngestTagged as u8);
+            out.push(ShardOpcode::AdoptCategory as u8);
             put_state(out, s);
         }
         ShardReply::RaterRep(rep) => {
@@ -381,6 +472,11 @@ pub fn encode_shard_ok(out: &mut Vec<u8>, reply: &ShardReply) {
             put_tagged_events(out, events);
         }
         ShardReply::Bye => out.push(ShardOpcode::Shutdown as u8),
+        ShardReply::Truncated { dropped } => {
+            out.push(ShardOpcode::Truncate as u8);
+            put_u64(out, dropped);
+        }
+        ShardReply::Ack => out.push(ShardOpcode::Stall as u8),
     }
 }
 
@@ -419,9 +515,10 @@ pub fn decode_shard_reply(body: &[u8]) -> Result<Result<ShardReply, WireError>, 
             recovered: c.u64("recovered")?,
             max_tag: c.u64("max_tag")?,
         }),
-        ShardOpcode::IngestTagged | ShardOpcode::AdoptCategory => {
-            ShardReply::State(read_state(&mut c, "category state")?)
-        }
+        ShardOpcode::Ingest => ShardReply::Ingested {
+            max_tag: c.u64("max_tag")?,
+        },
+        ShardOpcode::AdoptCategory => ShardReply::State(read_state(&mut c, "category state")?),
         ShardOpcode::RaterRep => {
             let present = c.u8("rater presence")?;
             ShardReply::RaterRep(match present {
@@ -434,7 +531,7 @@ pub fn decode_shard_reply(body: &[u8]) -> Result<Result<ShardReply, WireError>, 
             let writers = read_pairs(&mut c, "writer table")?;
             ShardReply::Tables(raters, writers)
         }
-        ShardOpcode::FullState => {
+        ShardOpcode::FullState | ShardOpcode::States => {
             // A state is at least category + three empty tables +
             // iterations + converged.
             let n = c.count(25, "state count")?;
@@ -448,6 +545,10 @@ pub fn decode_shard_reply(body: &[u8]) -> Result<Result<ShardReply, WireError>, 
             ShardReply::SubLog(read_tagged_events(&mut c, "dropped sub-log")?)
         }
         ShardOpcode::Shutdown => ShardReply::Bye,
+        ShardOpcode::Truncate => ShardReply::Truncated {
+            dropped: c.u64("dropped")?,
+        },
+        ShardOpcode::Stall => ShardReply::Ack,
     };
     c.finish("shard reply")?;
     Ok(Ok(reply))
@@ -485,11 +586,17 @@ mod tests {
             ShardRequest::Hello {
                 num_users: 10,
                 num_categories: 3,
+                cut: 17,
                 owned: vec![0, 2],
             },
-            ShardRequest::IngestTagged {
-                tag: 42,
-                event: sample_events()[1].1,
+            ShardRequest::Hello {
+                num_users: 10,
+                num_categories: 3,
+                cut: NO_TAG,
+                owned: vec![],
+            },
+            ShardRequest::Ingest {
+                events: sample_events(),
             },
             ShardRequest::RaterRep {
                 category: 1,
@@ -503,6 +610,11 @@ mod tests {
                 events: sample_events(),
             },
             ShardRequest::Shutdown,
+            ShardRequest::States {
+                categories: vec![0, 2],
+            },
+            ShardRequest::Truncate { cut: 9 },
+            ShardRequest::Stall { millis: 250 },
         ];
         for req in reqs {
             let mut buf = Vec::new();
@@ -526,6 +638,7 @@ mod tests {
                 recovered: 5,
                 max_tag: 9,
             }),
+            ShardReply::Ingested { max_tag: 42 },
             ShardReply::State(state.clone()),
             ShardReply::RaterRep(Some(0.625)),
             ShardReply::RaterRep(None),
@@ -533,6 +646,8 @@ mod tests {
             ShardReply::FullState(vec![state]),
             ShardReply::SubLog(sample_events()),
             ShardReply::Bye,
+            ShardReply::Truncated { dropped: 3 },
+            ShardReply::Ack,
         ];
         for reply in replies {
             let mut buf = Vec::new();
@@ -577,6 +692,11 @@ mod tests {
         let mut buf = Vec::new();
         buf.push(ShardOpcode::AdoptCategory as u8);
         put_u32(&mut buf, 0);
+        put_u32(&mut buf, u32::MAX);
+        assert!(decode_shard_request(&buf).is_err());
+        // Implausible ingest-batch count.
+        let mut buf = Vec::new();
+        buf.push(ShardOpcode::Ingest as u8);
         put_u32(&mut buf, u32::MAX);
         assert!(decode_shard_request(&buf).is_err());
     }

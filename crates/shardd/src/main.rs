@@ -4,9 +4,9 @@
 //! sequence-tagged local WAL, their [`IncrementalDerived`] model, their
 //! per-category solves. It speaks the coordinator's length-prefixed
 //! request/reply protocol ([`wot_serve::shard_proto`]) over
-//! stdin/stdout and answers every request synchronously — one frame in,
-//! one frame out — so the coordinator's global sequence points double as
-//! the worker's.
+//! stdin/stdout, answering every request in arrival order — so the
+//! coordinator can pipeline frames at it and still correlate replies
+//! positionally.
 //!
 //! The paper's math makes this partition exact, not approximate: every
 //! Step-1 quantity (Eq. 1/2 reputations, review qualities, the
@@ -20,21 +20,32 @@
 //! Durability contract, mirroring the flat daemon's writer:
 //!
 //! ```text
-//! check (read-only admission) → WAL append+fsync → apply → solve → reply
+//! check (read-only admission) → WAL append → apply → …group fsync… → reply
 //! ```
 //!
-//! so an acknowledged event is durable before it is visible, and nothing
-//! that fails admission ever poisons the log. After `kill -9`, a
-//! restarted worker replays its log — filtered to the categories the
-//! coordinator's handshake says it owns, deduplicated by tag (a category
-//! may have left and come back), in tag order — and reports the highest
-//! durable tag so the coordinator can reconcile an event that became
-//! durable right before the crash but was never acknowledged.
+//! A dedicated thread reads stdin so the main loop can drain every
+//! frame already queued (up to [`GROUP_MAX`]) per wake and cover the
+//! whole group with **one** fsync before any of the group's replies is
+//! written — an acknowledged event is durable before it is visible, at
+//! a fraction of a per-event sync's cost. A failed group sync is fatal
+//! (the worker exits without acknowledging; recovery replays the log).
+//! Nothing that fails admission ever poisons the log.
+//!
+//! After `kill -9`, a restarted worker replays its log — filtered to
+//! the categories the coordinator's handshake says it owns,
+//! deduplicated by tag, in tag order — and reports the highest durable
+//! tag so the coordinator can reconcile events that became durable
+//! right before the crash but were never acknowledged. The handshake's
+//! `cut` makes the reconciliation physical: entries tagged at or past
+//! it are rewritten out of the WAL before replay, so an orphan tag can
+//! never collide with a future event.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::mpsc::{self, TryRecvError};
+use std::time::Duration;
 
 use wot_community::StoreEvent;
 use wot_core::{DeriveConfig, DerivedCache, IncrementalDerived};
@@ -44,6 +55,10 @@ use wot_serve::shard_proto::{
     ShardReply, ShardRequest, MAX_SHARD_FRAME_LEN, NO_TAG,
 };
 use wot_wal::{read_tagged_log, FsyncPolicy, LogKind, WalWriter};
+
+/// Most frames folded into one wake's processing group — one fsync and
+/// one output flush cover the whole group.
+const GROUP_MAX: usize = 64;
 
 fn main() -> ExitCode {
     let Some(wal_path) = parse_args() else {
@@ -80,6 +95,9 @@ struct Worker {
     /// categories to fold in.
     raw_log: Vec<(u64, StoreEvent)>,
     model: Option<Shard>,
+    /// Fault injection ([`ShardRequest::Stall`]): sleep this long before
+    /// handling each subsequent request.
+    stall: Option<Duration>,
 }
 
 /// The post-handshake shard: model plus ownership bookkeeping.
@@ -208,10 +226,11 @@ impl Shard {
         }
     }
 
-    /// Rebuilds the model from the remaining sub-logs — the drop path.
-    /// A fresh replay (in tag order across categories) leaves the model
-    /// holding *exactly* the owned events, so a later re-adoption of the
-    /// dropped category can replay it back in without collisions.
+    /// Rebuilds the model from the remaining sub-logs — the drop and
+    /// truncate paths. A fresh replay (in tag order across categories)
+    /// leaves the model holding *exactly* the owned events, so a later
+    /// re-adoption of a dropped category can replay it back in without
+    /// collisions.
     fn rebuild(&mut self) -> Result<(), String> {
         self.model = IncrementalDerived::new(self.num_users, self.num_categories, &self.cfg)
             .map_err(|e| e.to_string())?;
@@ -250,15 +269,24 @@ impl Shard {
     }
 }
 
+/// What the stdin reader thread saw.
+enum Inbound {
+    Frame(Vec<u8>),
+    Closed,
+    TooLarge { len: u32 },
+}
+
 fn run(wal_path: &Path) -> io::Result<()> {
+    // The caller (this worker's main loop) owns durability: one sync per
+    // processing group, before any of the group's replies.
     let (wal, raw_log) = if wal_path.exists() {
         let recovered = read_tagged_log(wal_path)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let (wal, _torn) = WalWriter::open_append(wal_path, FsyncPolicy::Always)
+        let (wal, _torn) = WalWriter::open_append(wal_path, FsyncPolicy::Manual)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         (wal, recovered.events)
     } else {
-        let wal = WalWriter::create(wal_path, LogKind::TaggedEvents, FsyncPolicy::Always)
+        let wal = WalWriter::create(wal_path, LogKind::TaggedEvents, FsyncPolicy::Manual)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         (wal, Vec::new())
     };
@@ -266,44 +294,107 @@ fn run(wal_path: &Path) -> io::Result<()> {
         wal,
         raw_log,
         model: None,
+        stall: None,
     };
-    let stdin = io::stdin();
+    // A dedicated reader thread turns stdin into a queue the main loop
+    // can drain — that's what lets one wake process a whole pipelined
+    // burst under a single fsync.
+    let (frames_tx, frames_rx) = mpsc::channel::<io::Result<Inbound>>();
+    std::thread::spawn(move || {
+        let stdin = io::stdin();
+        let mut input = stdin.lock();
+        loop {
+            let (msg, terminal) = match read_frame(&mut input, MAX_SHARD_FRAME_LEN) {
+                Ok(FrameRead::Frame(body)) => (Ok(Inbound::Frame(body)), false),
+                Ok(FrameRead::Idle) => continue,
+                Ok(FrameRead::Closed) => (Ok(Inbound::Closed), true),
+                Ok(FrameRead::TooLarge { len }) => (Ok(Inbound::TooLarge { len }), true),
+                Err(e) => (Err(e), true),
+            };
+            if frames_tx.send(msg).is_err() || terminal {
+                return;
+            }
+        }
+    });
     let stdout = io::stdout();
-    let mut input = stdin.lock();
     let mut output = stdout.lock();
     loop {
-        let body = match read_frame(&mut input, MAX_SHARD_FRAME_LEN)? {
-            FrameRead::Frame(body) => body,
-            // A closed pipe is the coordinator going away: exit cleanly
-            // (everything acknowledged is already durable).
-            FrameRead::Closed => return Ok(()),
-            FrameRead::Idle => continue,
-            FrameRead::TooLarge { len } => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("request frame of {len} bytes exceeds the cap"),
-                ));
-            }
-        };
-        let mut reply = Vec::new();
-        let shutting_down = match decode_shard_request(&body) {
-            Err(msg) => {
-                encode_shard_err(&mut reply, ErrorCode::BadRequest, &msg);
-                false
-            }
-            Ok(req) => {
-                let is_shutdown = matches!(req, ShardRequest::Shutdown);
-                match handle(&mut worker, req) {
-                    Ok(r) => encode_shard_ok(&mut reply, &r),
-                    Err((code, msg)) => encode_shard_err(&mut reply, code, &msg),
-                }
-                is_shutdown
-            }
-        };
-        write_frame(&mut output, &reply)?;
-        if shutting_down {
-            output.flush()?;
+        let Ok(first) = frames_rx.recv() else {
             return Ok(());
+        };
+        let mut group = vec![first];
+        while group.len() < GROUP_MAX {
+            match frames_rx.try_recv() {
+                Ok(m) => group.push(m),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        let mut replies: Vec<Vec<u8>> = Vec::new();
+        let mut terminal: Option<io::Result<()>> = None;
+        for msg in group {
+            match msg {
+                Err(e) => {
+                    terminal = Some(Err(e));
+                    break;
+                }
+                // A closed pipe is the coordinator going away: exit
+                // cleanly (everything acknowledged is already durable).
+                Ok(Inbound::Closed) => {
+                    terminal = Some(Ok(()));
+                    break;
+                }
+                // An oversized length prefix is unrecoverable framing
+                // desync: exit without replying.
+                Ok(Inbound::TooLarge { len }) => {
+                    terminal = Some(Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("request frame of {len} bytes exceeds the cap"),
+                    )));
+                    break;
+                }
+                Ok(Inbound::Frame(body)) => {
+                    if let Some(d) = worker.stall {
+                        std::thread::sleep(d);
+                    }
+                    let mut reply = Vec::new();
+                    let shutting_down = match decode_shard_request(&body) {
+                        Err(msg) => {
+                            encode_shard_err(&mut reply, ErrorCode::BadRequest, &msg);
+                            false
+                        }
+                        Ok(req) => {
+                            let is_shutdown = matches!(req, ShardRequest::Shutdown);
+                            match handle(&mut worker, req) {
+                                Ok(r) => encode_shard_ok(&mut reply, &r),
+                                Err((code, msg)) => encode_shard_err(&mut reply, code, &msg),
+                            }
+                            is_shutdown
+                        }
+                    };
+                    replies.push(reply);
+                    if shutting_down {
+                        terminal = Some(Ok(()));
+                        break;
+                    }
+                }
+            }
+        }
+        // Durability before acknowledgment: one sync covers every append
+        // the group staged. A failed sync is fatal — the model has
+        // already applied what the log may not hold, so the only safe
+        // exit is without acks, leaving recovery to the replay.
+        if worker.wal.unsynced() > 0 {
+            worker
+                .wal
+                .sync()
+                .map_err(|e| io::Error::other(e.to_string()))?;
+        }
+        for reply in &replies {
+            write_frame(&mut output, reply)?;
+        }
+        output.flush()?;
+        if let Some(res) = terminal {
+            return res;
         }
     }
 }
@@ -327,18 +418,30 @@ fn handle(worker: &mut Worker, req: ShardRequest) -> HandlerResult {
         ShardRequest::Hello {
             num_users,
             num_categories,
+            cut,
             owned,
-        } => hello(worker, num_users as usize, num_categories as usize, &owned),
+        } => hello(
+            worker,
+            num_users as usize,
+            num_categories as usize,
+            cut,
+            &owned,
+        ),
         ShardRequest::Shutdown => {
             worker.wal.sync().map_err(|e| internal(e.to_string()))?;
             Ok(ShardReply::Bye)
+        }
+        ShardRequest::Stall { millis } => {
+            worker.stall = Some(Duration::from_millis(millis));
+            Ok(ShardReply::Ack)
         }
         other => {
             let Some(shard) = worker.model.as_mut() else {
                 return Err(bad("request before handshake".into()));
             };
             match other {
-                ShardRequest::IngestTagged { tag, event } => ingest(worker, tag, event),
+                ShardRequest::Ingest { events } => ingest(worker, events),
+                ShardRequest::Truncate { cut } => truncate(worker, cut),
                 ShardRequest::RaterRep { category, user } => {
                     require_owned(shard, category)?;
                     let derived = shard.model.to_derived_cached(&mut shard.cache);
@@ -361,6 +464,13 @@ fn handle(worker: &mut Worker, req: ShardRequest) -> HandlerResult {
                             .collect(),
                     ))
                 }
+                ShardRequest::States { categories } => {
+                    for &c in &categories {
+                        require_owned(shard, c)?;
+                    }
+                    let states = categories.into_iter().map(|c| shard.state_of(c)).collect();
+                    Ok(ShardReply::FullState(states))
+                }
                 ShardRequest::FullState => {
                     let cats: Vec<u32> = shard.owned.iter().copied().collect();
                     let states = cats.into_iter().map(|c| shard.state_of(c)).collect();
@@ -370,7 +480,11 @@ fn handle(worker: &mut Worker, req: ShardRequest) -> HandlerResult {
                 ShardRequest::AdoptCategory { category, events } => {
                     adopt_category(worker, category, events)
                 }
-                ShardRequest::Hello { .. } | ShardRequest::Shutdown => unreachable!(),
+                ShardRequest::Hello { .. }
+                | ShardRequest::Shutdown
+                | ShardRequest::Stall { .. } => {
+                    unreachable!()
+                }
             }
         }
     }
@@ -391,17 +505,56 @@ fn require_owned(shard: &Shard, category: u32) -> Result<(), (ErrorCode, String)
     Ok(())
 }
 
-/// The handshake: fix the community shape, fold the replayed log in
-/// (filtered to the owned categories, deduplicated by tag, in tag
-/// order), and report what the durable log held.
+/// Physically rewrites the WAL keeping only entries tagged below `cut`
+/// (tmp file + sync + rename, then reopen), so no orphan tag survives
+/// on disk. Returns how many entries were dropped.
+fn truncate_wal(worker: &mut Worker, cut: u64) -> Result<u64, String> {
+    worker.wal.sync().map_err(|e| e.to_string())?;
+    let path = worker.wal.path().to_path_buf();
+    let recovered = read_tagged_log(&path).map_err(|e| e.to_string())?;
+    let total = recovered.events.len();
+    let keep: Vec<(u64, StoreEvent)> = recovered
+        .events
+        .into_iter()
+        .filter(|&(t, _)| t < cut)
+        .collect();
+    let dropped = (total - keep.len()) as u64;
+    if dropped == 0 {
+        return Ok(0);
+    }
+    let tmp = path.with_extension("rewrite");
+    {
+        let mut w = WalWriter::create(&tmp, LogKind::TaggedEvents, FsyncPolicy::Manual)
+            .map_err(|e| e.to_string())?;
+        for &(t, ref e) in &keep {
+            w.append_tagged(t, e).map_err(|e| e.to_string())?;
+        }
+        w.sync().map_err(|e| e.to_string())?;
+    }
+    std::fs::rename(&tmp, &path).map_err(|e| e.to_string())?;
+    let (wal, _torn) =
+        WalWriter::open_append(&path, FsyncPolicy::Manual).map_err(|e| e.to_string())?;
+    worker.wal = wal;
+    Ok(dropped)
+}
+
+/// The handshake: truncate orphan tags if the coordinator named a cut,
+/// fix the community shape, fold the replayed log in (filtered to the
+/// owned categories, deduplicated by tag, in tag order), and report
+/// what the durable log holds.
 fn hello(
     worker: &mut Worker,
     num_users: usize,
     num_categories: usize,
+    cut: u64,
     owned: &[u32],
 ) -> HandlerResult {
     if owned.iter().any(|&c| c as usize >= num_categories) {
         return Err(bad("owned category out of range".into()));
+    }
+    if cut != NO_TAG && worker.raw_log.iter().any(|&(t, _)| t >= cut) {
+        truncate_wal(worker, cut).map_err(internal)?;
+        worker.raw_log.retain(|&(t, _)| t < cut);
     }
     let mut shard = Shard::new(num_users, num_categories, owned).map_err(internal)?;
     // The log may hold Review events for categories we no longer own
@@ -450,21 +603,47 @@ fn hello(
     }))
 }
 
-/// One tagged event: admit, make durable, apply, re-solve, reply with
-/// the dirtied category's tables.
-fn ingest(worker: &mut Worker, tag: u64, event: StoreEvent) -> HandlerResult {
+/// One batched run of tagged events: admit, append, and apply each in
+/// order, acking the run's durability horizon. The actual fsync is the
+/// main loop's group sync — it lands before this reply is written.
+fn ingest(worker: &mut Worker, events: Vec<(u64, StoreEvent)>) -> HandlerResult {
+    if events.is_empty() {
+        return Err(bad("empty ingest batch".into()));
+    }
     let shard = worker.model.as_mut().expect("handshake done");
-    shard.check(&event).map_err(rejected)?;
-    let cat = shard
-        .category_of(&event)
-        .expect("admitted event has a resolvable category");
-    worker
-        .wal
-        .append_tagged(tag, &event)
-        .and_then(|_| worker.wal.sync())
-        .map_err(|e| internal(e.to_string()))?;
-    shard.apply(tag, event, cat).map_err(internal)?;
-    Ok(ShardReply::State(shard.state_of(cat)))
+    let mut max_tag = 0;
+    for (tag, event) in events {
+        shard.check(&event).map_err(rejected)?;
+        let cat = shard
+            .category_of(&event)
+            .expect("admitted event has a resolvable category");
+        worker
+            .wal
+            .append_tagged(tag, &event)
+            .map_err(|e| internal(e.to_string()))?;
+        shard.apply(tag, event, cat).map_err(internal)?;
+        max_tag = tag;
+    }
+    Ok(ShardReply::Ingested { max_tag })
+}
+
+/// Rolls this worker back to a coordinator-named cut: entries tagged at
+/// or past it leave the model (sub-log filter + rebuild) and the disk
+/// (physical rewrite). The coordinator queues this behind a failed
+/// round's in-flight ingests, so FIFO ordering makes the rollback
+/// total.
+fn truncate(worker: &mut Worker, cut: u64) -> HandlerResult {
+    {
+        let shard = worker.model.as_mut().expect("handshake done");
+        for log in shard.sublogs.values_mut() {
+            log.retain(|&(t, _)| t < cut);
+        }
+        shard.rebuild().map_err(internal)?;
+        // Dropped reviews must stop routing ratings; rebuild() rebuilt
+        // review_cat from the surviving sub-logs already.
+    }
+    let dropped = truncate_wal(worker, cut).map_err(internal)?;
+    Ok(ShardReply::Truncated { dropped })
 }
 
 /// Stops owning a category: ship its sub-log out and rebuild the model

@@ -51,6 +51,7 @@ impl Fixture {
             num_workers: 3,
             num_users: self.num_users,
             num_categories: self.num_categories,
+            worker_timeout: std::time::Duration::from_secs(30),
         }
     }
 

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use wot_serve::protocol::{read_frame, write_frame, ErrorCode, FrameRead};
 use wot_serve::shard_proto::{
-    decode_shard_reply, encode_shard_request, ShardReply, ShardRequest, MAX_SHARD_FRAME_LEN,
+    decode_shard_reply, encode_shard_request, ShardReply, ShardRequest, MAX_SHARD_FRAME_LEN, NO_TAG,
 };
 
 struct Rig {
@@ -102,6 +102,7 @@ fn hello(rig: &mut Rig) {
         .request(&ShardRequest::Hello {
             num_users: 8,
             num_categories: 2,
+            cut: NO_TAG,
             owned: vec![0, 1],
         })
         .unwrap();
@@ -134,6 +135,7 @@ fn truncated_body_is_a_typed_error() {
         &ShardRequest::Hello {
             num_users: 8,
             num_categories: 2,
+            cut: NO_TAG,
             owned: vec![0, 1],
         },
     );

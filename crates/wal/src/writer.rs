@@ -65,6 +65,13 @@ pub enum FsyncPolicy {
     /// last sync (checked at append time): bounds loss by wall-clock
     /// time instead of event count.
     EveryMs(u64),
+    /// Never sync implicitly: the caller owns durability and calls
+    /// [`WalWriter::sync`] itself. This is the batched-acknowledgment
+    /// mode — append a whole burst, sync once, then acknowledge the
+    /// burst — where any implicit per-append sync would defeat the
+    /// batching. Acknowledging anything before the explicit sync is the
+    /// caller's bug, not the writer's.
+    Manual,
 }
 
 /// An append handle on a WAL file.
@@ -199,6 +206,7 @@ impl WalWriter {
             FsyncPolicy::Always => true,
             FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
             FsyncPolicy::EveryMs(ms) => self.last_sync.elapsed().as_millis() >= ms as u128,
+            FsyncPolicy::Manual => false,
         };
         if due {
             self.sync()?;
@@ -255,6 +263,7 @@ impl WalWriter {
             FsyncPolicy::Always => true,
             FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
             FsyncPolicy::EveryMs(ms) => self.last_sync.elapsed().as_millis() >= ms as u128,
+            FsyncPolicy::Manual => false,
         };
         if due {
             self.sync()?;
