@@ -896,27 +896,61 @@ impl Coordinator {
                 by_owner.entry(self.owner_of(c)?).or_default().push(c);
             }
             let groups: Vec<(usize, Vec<u32>)> = by_owner.into_iter().collect();
+            // Scatter, stopping at the first send failure (e.g. an owner
+            // quarantined by an earlier round): `sent` counts exactly
+            // the workers with an outstanding States request.
+            let mut sent = 0usize;
+            let mut failed: Option<ServeError> = None;
             for (w, cats) in &groups {
-                self.send(
+                match self.send(
                     *w,
                     &ShardRequest::States {
                         categories: cats.clone(),
                     },
-                )?;
-            }
-            for (w, _) in &groups {
-                match self.recv_reply(*w)? {
-                    ShardReply::FullState(states) => {
-                        for s in &states {
-                            self.per_cat[s.category as usize] = Arc::new(rep_from_wire(s));
-                        }
-                    }
-                    other => {
-                        return Err(ServeError::Protocol(format!(
-                            "unexpected reply to States: {other:?}"
-                        )))
+                ) {
+                    Ok(()) => sent += 1,
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
                     }
                 }
+            }
+            // Gather — and on failure, *drain*. Every outstanding
+            // request must be answered (or its worker quarantined by
+            // the deadline) before this function returns: a FullState
+            // left unconsumed in a healthy worker's stream would be
+            // popped later as the answer to a different request,
+            // permanently desyncing positional correlation. Mirrors
+            // abort_round's pending-ack drain.
+            for (w, _) in &groups[..sent] {
+                match self.recv_reply(*w) {
+                    Ok(ShardReply::FullState(states)) => {
+                        if failed.is_none() {
+                            for s in &states {
+                                self.per_cat[s.category as usize] = Arc::new(rep_from_wire(s));
+                            }
+                        }
+                    }
+                    Ok(other) => {
+                        // An out-of-order reply means this worker's
+                        // stream is desynced: quarantine it like any
+                        // transport failure.
+                        let e = self.gone(*w, format!("unexpected reply to States: {other:?}"));
+                        failed.get_or_insert(e);
+                    }
+                    // A transport failure already quarantined the
+                    // worker; a typed remote rejection consumed its one
+                    // reply — the stream stays in sync either way.
+                    Err(e) => {
+                        failed.get_or_insert(e);
+                    }
+                }
+            }
+            if let Some(e) = failed {
+                // stale_cats stays intact: the tables are deterministic
+                // at the acked seq, so the next refresh (after
+                // restart_worker) re-fetches the same bits.
+                return Err(e);
             }
             self.stale_cats.clear();
         }

@@ -37,6 +37,19 @@ pub trait TrustIngest {
 
     /// Ingests a slice of events; acks with the new global seq once the
     /// whole slice is durable (the current seq for an empty slice).
+    ///
+    /// **Retry hazard**: `Err` does *not* mean the slice left history
+    /// untouched. A typed rejection stops admission at the offending
+    /// event, but the admitted prefix may already be durably committed
+    /// and acked — the [`Client`] acks event-by-event before the
+    /// rejection surfaces, and the
+    /// [`Coordinator`](crate::coord::Coordinator) keeps the flushed
+    /// prefix rather than roll back durable state. Callers must re-read
+    /// the backend's acked seq (e.g. via
+    /// [`TrustQuery::stats`]) and resume past it instead of retrying the
+    /// same slice, or the prefix double-ingests. (Worker/transport
+    /// failures are the exception: the Coordinator rolls those rounds
+    /// back to their base seq before returning.)
     fn ingest_batch(&mut self, events: &[StoreEvent]) -> Result<u64>;
 }
 

@@ -532,6 +532,17 @@ fn truncate_wal(worker: &mut Worker, cut: u64) -> Result<u64, String> {
         w.sync().map_err(|e| e.to_string())?;
     }
     std::fs::rename(&tmp, &path).map_err(|e| e.to_string())?;
+    // The rename itself must be durable: without a directory fsync a
+    // power loss can resurrect the old inode (undoing the truncate) and
+    // lose every event fsynced to the new inode since — acked events
+    // gone. Same atomic-replace sequence as the wal crate's snapshots.
+    let dir = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| Path::new("."));
+    std::fs::File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| format!("syncing {} after WAL rewrite: {e}", dir.display()))?;
     let (wal, _torn) =
         WalWriter::open_append(&path, FsyncPolicy::Manual).map_err(|e| e.to_string())?;
     worker.wal = wal;

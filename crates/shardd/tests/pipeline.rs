@@ -191,6 +191,51 @@ fn stalled_worker_times_out_with_a_typed_error_and_restarts() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A worker that stalls during the snapshot's lazy `States` scatter
+/// must not strand the healthy owners' `FullState` replies in their
+/// streams: the refresh returns the stalled owner's typed unresponsive
+/// error with every other outstanding reply drained, so positional
+/// correlation survives. After a restart the cluster ingests and
+/// answers bit-identically — no spurious `WorkerGone` on workers that
+/// never failed.
+#[test]
+fn stalled_states_scatter_drains_healthy_workers() {
+    use wot_serve::TrustQuery;
+
+    let fx = Fixture::new(167);
+    let dir = temp_dir("states-stall");
+    let timeout = Duration::from_millis(300);
+    let mut coord = Coordinator::start(fx.options(&dir, timeout)).unwrap();
+
+    let half = fx.log.len() / 2;
+    coord.ingest_batch(&fx.log[..half]).unwrap();
+    // The leak shape needs the scatter to cover every worker with the
+    // stalled one gathered first (owners gather in ascending order).
+    let owners: std::collections::BTreeSet<usize> = (0..half)
+        .map(|i| coord.owner_of(fx.category_at(i)).unwrap())
+        .collect();
+    assert_eq!(owners.len(), 3, "fixture must dirty every worker");
+
+    coord.inject_stall(0, 2_000).unwrap();
+    let err = coord.trust(0, 1).unwrap_err();
+    assert!(
+        matches!(err, ServeError::WorkerUnresponsive { worker: 0, .. }),
+        "expected the stalled owner's typed error, got {err}"
+    );
+
+    coord.restart_worker(0).unwrap();
+    assert_eq!(coord.seq(), half as u64, "a failed refresh acks nothing");
+    // Both of these would trip over a stranded FullState: the ingest
+    // acks of workers 1 and 2 would be preceded by the stale frame
+    // (spurious WorkerGone), and the re-fetched tables would be
+    // outdated (bit-divergence from the oracle).
+    coord.ingest_batch(&fx.log[half..]).unwrap();
+    let last = fx.log.len() as u64;
+    assert_backend_matches(&mut coord, &fx.batch_oracle(fx.log.len()), last);
+    coord.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `kill -9` mid-pipeline with multi-worker batches in flight: the
 /// failed round rolls back whole (healthy workers truncated behind
 /// their in-flight ingests, speculative coordinator state undone), the
